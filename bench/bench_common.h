@@ -1,0 +1,84 @@
+#pragma once
+
+// Shared helpers for the figure/table reproduction binaries. Each binary
+// regenerates one paper artifact: it sweeps the paper's x-axis, averages
+// over seeds (the paper uses 10 test runs per point), and prints an
+// aligned table whose columns mirror the figure's series.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "sag/sim/scenario_gen.h"
+#include "sag/sim/stats.h"
+#include "sag/sim/stopwatch.h"
+#include "sag/sim/table.h"
+
+namespace sag::bench {
+
+/// Command-line knobs shared by all benchmark binaries.
+///   --seeds=N    runs per point (default 10, the paper's count)
+///   --fast       3 seeds and reduced ILP budgets (CI-friendly)
+///   --threads=N  parallel seed evaluation where the binary supports it
+///                (never used for wall-clock measurements)
+struct BenchConfig {
+    int seeds = 10;
+    bool fast = false;
+    int threads = 1;
+
+    static BenchConfig parse(int argc, char** argv) {
+        BenchConfig cfg;
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg.rfind("--seeds=", 0) == 0) {
+                cfg.seeds = std::atoi(arg.c_str() + 8);
+            } else if (arg.rfind("--threads=", 0) == 0) {
+                cfg.threads = std::atoi(arg.c_str() + 10);
+            } else if (arg == "--fast") {
+                cfg.fast = true;
+                cfg.seeds = 3;
+            } else if (arg == "--help") {
+                std::printf("usage: %s [--seeds=N] [--threads=N] [--fast]\n",
+                            argv[0]);
+                std::exit(0);
+            }
+        }
+        if (cfg.seeds < 1) cfg.seeds = 1;
+        if (cfg.threads < 1) cfg.threads = 1;
+        return cfg;
+    }
+};
+
+/// NaN marks "no feasible solution" — the paper's missing data points
+/// (e.g. IAC/GAC beyond 50 users in Fig. 3b). Averages skip NaN seeds and
+/// come back NaN only when every seed failed.
+inline constexpr double kInfeasible = std::numeric_limits<double>::quiet_NaN();
+
+class SeedAverage {
+public:
+    void add(double v) {
+        if (v == v) stat_.add(v);  // skip NaN
+        ++total_;
+    }
+    double mean() const { return stat_.count() > 0 ? stat_.mean() : kInfeasible; }
+    /// Fraction of seeds that produced a feasible value.
+    double feasible_share() const {
+        return total_ > 0 ? static_cast<double>(stat_.count()) /
+                                static_cast<double>(total_)
+                          : 0.0;
+    }
+
+private:
+    sim::RunningStat stat_;
+    std::size_t total_ = 0;
+};
+
+inline void print_header(const char* figure, const char* description) {
+    std::printf("=== %s ===\n%s\n\n", figure, description);
+}
+
+}  // namespace sag::bench

@@ -1,0 +1,84 @@
+// Micro-benchmarks (google-benchmark) for the core algorithmic kernels:
+// how each solver scales with instance size. Complements the paper-figure
+// binaries, which measure end-to-end wall time.
+#include <benchmark/benchmark.h>
+
+#include "sag/core/candidates.h"
+#include "sag/core/ilpqc.h"
+#include "sag/core/power.h"
+#include "sag/core/samc.h"
+#include "sag/core/ucra.h"
+#include "sag/opt/hitting_set.h"
+#include "sag/sim/scenario_gen.h"
+
+namespace {
+
+using namespace sag;
+
+core::Scenario make_scenario(std::size_t users, double side = 500.0) {
+    sim::GeneratorConfig cfg;
+    cfg.field_side = side;
+    cfg.subscriber_count = users;
+    cfg.base_station_count = 4;
+    cfg.snr_threshold_db = -15.0;
+    return sim::generate_scenario(cfg, 97);
+}
+
+void BM_ZoneHittingSet(benchmark::State& state) {
+    const auto s = make_scenario(static_cast<std::size_t>(state.range(0)));
+    std::vector<geom::Circle> disks = s.feasible_circles();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(opt::geometric_hitting_set(disks, {}));
+    }
+}
+BENCHMARK(BM_ZoneHittingSet)->Arg(10)->Arg(20)->Arg(40);
+
+void BM_Samc(benchmark::State& state) {
+    const auto s = make_scenario(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::solve_samc(s));
+    }
+}
+BENCHMARK(BM_Samc)->Arg(10)->Arg(20)->Arg(40);
+
+void BM_IlpqcIac(benchmark::State& state) {
+    const auto s = make_scenario(static_cast<std::size_t>(state.range(0)));
+    const auto cands = core::iac_candidates(s);
+    core::IlpqcOptions opts;
+    opts.node_budget = 100'000;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::solve_ilpqc_coverage(s, cands, opts));
+    }
+}
+BENCHMARK(BM_IlpqcIac)->Arg(10)->Arg(20)->Arg(30);
+
+void BM_ProPowerReduction(benchmark::State& state) {
+    const auto s = make_scenario(static_cast<std::size_t>(state.range(0)));
+    const auto plan = core::solve_samc(s).plan;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::allocate_power_pro(s, plan));
+    }
+}
+BENCHMARK(BM_ProPowerReduction)->Arg(10)->Arg(20)->Arg(40);
+
+void BM_OptimalPowerFixedPoint(benchmark::State& state) {
+    const auto s = make_scenario(static_cast<std::size_t>(state.range(0)));
+    const auto plan = core::solve_samc(s).plan;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::allocate_power_optimal(s, plan));
+    }
+}
+BENCHMARK(BM_OptimalPowerFixedPoint)->Arg(10)->Arg(20)->Arg(40);
+
+void BM_Mbmc(benchmark::State& state) {
+    const auto s = make_scenario(static_cast<std::size_t>(state.range(0)));
+    const auto plan = core::solve_samc(s).plan;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::solve_mbmc(s, plan));
+    }
+}
+BENCHMARK(BM_Mbmc)->Arg(10)->Arg(20)->Arg(40);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// City scale: 300 subscribers over a 4 km x 4 km map. The paper notes
+// (§IV-A) that a large field decomposes into independent sub-zones; this
+// example shows Zone Partition + SAMC handling an instance ~4-10x beyond
+// anything in the paper's evaluation, in well under a second, and the
+// whole pipeline still verifying end-to-end.
+#include <algorithm>
+#include <cstdio>
+
+#include "sag/core/feasibility.h"
+#include "sag/core/sag.h"
+#include "sag/core/zone_partition.h"
+#include "sag/sim/scenario_gen.h"
+#include "sag/sim/stopwatch.h"
+
+int main() {
+    using namespace sag;
+
+    sim::GeneratorConfig cfg;
+    cfg.field_side = 4000.0;
+    cfg.subscriber_count = 300;
+    cfg.base_station_count = 9;
+    cfg.snr_threshold_db = -15.0;
+    const core::Scenario city = sim::generate_scenario(cfg, 20'26);
+
+    sim::Stopwatch sw;
+    const auto zones = core::zone_partition(city);
+    const double t_zones = sw.milliseconds();
+
+    std::size_t largest = 0;
+    for (const auto& z : zones) largest = std::max(largest, z.size());
+    std::printf("City: %zu subscribers, %zu BSs on %.0fx%.0f\n",
+                city.subscriber_count(), city.base_stations.size(),
+                city.field.width(), city.field.height());
+    std::printf("Zone partition: %zu zones (largest %zu subscribers) in %.1f ms\n",
+                zones.size(), largest, t_zones);
+
+    sw.reset();
+    const core::SagResult plan = core::solve_sag(city);
+    const double t_solve = sw.milliseconds();
+    if (!plan.feasible) {
+        std::printf("no feasible deployment\n");
+        return 1;
+    }
+
+    std::printf("Full SAG pipeline: %.1f ms\n", t_solve);
+    std::printf("  coverage RSs     : %zu\n", plan.coverage_rs_count());
+    std::printf("  connectivity RSs : %zu\n", plan.connectivity_rs_count());
+    std::printf("  total power      : %.1f (vs %.1f at P_max everywhere)\n",
+                plan.total_power(),
+                static_cast<double>(plan.coverage_rs_count() +
+                                    plan.connectivity_rs_count()) *
+                    city.radio.max_power);
+
+    sw.reset();
+    const auto cov_ok =
+        core::verify_coverage(city, plan.coverage, plan.lower_power.powers);
+    const auto conn_ok =
+        core::verify_connectivity(city, plan.coverage, plan.connectivity);
+    std::printf("Verification (%.1f ms): coverage %s, connectivity %s\n",
+                sw.milliseconds(), cov_ok.feasible ? "OK" : "FAILED",
+                conn_ok.feasible ? "OK" : "FAILED");
+    return cov_ok.feasible && conn_ok.feasible ? 0 : 1;
+}

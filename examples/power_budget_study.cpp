@@ -1,0 +1,86 @@
+// Power budget study: how much transmit power does "green" relay design
+// actually save, and how does the saving respond to the SNR threshold and
+// the subscriber density? Sweeps both knobs and prints the PRO/UCPO
+// savings against the all-Pmax deployment, plus the PRO-vs-optimal gap
+// that Theorem 1 bounds.
+//
+// Demonstrates: the power-allocation API (PRO, LPQC optimum, baseline,
+// UCPO) used directly on a fixed coverage plan.
+#include <cstdio>
+
+#include "sag/core/power.h"
+#include "sag/core/samc.h"
+#include "sag/core/ucra.h"
+#include "sag/sim/scenario_gen.h"
+#include "sag/sim/stats.h"
+
+namespace {
+
+using namespace sag;
+
+struct Row {
+    double saving_pct = 0.0;   // SAG total vs all-Pmax
+    double pro_gap_pct = 0.0;  // (PRO - optimal) / optimal
+    int feasible = 0;
+};
+
+Row study_point(double snr_db, std::size_t users, int seeds) {
+    sim::RunningStat saving, gap;
+    int feasible = 0;
+    for (int seed = 0; seed < seeds; ++seed) {
+        sim::GeneratorConfig cfg;
+        cfg.field_side = 600.0;
+        cfg.subscriber_count = users;
+        cfg.base_station_count = 3;
+        cfg.snr_threshold_db = snr_db;
+        const auto s = sim::generate_scenario(cfg, 42 + seed);
+
+        const auto cov = core::solve_samc(s).plan;
+        if (!cov.feasible) continue;
+        const auto pro = core::allocate_power_pro(s, cov);
+        const auto opt = core::allocate_power_optimal(s, cov);
+        if (!pro.feasible || !opt.feasible) continue;
+
+        auto tree = core::solve_mbmc(s, cov);
+        core::allocate_power_ucpo(s, cov, tree);
+        const double green = pro.total + tree.upper_tier_power();
+        core::allocate_power_max(s, tree);
+        const double max_power =
+            core::allocate_power_baseline(s, cov).total + tree.upper_tier_power();
+
+        ++feasible;
+        saving.add(100.0 * (1.0 - green / max_power));
+        if (opt.total > 1e-9) gap.add(100.0 * (pro.total - opt.total) / opt.total);
+    }
+    return {saving.mean(), gap.mean(), feasible};
+}
+
+}  // namespace
+
+int main() {
+    constexpr int kSeeds = 5;
+    std::printf("Green relay power study (600x600 field, 3 BSs, %d seeds/point)\n\n",
+                kSeeds);
+
+    std::printf("%-10s %-8s %-14s %-14s %s\n", "SNR(dB)", "users", "saving vs max",
+                "PRO gap vs opt", "feasible");
+    std::printf("------------------------------------------------------------\n");
+    for (const double snr : {-25.0, -20.0, -15.0, -12.5}) {
+        for (const std::size_t users : {15ul, 30ul, 45ul}) {
+            const Row r = study_point(snr, users, kSeeds);
+            if (r.feasible == 0) {
+                std::printf("%-10.1f %-8zu %-14s %-14s %d/%d\n", snr, users, "n/a",
+                            "n/a", r.feasible, kSeeds);
+            } else {
+                std::printf("%-10.1f %-8zu %13.1f%% %13.2f%% %d/%d\n", snr, users,
+                            r.saving_pct, r.pro_gap_pct, r.feasible, kSeeds);
+            }
+        }
+    }
+    std::printf(
+        "\nReading the table: green allocation saves the bulk of the power\n"
+        "budget; the saving shrinks as the SNR threshold tightens (RSs must\n"
+        "keep more margin) and the PRO-vs-optimal gap stays small, as the\n"
+        "(1+phi) analysis predicts.\n");
+    return 0;
+}

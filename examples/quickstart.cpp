@@ -1,0 +1,53 @@
+// Quickstart: build a small scenario, run the full SAG pipeline, and print
+// the deployment — the 60-second tour of the public API.
+#include <cstdio>
+
+#include "sag/core/feasibility.h"
+#include "sag/core/sag.h"
+#include "sag/sim/scenario_gen.h"
+#include "sag/wireless/units.h"
+
+int main() {
+    // 1. Describe the world: a 500x500 field, 20 subscriber stations with
+    //    distance requests in [30, 40], 4 base stations, SNR threshold -15 dB.
+    sag::sim::GeneratorConfig config;
+    config.field_side = 500.0;
+    config.subscriber_count = 20;
+    config.base_station_count = 4;
+    config.snr_threshold_db = -15.0;
+    const sag::core::Scenario scenario = sag::sim::generate_scenario(config, /*seed=*/7);
+
+    // 2. Run the whole paper pipeline: SAMC coverage, PRO power reduction,
+    //    MBMC connectivity, UCPO upper-tier power.
+    const sag::core::SagResult result = sag::core::solve_sag(scenario);
+
+    std::printf("SAG deployment for %zu subscribers, %zu base stations\n",
+                scenario.subscriber_count(), scenario.base_stations.size());
+    std::printf("  coverage RSs placed     : %zu\n", result.coverage_rs_count());
+    std::printf("  connectivity RSs placed : %zu\n", result.connectivity_rs_count());
+    std::printf("  lower-tier power P_L    : %.2f\n", result.lower_tier_power());
+    std::printf("  upper-tier power P_H    : %.2f\n", result.upper_tier_power());
+    std::printf("  total power P_total     : %.2f  (baseline at P_max: %.2f)\n",
+                result.total_power(),
+                static_cast<double>(result.coverage_rs_count() +
+                                    result.connectivity_rs_count()) *
+                    scenario.radio.max_power);
+
+    // 3. Verify the deployment independently of the solvers.
+    const auto coverage_report = sag::core::verify_coverage(
+        scenario, result.coverage, result.lower_power.powers);
+    const auto connectivity_report =
+        sag::core::verify_connectivity(scenario, result.coverage, result.connectivity);
+    std::printf("  coverage verified       : %s (%zu violations)\n",
+                coverage_report.feasible ? "yes" : "NO", coverage_report.violations);
+    std::printf("  connectivity verified   : %s\n",
+                connectivity_report.feasible ? "yes" : "NO");
+
+    // 4. Inspect one subscriber's link budget.
+    if (!coverage_report.subscribers.empty()) {
+        const auto& check = coverage_report.subscribers.front();
+        std::printf("  subscriber 0: served by RS %zu at %.1f m, SNR %.2f dB\n",
+                    check.serving_rs, check.access_distance, check.snr_db);
+    }
+    return coverage_report.feasible && connectivity_report.feasible ? 0 : 1;
+}

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <vector>
+
+#include "sag/core/scenario.h"
+
+namespace sag::core {
+
+/// IAC — Intersections As Candidates (paper Fig. 2a): all intersection
+/// points between any two subscribers' feasible circles. Centers of
+/// subscribers whose circle intersects no other are appended so isolated
+/// subscribers stay coverable (the paper's construction is silent on them;
+/// without this IAC would be trivially infeasible on sparse instances).
+std::vector<geom::Vec2> iac_candidates(const Scenario& scenario);
+
+/// GAC — Grids As Candidates (paper Fig. 2b): centers of the square cells
+/// of side `grid_size` tiling the field. Smaller grids give better
+/// solutions but grow the ILP (paper Fig. 3e sweeps this knob).
+std::vector<geom::Vec2> gac_candidates(const Scenario& scenario, double grid_size);
+
+/// Candidates filtered to those covering at least one subscriber (an RS
+/// covering nobody can never appear in a minimal solution); positions
+/// useless to every subscriber only pad the search space.
+std::vector<geom::Vec2> prune_useless_candidates(const Scenario& scenario,
+                                                 std::vector<geom::Vec2> candidates);
+
+}  // namespace sag::core

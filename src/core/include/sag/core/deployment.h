@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sag/geometry/vec2.h"
+
+namespace sag::core {
+
+/// Lower-tier (LCRA) output: where the coverage RSs stand and which RS
+/// serves each subscriber. Produced by the ILPQC solvers (IAC/GAC) and by
+/// SAMC; consumed by PRO/LPQC power allocation and by the upper tier.
+struct CoveragePlan {
+    std::vector<geom::Vec2> rs_positions;
+    /// Per subscriber: index into rs_positions of its serving RS
+    /// (constraint (3.3): exactly one access link per SS).
+    std::vector<std::size_t> assignment;
+    bool feasible = false;
+    /// True when the producing solver proved minimality (ILPQC within its
+    /// node budget); heuristics leave it false.
+    bool proven_optimal = false;
+    /// Search effort (ILPQC nodes, or 0 for heuristics).
+    std::size_t search_nodes = 0;
+
+    std::size_t rs_count() const { return rs_positions.size(); }
+    /// Subscribers served by RS `rs` (inverse of `assignment`).
+    std::vector<std::size_t> served_by(std::size_t rs) const;
+};
+
+/// Node classes of the upper-tier relay tree.
+enum class NodeKind { BaseStation, CoverageRs, ConnectivityRs };
+
+/// Upper-tier (UCRA) output: a forest over base stations (roots), coverage
+/// RSs, and steinerized connectivity RSs, plus per-node transmit powers for
+/// the connectivity RSs. Index layout: 0..B-1 base stations, B..B+C-1
+/// coverage RSs (same order as CoveragePlan::rs_positions), then
+/// connectivity RSs.
+struct ConnectivityPlan {
+    std::vector<geom::Vec2> positions;
+    std::vector<NodeKind> kinds;
+    /// parent[i] == i marks a root (every base station is a root).
+    std::vector<std::size_t> parent;
+    /// Transmit power per node; meaningful for ConnectivityRs nodes (the
+    /// paper's P_H sums only those), zero elsewhere.
+    std::vector<double> powers;
+    bool feasible = false;
+
+    std::size_t node_count() const { return positions.size(); }
+    std::size_t count(NodeKind kind) const;
+    std::size_t connectivity_rs_count() const { return count(NodeKind::ConnectivityRs); }
+    /// P_H: total transmit power of the placed connectivity RSs.
+    double upper_tier_power() const;
+};
+
+}  // namespace sag::core

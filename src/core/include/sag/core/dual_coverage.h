@@ -1,0 +1,39 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sag/core/scenario.h"
+
+namespace sag::core {
+
+/// Extension: dual-relay coverage after the 802.16j dual-relay MMR
+/// architecture (paper references [8], [9]) — every subscriber must be in
+/// range of TWO distinct coverage RSs, so service survives a single RS
+/// failure or supports make-before-break handoff. The primary access link
+/// still has to clear the SNR threshold with every placed RS radiating at
+/// max power.
+struct DualCoveragePlan {
+    std::vector<geom::Vec2> rs_positions;
+    /// Per subscriber: index of the serving (nearest in-range) RS.
+    std::vector<std::size_t> primary;
+    /// Per subscriber: index of the backup (second-nearest in-range) RS.
+    std::vector<std::size_t> secondary;
+    bool feasible = false;
+
+    std::size_t rs_count() const { return rs_positions.size(); }
+};
+
+/// Greedy multicover (demand 2 per subscriber) over `candidates`, followed
+/// by a redundancy prune that keeps dual coverage and the primary-SNR
+/// constraint intact. Candidates typically come from iac_candidates() or
+/// gac_candidates(); note IAC intersections alone often cannot dual-cover
+/// isolated subscribers — GAC grids are the natural feed.
+DualCoveragePlan solve_dual_coverage(const Scenario& scenario,
+                                     std::span<const geom::Vec2> candidates);
+
+/// Independent check: both links in range and distinct, primary SNR above
+/// threshold at max power.
+bool verify_dual_coverage(const Scenario& scenario, const DualCoveragePlan& plan);
+
+}  // namespace sag::core

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <vector>
+
+#include "sag/core/deployment.h"
+#include "sag/core/power.h"
+#include "sag/core/samc.h"
+#include "sag/core/scenario.h"
+
+namespace sag::core {
+
+/// Output of the end-to-end pipelines (SAG and the DARP baseline):
+/// both tiers plus the power split the paper reports.
+struct SagResult {
+    CoveragePlan coverage;
+    PowerAllocation lower_power;     ///< P_L over coverage RSs
+    ConnectivityPlan connectivity;   ///< includes P_H in its powers
+    bool feasible = false;
+
+    double lower_tier_power() const { return lower_power.total; }
+    double upper_tier_power() const { return connectivity.upper_tier_power(); }
+    /// P_total = P_L + P_H (paper Algorithm 9 Step 6).
+    double total_power() const { return lower_tier_power() + upper_tier_power(); }
+    std::size_t coverage_rs_count() const { return coverage.rs_count(); }
+    std::size_t connectivity_rs_count() const {
+        return connectivity.connectivity_rs_count();
+    }
+};
+
+/// SNR-aware Green relay design (paper Algorithm 9): SAMC coverage ->
+/// PRO lower-tier power -> MBMC connectivity -> UCPO upper-tier power.
+SagResult solve_sag(const Scenario& scenario, const SamcOptions& options = {});
+
+/// Runs the green pipeline on an externally produced coverage plan (e.g.
+/// the ILPQC/IAC/GAC optimum) instead of SAMC.
+SagResult green_pipeline(const Scenario& scenario, CoveragePlan coverage);
+
+/// The DARP deployment of [1] used as the paper's comparator (§IV-D):
+/// same coverage plan, but every RS transmits at P_max and the upper tier
+/// is MUST to the single base station `bs_index`.
+SagResult solve_darp_baseline(const Scenario& scenario, CoveragePlan coverage,
+                              std::size_t bs_index = 0);
+
+}  // namespace sag::core

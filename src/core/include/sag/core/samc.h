@@ -1,0 +1,82 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sag/core/deployment.h"
+#include "sag/core/scenario.h"
+#include "sag/opt/hitting_set.h"
+
+namespace sag::core {
+
+/// Tuning knobs for SAMC (paper Algorithm 1 and subroutines 2-5).
+struct SamcOptions {
+    /// Hitting-set quality (local-search swap size etc.).
+    opt::HittingSetOptions hitting_set{};
+    /// Cap on relocation combinations tried per Update-RS-Topology round
+    /// (Algorithm 5 Step 3 enumerates subsets of updatable RSs).
+    std::size_t max_update_combinations = 4096;
+    /// Cap on improvement rounds; each committed round strictly shrinks
+    /// the violated-subscriber set, so rounds <= |subscribers| anyway.
+    int max_improvement_rounds = 64;
+    /// Extra repair move beyond the paper's Algorithms 4-5: re-serve a
+    /// violated subscriber from its nearest in-range RS. Switching the
+    /// serving RS changes only that subscriber's SNR (interference is the
+    /// total received power minus the serving signal), so the move is
+    /// always safe and measurably extends SAMC's feasibility range at
+    /// tight thresholds. Off reproduces the paper's algorithm verbatim.
+    bool allow_reassignment = true;
+};
+
+/// SAMC output: the coverage plan plus the zones it was solved over.
+struct SamcResult {
+    CoveragePlan plan;
+    std::vector<std::vector<std::size_t>> zones;
+};
+
+/// SNR-Aware Minimum Coverage (paper Algorithm 1): Zone Partition ->
+/// per-zone geometric minimum hitting set -> Coverage Link Escape ->
+/// RS Sliding Movement / Update RS Topology. Never adds or removes RSs
+/// while repairing SNR, so the RS count equals the hitting set's; if any
+/// zone cannot be repaired the plan comes back infeasible (empty zone
+/// result, paper Algorithm 1 Step 5).
+SamcResult solve_samc(const Scenario& scenario, const SamcOptions& options = {});
+
+/// Internals exposed for unit testing and for the ablation benches.
+namespace samc_detail {
+
+/// The bipartite SS<->RS-point pairing produced by Coverage Link Escape.
+struct ZoneAssignment {
+    std::vector<geom::Vec2> points;      ///< RS positions for this zone
+    std::vector<std::size_t> serving;    ///< per zone-subscriber: point index
+};
+
+/// Coverage Link Escape (Algorithm 3): pair every subscriber with exactly
+/// one hitting-set point, greedily letting the highest-degree point claim
+/// its subscribers first; this maximizes later one-on-one coverage.
+/// `subs` are scenario subscriber indices, `points` the hitting set.
+ZoneAssignment coverage_link_escape(const Scenario& scenario,
+                                    std::span<const std::size_t> subs,
+                                    std::span<const geom::Vec2> points);
+
+struct SlideResult {
+    std::vector<geom::Vec2> points;
+    std::vector<std::size_t> serving;
+    bool feasible = false;
+    int rounds = 0;  ///< committed Update-RS-Topology rounds
+};
+
+/// RS Sliding Movement + Update RS Topology (Algorithms 4 & 5): moves
+/// one-on-one RSs onto their subscriber, then relocates multi-cover RSs
+/// within the common region of their subscribers' feasible/virtual circles
+/// until every zone subscriber clears the SNR threshold, or reports
+/// infeasible when no relocation combination keeps shrinking the violated
+/// set.
+SlideResult sliding_movement(const Scenario& scenario,
+                             std::span<const std::size_t> subs,
+                             const ZoneAssignment& assignment,
+                             const SamcOptions& options);
+
+}  // namespace samc_detail
+
+}  // namespace sag::core

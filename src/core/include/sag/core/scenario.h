@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sag/geometry/circle.h"
+#include "sag/geometry/vec2.h"
+#include "sag/wireless/radio_params.h"
+
+namespace sag::core {
+
+/// A subscriber station (paper symbol s_i): a fixed, high-demand user such
+/// as a store or gas station. Its data-rate request b_i has already been
+/// converted into the equivalent distance request d_i (paper §II-A): an RS
+/// transmitting at P_max covers it iff the access link is at most d_i long.
+struct Subscriber {
+    geom::Vec2 pos;
+    double distance_request = 0.0;  ///< d_i, the feasible coverage distance
+};
+
+/// A macro base station (paper symbol bs_i). BSs sink all relayed traffic.
+struct BaseStation {
+    geom::Vec2 pos;
+};
+
+/// A full SAG problem instance: the field, the stations, the radio
+/// constants, and the common SNR threshold β (the paper assumes all SSs
+/// share one threshold, §II-A).
+struct Scenario {
+    geom::Rect field;
+    std::vector<Subscriber> subscribers;
+    std::vector<BaseStation> base_stations;
+    wireless::RadioParams radio;
+    double snr_threshold_db = -15.0;
+
+    std::size_t subscriber_count() const { return subscribers.size(); }
+
+    /// β as a linear power ratio.
+    double snr_threshold_linear() const;
+
+    /// Feasible coverage circle c_j of subscriber j: center s_j, radius d_j.
+    geom::Circle feasible_circle(std::size_t j) const;
+    std::vector<geom::Circle> feasible_circles() const;
+
+    /// Minimum received power P^j_ss that satisfies subscriber j's data
+    /// rate: the power received at exactly distance d_j from a max-power
+    /// transmitter (this is what makes distance & rate requests equivalent).
+    double min_rx_power(std::size_t j) const;
+
+    /// Smallest distance request over all subscribers (d_min of MBMC).
+    double min_distance_request() const;
+
+    /// Throws std::invalid_argument on non-physical instances (no
+    /// subscribers is allowed; no base stations is not).
+    void validate() const;
+};
+
+}  // namespace sag::core

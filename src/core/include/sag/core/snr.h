@@ -1,0 +1,46 @@
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "sag/core/scenario.h"
+
+namespace sag::core {
+
+/// Interference-limited SNR (linear) seen by each subscriber in `subs`
+/// (indices into scenario.subscribers) when served per `assignment`
+/// (indices into rs_positions) and every RS transmits its entry of
+/// `powers`. Interference is the total received power from all *other*
+/// RSs in rs_positions (paper Definition 2); base stations do not radiate
+/// on the access band in this model.
+std::vector<double> coverage_snrs(const Scenario& scenario,
+                                  std::span<const geom::Vec2> rs_positions,
+                                  std::span<const double> powers,
+                                  std::span<const std::size_t> subs,
+                                  std::span<const std::size_t> assignment);
+
+/// SNR-optimal feasible assignment: each subscriber in `subs` picks the
+/// nearest RS within its distance request (nearest maximizes the received
+/// signal and hence, with the interference fixed by the RS set, the SNR).
+/// Returns nullopt when some subscriber has no RS in range.
+std::optional<std::vector<std::size_t>> nearest_assignment(
+    const Scenario& scenario, std::span<const geom::Vec2> rs_positions,
+    std::span<const std::size_t> subs);
+
+/// All-subscriber overloads (subs = 0..n-1).
+std::vector<double> coverage_snrs(const Scenario& scenario,
+                                  std::span<const geom::Vec2> rs_positions,
+                                  std::span<const double> powers,
+                                  std::span<const std::size_t> assignment);
+std::optional<std::vector<std::size_t>> nearest_assignment(
+    const Scenario& scenario, std::span<const geom::Vec2> rs_positions);
+
+/// True when every subscriber in `subs` clears the scenario's SNR
+/// threshold with all RSs at max power under the nearest assignment.
+/// This is the ILPQC oracle and SAMC's recheck primitive.
+bool snr_feasible_at_max_power(const Scenario& scenario,
+                               std::span<const geom::Vec2> rs_positions,
+                               std::span<const std::size_t> subs);
+
+}  // namespace sag::core

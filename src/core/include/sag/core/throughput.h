@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "sag/core/deployment.h"
+#include "sag/core/scenario.h"
+
+namespace sag::core {
+
+/// Per-link load/capacity record of the relay-tree flow analysis.
+struct LinkLoad {
+    std::size_t child = 0;        ///< node transmitting upward
+    std::size_t parent = 0;       ///< its parent in the relay tree
+    double length = 0.0;          ///< hop length
+    double offered_bps = 0.0;     ///< aggregate subscriber rate crossing the hop
+    double capacity_bps = 0.0;    ///< Shannon capacity at the transmit power
+    double utilization = 0.0;     ///< offered / capacity (inf when capacity 0)
+};
+
+/// Result of routing every subscriber's data rate up the relay tree and
+/// comparing each hop's offered load against the Shannon capacity that
+/// the hop's transmit power sustains over its length.
+struct ThroughputReport {
+    std::vector<LinkLoad> links;       ///< one per non-root tree node
+    double max_utilization = 0.0;      ///< bottleneck utilization
+    std::size_t bottleneck_link = 0;   ///< index into links of the bottleneck
+    std::size_t overloaded_links = 0;  ///< links with utilization > 1
+    double total_offered_bps = 0.0;    ///< sum of subscriber rates
+    bool sustainable = false;          ///< every hop has capacity >= load
+
+    /// Largest uniform scale factor on all subscriber rates that the tree
+    /// still sustains (1 / max_utilization; infinity when idle).
+    double rate_headroom() const;
+};
+
+/// Flow analysis of an upper-tier deployment. Each subscriber offers the
+/// Shannon rate corresponding to its required received power P^j_ss
+/// (paper §II's rate/distance equivalence); loads aggregate bottom-up
+/// through coverage RSs and steinerized chains. Hop capacities use the
+/// transmitting node's power from `plan.powers`; coverage-RS uplink hops
+/// assume the transmit power in `coverage_powers` when non-empty, else
+/// P_max.
+///
+/// Model finding this analysis surfaces: the rate/distance equivalence
+/// means one subscriber's rate exactly saturates a hop of its feasible
+/// distance at P_max, so trunks that aggregate several flows are over
+/// capacity under *any* power allocation (Shannon is logarithmic in
+/// power) — they need shorter hops. The paper's UCPO (Algorithm 8)
+/// under-powers such trunks; allocate_power_ucpo_aggregated shrinks the
+/// overload as far as the P_max ceiling allows.
+ThroughputReport analyze_throughput(const Scenario& scenario,
+                                    const CoveragePlan& coverage,
+                                    const ConnectivityPlan& plan,
+                                    std::span<const double> coverage_powers = {});
+
+}  // namespace sag::core

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstddef>
+
+#include "sag/core/deployment.h"
+#include "sag/core/scenario.h"
+
+namespace sag::core {
+
+/// MBMC — Multiple Base station Minimum Connectivity (paper Algorithm 7):
+/// builds the weighted graph over coverage RSs plus each RS's nearest BS
+/// (edge weight ceil(len/d_min) - 1), extracts an MST rooted at the base
+/// stations, and steinerizes every tree edge so each hop respects the
+/// subtree's minimum feasible distance. Inherits MUST's 8*d_max/d_min
+/// approximation ratio. Connectivity RS powers are initialized to P_max
+/// (the placement assumption); call allocate_power_ucpo to optimize them.
+ConnectivityPlan solve_mbmc(const Scenario& scenario, const CoveragePlan& coverage);
+
+/// MUST baseline (DARP [1]): identical construction restricted to the
+/// single base station `bs_index` — every coverage RS must reach that BS.
+ConnectivityPlan solve_must(const Scenario& scenario, const CoveragePlan& coverage,
+                            std::size_t bs_index);
+
+/// UCPO — Upper-tier Connectivity Power Optimization (paper Algorithm 8):
+/// gives every connectivity RS on the edge below coverage RS r_i the power
+/// that delivers r_i's strictest subscriber-received-power requirement
+/// over that edge's (equal) section length. Overwrites plan.powers.
+void allocate_power_ucpo(const Scenario& scenario, const CoveragePlan& coverage,
+                         ConnectivityPlan& plan);
+
+/// Baseline power: every connectivity RS at P_max.
+void allocate_power_max(const Scenario& scenario, ConnectivityPlan& plan);
+
+/// Extension: traffic-aggregation-aware UCPO. Algorithm 8 powers each
+/// relay chain for its own coverage RS's strictest subscriber only; on a
+/// real relay tree an edge carries the *aggregate* data rate of the whole
+/// subtree beneath it. This variant converts each subtree's summed rate
+/// back into a required received power (Shannon inverse) and powers the
+/// chain for that, clamped at P_max. Always >= the paper's UCPO power;
+/// the ablation bench quantifies the undercount.
+void allocate_power_ucpo_aggregated(const Scenario& scenario,
+                                    const CoveragePlan& coverage,
+                                    ConnectivityPlan& plan);
+
+}  // namespace sag::core

@@ -1,0 +1,28 @@
+#include "sag/core/deployment.h"
+
+#include <algorithm>
+
+namespace sag::core {
+
+std::vector<std::size_t> CoveragePlan::served_by(std::size_t rs) const {
+    std::vector<std::size_t> subs;
+    for (std::size_t j = 0; j < assignment.size(); ++j) {
+        if (assignment[j] == rs) subs.push_back(j);
+    }
+    return subs;
+}
+
+std::size_t ConnectivityPlan::count(NodeKind kind) const {
+    return static_cast<std::size_t>(
+        std::count(kinds.begin(), kinds.end(), kind));
+}
+
+double ConnectivityPlan::upper_tier_power() const {
+    double total = 0.0;
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+        if (kinds[i] == NodeKind::ConnectivityRs) total += powers[i];
+    }
+    return total;
+}
+
+}  // namespace sag::core

@@ -1,0 +1,130 @@
+#include "sag/core/dual_coverage.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "sag/core/snr.h"
+#include "sag/opt/set_cover.h"
+
+namespace sag::core {
+
+namespace {
+
+/// Primary/secondary link selection for a fixed RS set: nearest and
+/// second-nearest in-range RSs per subscriber. Returns false when some
+/// subscriber lacks two in-range RSs.
+bool assign_links(const Scenario& scenario, std::span<const geom::Vec2> rs,
+                  std::vector<std::size_t>& primary,
+                  std::vector<std::size_t>& secondary) {
+    const std::size_t n = scenario.subscriber_count();
+    primary.assign(n, rs.size());
+    secondary.assign(n, rs.size());
+    for (std::size_t j = 0; j < n; ++j) {
+        const Subscriber& s = scenario.subscribers[j];
+        double best = std::numeric_limits<double>::infinity();
+        double second = std::numeric_limits<double>::infinity();
+        for (std::size_t i = 0; i < rs.size(); ++i) {
+            const double d = geom::distance(rs[i], s.pos);
+            if (d > s.distance_request + geom::kEps) continue;
+            if (d < best) {
+                second = best;
+                secondary[j] = primary[j];
+                best = d;
+                primary[j] = i;
+            } else if (d < second) {
+                second = d;
+                secondary[j] = i;
+            }
+        }
+        if (primary[j] == rs.size() || secondary[j] == rs.size()) return false;
+    }
+    return true;
+}
+
+/// Full feasibility for a candidate RS set: dual in-range links plus the
+/// primary SNR constraint at max power.
+bool set_feasible(const Scenario& scenario, std::span<const geom::Vec2> rs) {
+    std::vector<std::size_t> primary, secondary;
+    if (!assign_links(scenario, rs, primary, secondary)) return false;
+    const std::vector<double> powers(rs.size(), scenario.radio.max_power);
+    const auto snrs = coverage_snrs(scenario, rs, powers, primary);
+    const double beta = scenario.snr_threshold_linear();
+    return std::all_of(snrs.begin(), snrs.end(),
+                       [&](double snr) { return snr >= beta * (1.0 - 1e-12); });
+}
+
+}  // namespace
+
+DualCoveragePlan solve_dual_coverage(const Scenario& scenario,
+                                     std::span<const geom::Vec2> candidates) {
+    DualCoveragePlan plan;
+    const std::size_t n = scenario.subscriber_count();
+    if (n == 0) {
+        plan.feasible = true;
+        return plan;
+    }
+
+    // Demand-2 multicover over the in-range link structure.
+    opt::SetCoverInstance inst;
+    inst.element_count = n;
+    inst.sets.resize(candidates.size());
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            const Subscriber& s = scenario.subscribers[j];
+            if (geom::distance(candidates[i], s.pos) <=
+                s.distance_request + geom::kEps) {
+                inst.sets[i].push_back(j);
+            }
+        }
+    }
+    const std::vector<std::size_t> demand(n, 2);
+    const auto chosen = opt::greedy_set_multicover(inst, demand);
+    if (!chosen) return plan;
+
+    std::vector<geom::Vec2> rs;
+    rs.reserve(chosen->size());
+    for (const std::size_t i : *chosen) rs.push_back(candidates[i]);
+    if (!set_feasible(scenario, rs)) return plan;
+
+    // Redundancy prune: drop RSs whose removal keeps everything feasible.
+    // (Removing an RS also removes its interference, so pruning can only
+    // help the SNR side.)
+    for (std::size_t i = 0; i < rs.size();) {
+        std::vector<geom::Vec2> trimmed = rs;
+        trimmed.erase(trimmed.begin() + static_cast<std::ptrdiff_t>(i));
+        if (trimmed.size() >= 2 && set_feasible(scenario, trimmed)) {
+            rs = std::move(trimmed);
+        } else {
+            ++i;
+        }
+    }
+
+    plan.rs_positions = std::move(rs);
+    plan.feasible =
+        assign_links(scenario, plan.rs_positions, plan.primary, plan.secondary);
+    return plan;
+}
+
+bool verify_dual_coverage(const Scenario& scenario, const DualCoveragePlan& plan) {
+    if (!plan.feasible) return false;
+    const std::size_t n = scenario.subscriber_count();
+    if (plan.primary.size() != n || plan.secondary.size() != n) return false;
+    for (std::size_t j = 0; j < n; ++j) {
+        const Subscriber& s = scenario.subscribers[j];
+        if (plan.primary[j] == plan.secondary[j]) return false;
+        if (plan.primary[j] >= plan.rs_count() || plan.secondary[j] >= plan.rs_count())
+            return false;
+        const double dp = geom::distance(plan.rs_positions[plan.primary[j]], s.pos);
+        const double ds = geom::distance(plan.rs_positions[plan.secondary[j]], s.pos);
+        if (dp > s.distance_request + 1e-6 || ds > s.distance_request + 1e-6)
+            return false;
+        if (dp > ds + 1e-6) return false;  // primary must be the nearer one
+    }
+    const std::vector<double> powers(plan.rs_count(), scenario.radio.max_power);
+    const auto snrs = coverage_snrs(scenario, plan.rs_positions, powers, plan.primary);
+    const double beta = scenario.snr_threshold_linear();
+    return std::all_of(snrs.begin(), snrs.end(),
+                       [&](double snr) { return snr >= beta * (1.0 - 1e-9); });
+}
+
+}  // namespace sag::core

@@ -1,0 +1,89 @@
+#include "sag/core/ilpqc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sag/core/snr.h"
+#include "sag/opt/set_cover.h"
+
+namespace sag::core {
+
+namespace {
+
+/// Longest access link that can still clear the SNR threshold when the
+/// only disturbance is the ambient noise (interference from other RSs can
+/// only shorten it). Serving beyond this radius is provably infeasible,
+/// so links longer than min(d_j, this) are dropped from the ILP up front —
+/// a sound tightening that also detects infeasible thresholds instantly
+/// (the Fig. 3d regime).
+double noise_only_service_radius(const Scenario& scenario) {
+    const auto& r = scenario.radio;
+    const double floor = scenario.snr_threshold_linear() * r.snr_ambient_noise;
+    if (floor <= 0.0) return std::numeric_limits<double>::infinity();
+    return std::pow(r.max_power * r.combined_gain() / floor, 1.0 / r.alpha);
+}
+
+}  // namespace
+
+CoveragePlan solve_ilpqc_coverage(const Scenario& scenario,
+                                  std::span<const geom::Vec2> candidates,
+                                  const IlpqcOptions& options) {
+    CoveragePlan plan;
+    const std::size_t n = scenario.subscriber_count();
+    if (n == 0) {
+        plan.feasible = true;
+        plan.proven_optimal = true;
+        return plan;
+    }
+
+    // Constraint (3.4): candidate i may serve subscriber j only when
+    // d_ij <= d_j, further tightened by the noise-only SNR radius (3.5).
+    const double snr_radius = noise_only_service_radius(scenario);
+    opt::SetCoverInstance inst;
+    inst.element_count = n;
+    inst.sets.resize(candidates.size());
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            const Subscriber& s = scenario.subscribers[j];
+            const double limit = std::min(s.distance_request, snr_radius);
+            if (geom::distance(candidates[i], s.pos) <= limit + geom::kEps) {
+                inst.sets[i].push_back(j);
+            }
+        }
+    }
+
+    // Constraint (3.5) as the leaf oracle: with the chosen set at max
+    // power, every subscriber's best in-range server must clear beta.
+    std::vector<std::size_t> all_subs(n);
+    for (std::size_t j = 0; j < n; ++j) all_subs[j] = j;
+    std::vector<geom::Vec2> buffer;
+    const opt::CoverOracle oracle = [&](std::span<const std::size_t> chosen) {
+        buffer.clear();
+        for (const std::size_t i : chosen) buffer.push_back(candidates[i]);
+        return snr_feasible_at_max_power(scenario, buffer, all_subs);
+    };
+
+    opt::SetCoverBnBOptions bnb;
+    bnb.node_budget = options.node_budget;
+    bnb.time_budget_seconds = options.time_budget_seconds;
+    bnb.allow_padding = options.allow_padding;
+    // A placement larger than one RS per subscriber (plus a little padding
+    // slack) is never useful; capping the search keeps infeasibility
+    // proofs from enumerating absurd cover sizes.
+    bnb.max_size = n + 4;
+    const auto result = opt::solve_set_cover_bnb(inst, oracle, bnb);
+
+    plan.search_nodes = result.nodes_explored;
+    plan.proven_optimal = result.proven_optimal;
+    if (!result.feasible) return plan;
+
+    for (const std::size_t i : result.chosen) plan.rs_positions.push_back(candidates[i]);
+    auto assignment = nearest_assignment(scenario, plan.rs_positions);
+    if (!assignment) return plan;  // should not happen for a valid cover
+    plan.assignment = std::move(*assignment);
+    plan.feasible = true;
+    return plan;
+}
+
+}  // namespace sag::core

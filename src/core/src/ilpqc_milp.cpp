@@ -1,0 +1,158 @@
+#include "sag/core/ilpqc_milp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "sag/wireless/two_ray.h"
+
+namespace sag::core {
+
+namespace {
+
+using Rel = opt::LinearProgram::Relation;
+
+/// Variable layout: T_i for i in [0, m), then one T_ij per in-range link
+/// in a flat list.
+struct Layout {
+    std::size_t m = 0;                                   // candidates
+    std::vector<std::pair<std::size_t, std::size_t>> links;  // (i, j)
+    std::vector<std::vector<std::size_t>> links_of_sub;  // j -> link ids
+    std::vector<std::vector<std::size_t>> links_of_cand; // i -> link ids
+
+    std::size_t var_count() const { return m + links.size(); }
+    std::size_t link_var(std::size_t link) const { return m + link; }
+};
+
+Layout make_layout(const Scenario& scenario, std::span<const geom::Vec2> candidates) {
+    Layout layout;
+    layout.m = candidates.size();
+    layout.links_of_sub.resize(scenario.subscriber_count());
+    layout.links_of_cand.resize(candidates.size());
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+        for (std::size_t j = 0; j < scenario.subscriber_count(); ++j) {
+            const Subscriber& s = scenario.subscribers[j];
+            // (3.4): assignment variables exist only for in-range pairs.
+            if (geom::distance(candidates[i], s.pos) <=
+                s.distance_request + geom::kEps) {
+                layout.links_of_sub[j].push_back(layout.links.size());
+                layout.links_of_cand[i].push_back(layout.links.size());
+                layout.links.emplace_back(i, j);
+            }
+        }
+    }
+    return layout;
+}
+
+}  // namespace
+
+opt::MilpProblem build_ilpqc_milp(const Scenario& scenario,
+                                  std::span<const geom::Vec2> candidates) {
+    const Layout layout = make_layout(scenario, candidates);
+    const std::size_t nv = layout.var_count();
+    const double beta = scenario.snr_threshold_linear();
+
+    opt::MilpProblem problem;
+    problem.lp.objective.assign(nv, 0.0);
+    for (std::size_t i = 0; i < layout.m; ++i) problem.lp.objective[i] = 1.0;  // (3.1)
+    problem.binary.assign(nv, true);
+
+    // (3.3): every subscriber has exactly one access link.
+    for (std::size_t j = 0; j < scenario.subscriber_count(); ++j) {
+        std::vector<double> row(nv, 0.0);
+        for (const std::size_t l : layout.links_of_sub[j]) {
+            row[layout.link_var(l)] = 1.0;
+        }
+        problem.lp.add_constraint(std::move(row), Rel::Equal, 1.0);
+    }
+
+    // (3.2): T_ij <= T_i (a link needs its RS placed), and
+    // T_i <= sum_j T_ij (a placed RS covers at least one subscriber).
+    for (std::size_t l = 0; l < layout.links.size(); ++l) {
+        std::vector<double> row(nv, 0.0);
+        row[layout.link_var(l)] = 1.0;
+        row[layout.links[l].first] = -1.0;
+        problem.lp.add_constraint(std::move(row), Rel::LessEq, 0.0);
+    }
+    for (std::size_t i = 0; i < layout.m; ++i) {
+        std::vector<double> row(nv, 0.0);
+        row[i] = 1.0;
+        for (const std::size_t l : layout.links_of_cand[i]) {
+            row[layout.link_var(l)] = -1.0;
+        }
+        problem.lp.add_constraint(std::move(row), Rel::LessEq, 0.0);
+    }
+
+    // (3.5), linearized with big-M per link:
+    //   beta * (sum_{k != i} g_kj T_k + N) - g_ij <= M (1 - T_ij)
+    // where g_kj is the max-power received gain of candidate k at sub j.
+    std::vector<std::vector<double>> g(layout.m,
+                                       std::vector<double>(scenario.subscriber_count()));
+    for (std::size_t k = 0; k < layout.m; ++k) {
+        for (std::size_t j = 0; j < scenario.subscriber_count(); ++j) {
+            g[k][j] = wireless::received_power(
+                scenario.radio, scenario.radio.max_power,
+                geom::distance(candidates[k], scenario.subscribers[j].pos));
+        }
+    }
+    for (std::size_t l = 0; l < layout.links.size(); ++l) {
+        const auto [i, j] = layout.links[l];
+        double worst_interference = scenario.radio.snr_ambient_noise;
+        for (std::size_t k = 0; k < layout.m; ++k) {
+            if (k != i) worst_interference += g[k][j];
+        }
+        const double big_m = beta * worst_interference;  // tight M
+        std::vector<double> row(nv, 0.0);
+        for (std::size_t k = 0; k < layout.m; ++k) {
+            if (k != i) row[k] = beta * g[k][j];
+        }
+        row[layout.link_var(l)] = big_m;
+        problem.lp.add_constraint(
+            std::move(row), Rel::LessEq,
+            big_m + g[i][j] - beta * scenario.radio.snr_ambient_noise);
+    }
+
+    return problem;
+}
+
+CoveragePlan solve_ilpqc_milp(const Scenario& scenario,
+                              std::span<const geom::Vec2> candidates,
+                              const opt::MilpOptions& options) {
+    CoveragePlan plan;
+    if (scenario.subscriber_count() == 0) {
+        plan.feasible = true;
+        plan.proven_optimal = true;
+        return plan;
+    }
+    const Layout layout = make_layout(scenario, candidates);
+    const auto problem = build_ilpqc_milp(scenario, candidates);
+
+    opt::MilpOptions opts = options;
+    opts.bound_gap = 1.0 - 1e-6;  // pure cardinality objective
+    const auto result = opt::solve_milp(problem, opts);
+    plan.search_nodes = result.nodes;
+    if (!result.optimal()) return plan;
+    plan.proven_optimal = true;
+
+    // Recover positions (compacted to chosen candidates) and assignment.
+    std::vector<std::size_t> chosen_index(candidates.size(), SIZE_MAX);
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+        if (result.x[i] > 0.5) {
+            chosen_index[i] = plan.rs_positions.size();
+            plan.rs_positions.push_back(candidates[i]);
+        }
+    }
+    plan.assignment.assign(scenario.subscriber_count(), SIZE_MAX);
+    for (std::size_t l = 0; l < layout.links.size(); ++l) {
+        if (result.x[layout.m + l] > 0.5) {
+            const auto [i, j] = layout.links[l];
+            plan.assignment[j] = chosen_index[i];
+        }
+    }
+    plan.feasible = std::none_of(plan.assignment.begin(), plan.assignment.end(),
+                                 [](std::size_t a) { return a == SIZE_MAX; });
+    return plan;
+}
+
+}  // namespace sag::core

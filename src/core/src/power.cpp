@@ -1,0 +1,244 @@
+#include "sag/core/power.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "sag/core/snr.h"
+#include "sag/opt/lp.h"
+#include "sag/opt/power_control.h"
+#include "sag/wireless/two_ray.h"
+
+namespace sag::core {
+
+namespace {
+
+/// Path gains g[rs][sub] = G * d^-alpha between every RS and subscriber.
+std::vector<std::vector<double>> gain_matrix(const Scenario& scenario,
+                                             const CoveragePlan& plan) {
+    std::vector<std::vector<double>> g(plan.rs_count(),
+                                       std::vector<double>(scenario.subscriber_count()));
+    for (std::size_t i = 0; i < plan.rs_count(); ++i) {
+        for (std::size_t j = 0; j < scenario.subscriber_count(); ++j) {
+            g[i][j] = wireless::path_gain(
+                scenario.radio,
+                geom::distance(plan.rs_positions[i], scenario.subscribers[j].pos));
+        }
+    }
+    return g;
+}
+
+/// True when every subscriber served by `rs` clears beta under `powers`.
+bool served_snr_ok(const Scenario& scenario, const CoveragePlan& plan,
+                   const std::vector<std::vector<double>>& g, std::size_t rs,
+                   std::span<const double> powers) {
+    const double beta = scenario.snr_threshold_linear();
+    for (std::size_t j = 0; j < scenario.subscriber_count(); ++j) {
+        if (plan.assignment[j] != rs) continue;
+        double interference = scenario.radio.snr_ambient_noise;
+        for (std::size_t k = 0; k < plan.rs_count(); ++k) {
+            if (k != rs) interference += powers[k] * g[k][j];
+        }
+        const double signal = powers[rs] * g[rs][j];
+        if (interference > 0.0 && signal / interference < beta * (1.0 - 1e-12)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+double snr_floor_from_gains(const Scenario& scenario, const CoveragePlan& plan,
+                            const std::vector<std::vector<double>>& g,
+                            std::size_t rs, std::span<const double> powers) {
+    const double beta = scenario.snr_threshold_linear();
+    double need = 0.0;
+    for (std::size_t j = 0; j < scenario.subscriber_count(); ++j) {
+        if (plan.assignment[j] != rs) continue;
+        double interference = scenario.radio.snr_ambient_noise;
+        for (std::size_t k = 0; k < plan.rs_count(); ++k) {
+            if (k != rs) interference += powers[k] * g[k][j];
+        }
+        need = std::max(need, beta * interference / g[rs][j]);
+    }
+    return need;
+}
+
+bool allocation_feasible(const Scenario& scenario, const CoveragePlan& plan,
+                         std::span<const double> powers) {
+    const auto snrs =
+        coverage_snrs(scenario, plan.rs_positions, powers, plan.assignment);
+    const double beta = scenario.snr_threshold_linear();
+    for (std::size_t j = 0; j < scenario.subscriber_count(); ++j) {
+        const std::size_t i = plan.assignment[j];
+        const double rx = wireless::received_power(
+            scenario.radio, powers[i],
+            geom::distance(plan.rs_positions[i], scenario.subscribers[j].pos));
+        if (rx < scenario.min_rx_power(j) * (1.0 - 1e-9)) return false;
+        if (snrs[j] < beta * (1.0 - 1e-9)) return false;
+    }
+    return true;
+}
+
+}  // namespace
+
+double coverage_power_floor(const Scenario& scenario, const CoveragePlan& plan,
+                            std::size_t rs) {
+    double floor = 0.0;
+    for (std::size_t j = 0; j < scenario.subscriber_count(); ++j) {
+        if (plan.assignment[j] != rs) continue;
+        const double d =
+            geom::distance(plan.rs_positions[rs], scenario.subscribers[j].pos);
+        floor = std::max(floor,
+                         wireless::tx_power_for(scenario.radio,
+                                                scenario.min_rx_power(j), d));
+    }
+    return floor;
+}
+
+double snr_power_floor(const Scenario& scenario, const CoveragePlan& plan,
+                       std::size_t rs, std::span<const double> powers) {
+    const auto g = gain_matrix(scenario, plan);
+    return snr_floor_from_gains(scenario, plan, g, rs, powers);
+}
+
+PowerAllocation allocate_power_pro(const Scenario& scenario, const CoveragePlan& plan,
+                                   const ProOptions& options) {
+    PowerAllocation out;
+    const std::size_t n = plan.rs_count();
+    const double pmax = scenario.radio.max_power;
+    const auto g = gain_matrix(scenario, plan);
+
+    std::vector<double> p_min(n);
+    for (std::size_t i = 0; i < n; ++i) p_min[i] = coverage_power_floor(scenario, plan, i);
+
+    // Algorithm 6 state: p1 is the working vector (Step 9 re-syncs it to
+    // the committed Ptmp each round), committed[i] marks removal from K.
+    std::vector<double> p1(n, pmax);
+    std::vector<double> p_tmp(n, pmax);
+    std::vector<bool> committed(n, false);
+    std::size_t remaining = n;
+
+    while (remaining > 0) {
+        ++out.iterations;
+        const std::size_t before = remaining;
+
+        // Steps 5-8: tentatively drop each uncommitted RS to its coverage
+        // power, keeping the others at this round's values; commit into
+        // Ptmp when its own subscribers' SNR survives.
+        for (std::size_t i = 0; i < n; ++i) {
+            if (committed[i]) continue;
+            const double saved = p1[i];
+            p1[i] = p_min[i];
+            if (served_snr_ok(scenario, plan, g, i, p1)) {
+                committed[i] = true;
+                --remaining;
+                p_tmp[i] = p_min[i];
+            }
+            p1[i] = saved;
+        }
+        p1 = p_tmp;  // Step 9
+
+        if (remaining == before && remaining > 0) {
+            // Steps 10-13: no RS could reach its coverage power; pay the
+            // smallest SNR premium Psnr - Pc instead.
+            std::size_t arg = n;
+            double best_delta = std::numeric_limits<double>::infinity();
+            double best_power = pmax;
+            for (std::size_t i = 0; i < n; ++i) {
+                if (committed[i]) continue;
+                const double p_snr =
+                    std::max(p_min[i], snr_floor_from_gains(scenario, plan, g, i, p1));
+                const double delta = p_snr - p_min[i];
+                if (delta < best_delta) {
+                    best_delta = delta;
+                    best_power = p_snr;
+                    arg = i;
+                }
+                if (options.selection == ProOptions::Selection::FirstIndex &&
+                    arg != n) {
+                    break;  // ablation mode: take the first stuck RS
+                }
+            }
+            p1[arg] = p_tmp[arg] = std::min(best_power, pmax);
+            committed[arg] = true;
+            --remaining;
+        }
+    }
+
+    out.powers = std::move(p1);
+    out.total = std::accumulate(out.powers.begin(), out.powers.end(), 0.0);
+    out.feasible = allocation_feasible(scenario, plan, out.powers);
+    return out;
+}
+
+PowerAllocation allocate_power_optimal(const Scenario& scenario,
+                                       const CoveragePlan& plan) {
+    PowerAllocation out;
+    const std::size_t n = plan.rs_count();
+    const auto g = gain_matrix(scenario, plan);
+
+    std::vector<double> floors(n), caps(n, scenario.radio.max_power);
+    for (std::size_t i = 0; i < n; ++i) floors[i] = coverage_power_floor(scenario, plan, i);
+
+    const auto result = opt::fixed_point_power_control(
+        floors, caps,
+        [&](std::size_t i, std::span<const double> powers) {
+            return snr_floor_from_gains(scenario, plan, g, i, powers);
+        });
+
+    out.powers = result.powers;
+    out.total = std::accumulate(out.powers.begin(), out.powers.end(), 0.0);
+    out.iterations = result.iterations;
+    out.feasible = result.feasible && allocation_feasible(scenario, plan, out.powers);
+    return out;
+}
+
+PowerAllocation allocate_power_optimal_lp(const Scenario& scenario,
+                                          const CoveragePlan& plan) {
+    PowerAllocation out;
+    const std::size_t n = plan.rs_count();
+    const auto g = gain_matrix(scenario, plan);
+
+    opt::LinearProgram lp;
+    lp.objective.assign(n, 1.0);
+    lp.upper_bounds.assign(n, scenario.radio.max_power);
+    const double beta = scenario.snr_threshold_linear();
+    for (std::size_t j = 0; j < scenario.subscriber_count(); ++j) {
+        const std::size_t i = plan.assignment[j];
+        // (3.8) data rate: Pi * g_ij >= P^j_ss
+        std::vector<double> rate(n, 0.0);
+        rate[i] = g[i][j];
+        lp.add_constraint(std::move(rate), opt::LinearProgram::Relation::GreaterEq,
+                          scenario.min_rx_power(j));
+        // (3.9) SNR, linearized with the ambient-noise term:
+        // Pi*g_ij - beta * sum_{k != i} Pk*g_kj >= beta * N_amb
+        std::vector<double> snr(n, 0.0);
+        for (std::size_t k = 0; k < n; ++k) snr[k] = -beta * g[k][j];
+        snr[i] = g[i][j];
+        lp.add_constraint(std::move(snr), opt::LinearProgram::Relation::GreaterEq,
+                          beta * scenario.radio.snr_ambient_noise);
+    }
+
+    const auto result = opt::solve_lp(lp);
+    if (result.optimal()) {
+        out.powers = result.x;
+        out.total = result.objective;
+        out.feasible = true;
+    } else {
+        out.powers.assign(n, scenario.radio.max_power);
+        out.total = static_cast<double>(n) * scenario.radio.max_power;
+    }
+    return out;
+}
+
+PowerAllocation allocate_power_baseline(const Scenario& scenario,
+                                        const CoveragePlan& plan) {
+    PowerAllocation out;
+    out.powers.assign(plan.rs_count(), scenario.radio.max_power);
+    out.total = static_cast<double>(plan.rs_count()) * scenario.radio.max_power;
+    out.feasible = allocation_feasible(scenario, plan, out.powers);
+    out.iterations = 0;
+    return out;
+}
+
+}  // namespace sag::core

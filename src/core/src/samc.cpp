@@ -1,0 +1,331 @@
+#include "sag/core/samc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <optional>
+
+#include "sag/core/snr.h"
+#include "sag/core/zone_partition.h"
+#include "sag/geometry/region.h"
+#include "sag/wireless/two_ray.h"
+
+namespace sag::core {
+namespace samc_detail {
+
+ZoneAssignment coverage_link_escape(const Scenario& scenario,
+                                    std::span<const std::size_t> subs,
+                                    std::span<const geom::Vec2> points) {
+    ZoneAssignment out;
+    out.points.assign(points.begin(), points.end());
+    out.serving.assign(subs.size(), points.size());
+
+    // Bipartite edges: point p -- zone subscriber k when p lies in k's
+    // feasible circle.
+    std::vector<std::vector<std::size_t>> covers(points.size());
+    for (std::size_t p = 0; p < points.size(); ++p) {
+        for (std::size_t k = 0; k < subs.size(); ++k) {
+            const Subscriber& s = scenario.subscribers[subs[k]];
+            if (geom::distance(points[p], s.pos) <= s.distance_request + 1e-6) {
+                covers[p].push_back(k);
+            }
+        }
+    }
+
+    // Algorithm 3 Steps 3-5: repeatedly let the unmarked point with the
+    // most surviving edges claim its subscribers, deleting the claimed
+    // subscribers' other edges.
+    std::vector<bool> point_marked(points.size(), false);
+    while (true) {
+        std::size_t best_p = points.size();
+        std::size_t best_deg = 0;
+        for (std::size_t p = 0; p < points.size(); ++p) {
+            if (point_marked[p]) continue;
+            std::size_t deg = 0;
+            for (const std::size_t k : covers[p]) {
+                if (out.serving[k] == points.size()) ++deg;
+            }
+            if (deg > best_deg) {
+                best_deg = deg;
+                best_p = p;
+            }
+        }
+        if (best_p == points.size()) break;
+        point_marked[best_p] = true;
+        for (const std::size_t k : covers[best_p]) {
+            if (out.serving[k] == points.size()) out.serving[k] = best_p;
+        }
+    }
+    return out;
+}
+
+namespace {
+
+/// Zone-local evaluation state: positions, explicit serving map, max power.
+struct ZoneState {
+    const Scenario& scenario;
+    std::span<const std::size_t> subs;
+    std::vector<geom::Vec2> points;
+    std::vector<std::size_t> serving;
+
+    /// Indices (zone-local) of subscribers violating distance or SNR.
+    std::vector<std::size_t> violated(std::span<const geom::Vec2> positions) const {
+        const std::vector<double> powers(positions.size(),
+                                         scenario.radio.max_power);
+        const auto snrs =
+            coverage_snrs(scenario, positions, powers, subs, serving);
+        const double beta = scenario.snr_threshold_linear();
+        std::vector<std::size_t> bad;
+        for (std::size_t k = 0; k < subs.size(); ++k) {
+            const Subscriber& s = scenario.subscribers[subs[k]];
+            const double d = geom::distance(positions[serving[k]], s.pos);
+            if (d > s.distance_request + 1e-6 || snrs[k] < beta * (1.0 - 1e-12)) {
+                bad.push_back(k);
+            }
+        }
+        return bad;
+    }
+};
+
+/// One relocation proposal from Algorithm 5 Step 2.
+struct Proposal {
+    std::size_t point;  ///< index into ZoneState::points
+    geom::Vec2 target;
+};
+
+/// Interference at subscriber `k` from every point except `skip`, all at
+/// max power, plus the ambient noise of the SNR denominator.
+double interference_at(const ZoneState& st, std::size_t k, std::size_t skip) {
+    const geom::Vec2& rx = st.scenario.subscribers[st.subs[k]].pos;
+    double total = st.scenario.radio.snr_ambient_noise;
+    for (std::size_t p = 0; p < st.points.size(); ++p) {
+        if (p == skip) continue;
+        total += wireless::received_power(st.scenario.radio,
+                                          st.scenario.radio.max_power,
+                                          geom::distance(st.points[p], rx));
+    }
+    return total;
+}
+
+/// Algorithm 5 Step 2 for one RS: the region where it (a) still covers all
+/// its satisfied subscribers, (b) brings each violated subscriber it
+/// serves inside both coverage range and the SNR "virtual circle".
+std::optional<geom::Vec2> relocation_target(const ZoneState& st, std::size_t p,
+                                            const std::vector<bool>& is_violated) {
+    const auto& radio = st.scenario.radio;
+    const double beta = st.scenario.snr_threshold_linear();
+    std::vector<geom::Circle> region;
+    for (std::size_t k = 0; k < st.subs.size(); ++k) {
+        if (st.serving[k] != p) continue;
+        const Subscriber& s = st.scenario.subscribers[st.subs[k]];
+        double radius = s.distance_request;
+        if (is_violated[k]) {
+            const double interference = interference_at(st, k, p);
+            if (interference > 0.0) {
+                // SNR >= beta  <=>  Pmax*G*d^-alpha >= beta*I
+                // <=>  d <= (Pmax*G / (beta*I))^(1/alpha)
+                const double r_snr =
+                    std::pow(radio.max_power * radio.combined_gain() /
+                                 (beta * interference),
+                             1.0 / radio.alpha);
+                radius = std::min(radius, r_snr);
+            }
+        }
+        if (radius <= 0.0) return std::nullopt;
+        region.push_back({s.pos, radius});
+    }
+    if (region.empty()) return std::nullopt;
+    // Prefer the deepest interior point: numerical margin for the SNR
+    // recheck and fewer knife-edge placements.
+    const auto deep = geom::deepest_point_of_disks(region);
+    if (deep.violation <= 1e-9) return deep.point;
+    return geom::common_point_of_disks(region);
+}
+
+/// Visits subsets of {0..n-1} of size `t` (lexicographic), invoking `fn`
+/// until it returns true or the cap is exhausted. Returns whether `fn`
+/// succeeded.
+bool for_each_combination(std::size_t n, std::size_t t, std::size_t& budget,
+                          const std::function<bool(std::span<const std::size_t>)>& fn) {
+    std::vector<std::size_t> idx(t);
+    for (std::size_t i = 0; i < t; ++i) idx[i] = i;
+    while (true) {
+        if (budget == 0) return false;
+        --budget;
+        if (fn(idx)) return true;
+        // next combination
+        std::size_t i = t;
+        while (i > 0) {
+            --i;
+            if (idx[i] != i + n - t) {
+                ++idx[i];
+                for (std::size_t j = i + 1; j < t; ++j) idx[j] = idx[j - 1] + 1;
+                break;
+            }
+            if (i == 0) return false;
+        }
+        if (t == 0) return false;
+    }
+}
+
+}  // namespace
+
+SlideResult sliding_movement(const Scenario& scenario,
+                             std::span<const std::size_t> subs,
+                             const ZoneAssignment& assignment,
+                             const SamcOptions& options) {
+    SlideResult result;
+    ZoneState st{scenario, subs, assignment.points, assignment.serving};
+
+    // Algorithm 4 Step 2: one-on-one RSs slide onto their subscriber and
+    // become fixed members of H.
+    std::vector<std::size_t> served_count(st.points.size(), 0);
+    for (const std::size_t p : st.serving) {
+        if (p < st.points.size()) ++served_count[p];
+    }
+    std::vector<bool> fixed(st.points.size(), false);
+    for (std::size_t k = 0; k < subs.size(); ++k) {
+        const std::size_t p = st.serving[k];
+        if (served_count[p] == 1) {
+            st.points[p] = scenario.subscribers[subs[k]].pos;
+            fixed[p] = true;
+        }
+    }
+
+    // Optional repair: serve each violated subscriber from its nearest
+    // in-range RS. Only the switched subscriber's SNR changes, so the
+    // move never regresses other subscribers.
+    const auto reassign_violated = [&](const std::vector<std::size_t>& bad) {
+        bool changed = false;
+        for (const std::size_t k : bad) {
+            const Subscriber& sub = scenario.subscribers[subs[k]];
+            std::size_t best = st.serving[k];
+            double best_dist =
+                geom::distance(st.points[best], sub.pos);
+            for (std::size_t p = 0; p < st.points.size(); ++p) {
+                const double d = geom::distance(st.points[p], sub.pos);
+                if (d <= sub.distance_request + 1e-6 && d < best_dist - 1e-9) {
+                    best = p;
+                    best_dist = d;
+                }
+            }
+            if (best != st.serving[k]) {
+                st.serving[k] = best;
+                changed = true;
+            }
+        }
+        return changed;
+    };
+
+    auto violated = st.violated(st.points);
+    if (options.allow_reassignment && !violated.empty() &&
+        reassign_violated(violated)) {
+        violated = st.violated(st.points);
+    }
+
+    // Algorithms 4 Steps 3-5 + 5: relocate multi-cover RSs until clean or
+    // stuck. Each committed round must strictly shrink the violated set.
+    for (result.rounds = 0;
+         !violated.empty() && result.rounds < options.max_improvement_rounds;
+         ++result.rounds) {
+        std::vector<bool> is_violated(subs.size(), false);
+        for (const std::size_t k : violated) is_violated[k] = true;
+
+        // R_u: unfixed RSs serving a violated subscriber.
+        std::vector<std::size_t> updatable_rs;
+        for (std::size_t k : violated) {
+            const std::size_t p = st.serving[k];
+            if (!fixed[p] &&
+                std::find(updatable_rs.begin(), updatable_rs.end(), p) ==
+                    updatable_rs.end()) {
+                updatable_rs.push_back(p);
+            }
+        }
+
+        std::vector<Proposal> proposals;
+        for (const std::size_t p : updatable_rs) {
+            if (const auto target = relocation_target(st, p, is_violated)) {
+                proposals.push_back({p, *target});
+            }
+        }
+        if (proposals.empty()) break;  // nothing updatable -> stuck
+
+        // Algorithm 5 Step 3: try relocation combinations, largest first
+        // (moving every updatable RS at once is the natural first try).
+        std::size_t budget = options.max_update_combinations;
+        std::size_t best_violations = violated.size();
+        std::optional<std::vector<geom::Vec2>> best_points;
+        std::vector<geom::Vec2> trial;
+        bool solved = false;
+        for (std::size_t t = proposals.size(); t >= 1 && !solved && budget > 0; --t) {
+            solved = for_each_combination(
+                proposals.size(), t, budget,
+                [&](std::span<const std::size_t> combo) {
+                    trial = st.points;
+                    for (const std::size_t c : combo) {
+                        trial[proposals[c].point] = proposals[c].target;
+                    }
+                    const auto bad = st.violated(trial);
+                    if (bad.size() < best_violations) {
+                        best_violations = bad.size();
+                        best_points = trial;
+                    }
+                    return bad.empty();
+                });
+        }
+        if (solved || best_points) {
+            st.points = *best_points;  // solved implies best_points == trial
+            violated = st.violated(st.points);
+            if (options.allow_reassignment && !violated.empty() &&
+                reassign_violated(violated)) {
+                violated = st.violated(st.points);
+            }
+            if (solved) break;
+        } else if (options.allow_reassignment && reassign_violated(violated)) {
+            violated = st.violated(st.points);  // repair without relocation
+        } else {
+            break;  // no combination shrinks the violated set -> infeasible
+        }
+    }
+
+    result.feasible = st.violated(st.points).empty();
+    result.points = std::move(st.points);
+    result.serving = std::move(st.serving);
+    return result;
+}
+
+}  // namespace samc_detail
+
+SamcResult solve_samc(const Scenario& scenario, const SamcOptions& options) {
+    SamcResult result;
+    result.zones = zone_partition(scenario);
+    result.plan.assignment.assign(scenario.subscriber_count(), 0);
+    result.plan.feasible = true;
+
+    for (const auto& zone : result.zones) {
+        std::vector<geom::Circle> disks;
+        disks.reserve(zone.size());
+        for (const std::size_t j : zone) disks.push_back(scenario.feasible_circle(j));
+
+        const auto points = opt::geometric_hitting_set(disks, options.hitting_set);
+        const auto assignment =
+            samc_detail::coverage_link_escape(scenario, zone, points);
+        const auto slide =
+            samc_detail::sliding_movement(scenario, zone, assignment, options);
+        if (!slide.feasible) {
+            result.plan.feasible = false;  // Algorithm 1 Step 5: infeasible zone
+        }
+
+        const std::size_t offset = result.plan.rs_positions.size();
+        result.plan.rs_positions.insert(result.plan.rs_positions.end(),
+                                        slide.points.begin(), slide.points.end());
+        for (std::size_t k = 0; k < zone.size(); ++k) {
+            result.plan.assignment[zone[k]] = offset + slide.serving[k];
+        }
+    }
+    return result;
+}
+
+}  // namespace sag::core

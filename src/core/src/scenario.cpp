@@ -1,0 +1,59 @@
+#include "sag/core/scenario.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "sag/wireless/two_ray.h"
+#include "sag/wireless/units.h"
+
+namespace sag::core {
+
+double Scenario::snr_threshold_linear() const {
+    return wireless::db_to_linear(snr_threshold_db);
+}
+
+geom::Circle Scenario::feasible_circle(std::size_t j) const {
+    const Subscriber& s = subscribers.at(j);
+    return {s.pos, s.distance_request};
+}
+
+std::vector<geom::Circle> Scenario::feasible_circles() const {
+    std::vector<geom::Circle> circles;
+    circles.reserve(subscribers.size());
+    for (std::size_t j = 0; j < subscribers.size(); ++j) {
+        circles.push_back(feasible_circle(j));
+    }
+    return circles;
+}
+
+double Scenario::min_rx_power(std::size_t j) const {
+    return wireless::received_power(radio, radio.max_power,
+                                    subscribers.at(j).distance_request);
+}
+
+double Scenario::min_distance_request() const {
+    double d = std::numeric_limits<double>::infinity();
+    for (const Subscriber& s : subscribers) d = std::min(d, s.distance_request);
+    return d;
+}
+
+void Scenario::validate() const {
+    radio.validate();
+    if (base_stations.empty())
+        throw std::invalid_argument("scenario needs at least one base station");
+    if (field.width() <= 0.0 || field.height() <= 0.0)
+        throw std::invalid_argument("field must have positive area");
+    for (const Subscriber& s : subscribers) {
+        if (s.distance_request <= 0.0)
+            throw std::invalid_argument("distance request must be positive");
+        if (!field.contains(s.pos, 1e-6))
+            throw std::invalid_argument("subscriber outside the field");
+    }
+    for (const BaseStation& b : base_stations) {
+        if (!field.contains(b.pos, 1e-6))
+            throw std::invalid_argument("base station outside the field");
+    }
+}
+
+}  // namespace sag::core

@@ -1,0 +1,95 @@
+#include "sag/core/snr.h"
+
+#include <limits>
+#include <numeric>
+
+#include "sag/wireless/link.h"
+#include "sag/wireless/two_ray.h"
+
+namespace sag::core {
+
+namespace {
+
+std::vector<std::size_t> all_indices(std::size_t n) {
+    std::vector<std::size_t> idx(n);
+    std::iota(idx.begin(), idx.end(), std::size_t{0});
+    return idx;
+}
+
+}  // namespace
+
+std::vector<double> coverage_snrs(const Scenario& scenario,
+                                  std::span<const geom::Vec2> rs_positions,
+                                  std::span<const double> powers,
+                                  std::span<const std::size_t> subs,
+                                  std::span<const std::size_t> assignment) {
+    std::vector<double> snrs(subs.size(), 0.0);
+    for (std::size_t k = 0; k < subs.size(); ++k) {
+        const geom::Vec2& rx = scenario.subscribers[subs[k]].pos;
+        double total = 0.0;
+        for (std::size_t i = 0; i < rs_positions.size(); ++i) {
+            total += wireless::received_power(scenario.radio, powers[i],
+                                              geom::distance(rs_positions[i], rx));
+        }
+        const std::size_t serving = assignment[k];
+        const double signal =
+            wireless::received_power(scenario.radio, powers[serving],
+                                     geom::distance(rs_positions[serving], rx));
+        const double interference =
+            total - signal + scenario.radio.snr_ambient_noise;
+        snrs[k] = interference > 0.0 ? signal / interference
+                                     : std::numeric_limits<double>::infinity();
+    }
+    return snrs;
+}
+
+std::optional<std::vector<std::size_t>> nearest_assignment(
+    const Scenario& scenario, std::span<const geom::Vec2> rs_positions,
+    std::span<const std::size_t> subs) {
+    std::vector<std::size_t> assignment(subs.size());
+    for (std::size_t k = 0; k < subs.size(); ++k) {
+        const Subscriber& s = scenario.subscribers[subs[k]];
+        std::size_t best = rs_positions.size();
+        double best_dist = std::numeric_limits<double>::infinity();
+        for (std::size_t i = 0; i < rs_positions.size(); ++i) {
+            const double d = geom::distance(rs_positions[i], s.pos);
+            if (d <= s.distance_request + geom::kEps && d < best_dist) {
+                best = i;
+                best_dist = d;
+            }
+        }
+        if (best == rs_positions.size()) return std::nullopt;
+        assignment[k] = best;
+    }
+    return assignment;
+}
+
+std::vector<double> coverage_snrs(const Scenario& scenario,
+                                  std::span<const geom::Vec2> rs_positions,
+                                  std::span<const double> powers,
+                                  std::span<const std::size_t> assignment) {
+    const auto subs = all_indices(scenario.subscriber_count());
+    return coverage_snrs(scenario, rs_positions, powers, subs, assignment);
+}
+
+std::optional<std::vector<std::size_t>> nearest_assignment(
+    const Scenario& scenario, std::span<const geom::Vec2> rs_positions) {
+    const auto subs = all_indices(scenario.subscriber_count());
+    return nearest_assignment(scenario, rs_positions, subs);
+}
+
+bool snr_feasible_at_max_power(const Scenario& scenario,
+                               std::span<const geom::Vec2> rs_positions,
+                               std::span<const std::size_t> subs) {
+    const auto assignment = nearest_assignment(scenario, rs_positions, subs);
+    if (!assignment) return false;
+    const std::vector<double> powers(rs_positions.size(), scenario.radio.max_power);
+    const auto snrs = coverage_snrs(scenario, rs_positions, powers, subs, *assignment);
+    const double beta = scenario.snr_threshold_linear();
+    for (const double snr : snrs) {
+        if (snr < beta) return false;
+    }
+    return true;
+}
+
+}  // namespace sag::core

@@ -1,0 +1,90 @@
+#include "sag/core/throughput.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "sag/wireless/link.h"
+#include "sag/wireless/two_ray.h"
+
+namespace sag::core {
+
+double ThroughputReport::rate_headroom() const {
+    if (max_utilization <= 0.0) return std::numeric_limits<double>::infinity();
+    return 1.0 / max_utilization;
+}
+
+ThroughputReport analyze_throughput(const Scenario& scenario,
+                                    const CoveragePlan& coverage,
+                                    const ConnectivityPlan& plan,
+                                    std::span<const double> coverage_powers) {
+    ThroughputReport report;
+    const std::size_t n = plan.node_count();
+    const std::size_t bs_count = scenario.base_stations.size();
+
+    // Own offered rate per node: coverage RSs source their subscribers'
+    // Shannon-equivalent rates; everything else only forwards.
+    std::vector<double> load(n, 0.0);
+    for (std::size_t j = 0; j < scenario.subscriber_count(); ++j) {
+        const double rate =
+            wireless::shannon_capacity(scenario.radio, scenario.min_rx_power(j));
+        load[bs_count + coverage.assignment[j]] += rate;
+        report.total_offered_bps += rate;
+    }
+
+    // Accumulate subtree loads bottom-up: order nodes by depth descending.
+    std::vector<std::size_t> depth(n, 0);
+    for (std::size_t v = 0; v < n; ++v) {
+        std::size_t cur = v, d = 0;
+        while (plan.parent[cur] != cur && d <= n) {
+            cur = plan.parent[cur];
+            ++d;
+        }
+        depth[v] = d;
+    }
+    std::vector<std::size_t> order(n);
+    for (std::size_t v = 0; v < n; ++v) order[v] = v;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return depth[a] > depth[b]; });
+    for (const std::size_t v : order) {
+        if (plan.parent[v] != v) load[plan.parent[v]] += load[v];
+    }
+
+    // One link per non-root node.
+    for (std::size_t v = 0; v < n; ++v) {
+        if (plan.parent[v] == v) continue;
+        LinkLoad link;
+        link.child = v;
+        link.parent = plan.parent[v];
+        link.length = geom::distance(plan.positions[v], plan.positions[link.parent]);
+        link.offered_bps = load[v];
+
+        double tx_power = plan.powers[v];
+        if (plan.kinds[v] == NodeKind::CoverageRs) {
+            const std::size_t cov_index = v - bs_count;
+            tx_power = cov_index < coverage_powers.size()
+                           ? coverage_powers[cov_index]
+                           : scenario.radio.max_power;
+        }
+        link.capacity_bps = wireless::shannon_capacity(
+            scenario.radio,
+            wireless::received_power(scenario.radio, tx_power, link.length));
+        link.utilization = link.capacity_bps > 0.0
+                               ? link.offered_bps / link.capacity_bps
+                               : (link.offered_bps > 0.0
+                                      ? std::numeric_limits<double>::infinity()
+                                      : 0.0);
+        report.links.push_back(link);
+    }
+
+    for (std::size_t i = 0; i < report.links.size(); ++i) {
+        if (report.links[i].utilization > report.max_utilization) {
+            report.max_utilization = report.links[i].utilization;
+            report.bottleneck_link = i;
+        }
+        if (report.links[i].utilization > 1.0 + 1e-9) ++report.overloaded_links;
+    }
+    report.sustainable = report.overloaded_links == 0;
+    return report;
+}
+
+}  // namespace sag::core

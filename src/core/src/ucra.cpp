@@ -1,0 +1,280 @@
+#include "sag/core/ucra.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "sag/graph/mst.h"
+#include "sag/graph/steiner.h"
+#include "sag/graph/tree.h"
+#include "sag/wireless/link.h"
+#include "sag/wireless/two_ray.h"
+
+namespace sag::core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Shared MBMC/MUST construction over a restricted set of usable BSs.
+ConnectivityPlan build_connectivity(const Scenario& scenario,
+                                    const CoveragePlan& coverage,
+                                    std::span<const std::size_t> usable_bs) {
+    const std::size_t bs_count = scenario.base_stations.size();
+    const std::size_t cov_count = coverage.rs_count();
+    const double dmin = coverage.rs_count() > 0 && !scenario.subscribers.empty()
+                            ? scenario.min_distance_request()
+                            : 1.0;
+
+    ConnectivityPlan plan;
+    // Node layout: base stations, then coverage RSs, then connectivity RSs.
+    for (const BaseStation& b : scenario.base_stations) {
+        plan.positions.push_back(b.pos);
+        plan.kinds.push_back(NodeKind::BaseStation);
+    }
+    for (const geom::Vec2& p : coverage.rs_positions) {
+        plan.positions.push_back(p);
+        plan.kinds.push_back(NodeKind::CoverageRs);
+    }
+    plan.parent.resize(bs_count + cov_count);
+    for (std::size_t b = 0; b < bs_count; ++b) plan.parent[b] = b;
+    plan.powers.assign(bs_count + cov_count, 0.0);
+    if (cov_count == 0) {
+        plan.feasible = true;
+        return plan;
+    }
+
+    // MST vertices: 0 = virtual super-root, 1..B' = usable BSs, then the
+    // coverage RSs. The super-root ties the BS roots together with
+    // zero-weight edges so one Prim run yields the multi-rooted forest.
+    const std::size_t nb = usable_bs.size();
+    const std::size_t nv = 1 + nb + cov_count;
+    std::vector<std::vector<double>> w(nv, std::vector<double>(nv, kInf));
+    const auto hop_weight = [&](double dist) {
+        // Paper weight w1 = ceil(len/dmin) - 1 (relays needed on the edge);
+        // the epsilon*dist term only breaks ties toward shorter edges.
+        return std::ceil(dist / dmin - 1e-9) - 1.0 + 1e-6 * dist / dmin;
+    };
+    for (std::size_t b = 0; b < nb; ++b) w[0][1 + b] = w[1 + b][0] = 0.0;
+    for (std::size_t i = 0; i < cov_count; ++i) {
+        const geom::Vec2& pi = coverage.rs_positions[i];
+        // Complete graph among coverage RSs.
+        for (std::size_t j = i + 1; j < cov_count; ++j) {
+            const double d = geom::distance(pi, coverage.rs_positions[j]);
+            w[1 + nb + i][1 + nb + j] = w[1 + nb + j][1 + nb + i] = hop_weight(d);
+        }
+        // Algorithm 7 Step 3: each RS links only to its *nearest* usable BS.
+        std::size_t best_b = 0;
+        double best_d = kInf;
+        for (std::size_t b = 0; b < nb; ++b) {
+            const double d =
+                geom::distance(pi, scenario.base_stations[usable_bs[b]].pos);
+            if (d < best_d) {
+                best_d = d;
+                best_b = b;
+            }
+        }
+        w[1 + nb + i][1 + best_b] = w[1 + best_b][1 + nb + i] = hop_weight(best_d);
+    }
+
+    const auto mst_parent = graph::prim_mst_dense(w, 0);
+    // Translate MST vertices to plan node indices.
+    const auto to_plan = [&](std::size_t v) -> std::size_t {
+        if (v == 0) throw std::logic_error("super-root has no plan node");
+        if (v <= nb) return usable_bs[v - 1];
+        return bs_count + (v - 1 - nb);
+    };
+    std::vector<std::size_t> cov_tree_parent(cov_count);  // plan node index
+    for (std::size_t i = 0; i < cov_count; ++i) {
+        const std::size_t v = 1 + nb + i;
+        if (mst_parent[v] == v || mst_parent[v] == 0) {
+            // Unreachable should not happen: every RS has a BS edge.
+            throw std::logic_error("coverage RS not connected to any base station");
+        }
+        cov_tree_parent[i] = to_plan(mst_parent[v]);
+    }
+
+    // Feasible distance of each coverage RS: min distance request over the
+    // subscribers it serves; then the subtree minimum governs each edge
+    // (a connectivity RS's feasible distance is the minimum over its
+    // children, applied transitively).
+    std::vector<double> own_req(cov_count, kInf);
+    for (std::size_t j = 0; j < scenario.subscriber_count(); ++j) {
+        const std::size_t i = coverage.assignment[j];
+        own_req[i] = std::min(own_req[i], scenario.subscribers[j].distance_request);
+    }
+    for (double& r : own_req) {
+        if (!std::isfinite(r)) r = dmin;  // RS serving nobody: be conservative
+    }
+    // Subtree mins via the coverage-RS tree (parents may be BSs = roots).
+    std::vector<std::size_t> tree_parent_local(cov_count);
+    for (std::size_t i = 0; i < cov_count; ++i) {
+        const std::size_t p = cov_tree_parent[i];
+        tree_parent_local[i] = p >= bs_count ? p - bs_count : i;  // root if BS parent
+    }
+    graph::RootedTree cov_tree(tree_parent_local);
+    std::vector<double> subtree_req = own_req;
+    const auto& topo = cov_tree.topological_order();
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+        const std::size_t v = *it;
+        if (!cov_tree.is_root(v)) {
+            subtree_req[cov_tree.parent(v)] =
+                std::min(subtree_req[cov_tree.parent(v)], subtree_req[v]);
+        }
+    }
+
+    // Steinerize every edge: chain of connectivity RSs from the coverage
+    // RS up toward its tree parent.
+    for (std::size_t i = 0; i < cov_count; ++i) {
+        const std::size_t child_node = bs_count + i;
+        const std::size_t parent_node = cov_tree_parent[i];
+        const auto chain =
+            graph::steinerize_segment(plan.positions[child_node],
+                                      plan.positions[parent_node], subtree_req[i]);
+        std::size_t prev = parent_node;  // build from the parent end down
+        for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+            plan.positions.push_back(*it);
+            plan.kinds.push_back(NodeKind::ConnectivityRs);
+            plan.powers.push_back(0.0);
+            plan.parent.push_back(prev);
+            prev = plan.positions.size() - 1;
+        }
+        plan.parent[child_node] = prev;
+    }
+
+    plan.feasible = true;
+    allocate_power_max(scenario, plan);  // placement-phase assumption
+    return plan;
+}
+
+}  // namespace
+
+ConnectivityPlan solve_mbmc(const Scenario& scenario, const CoveragePlan& coverage) {
+    std::vector<std::size_t> all_bs(scenario.base_stations.size());
+    for (std::size_t b = 0; b < all_bs.size(); ++b) all_bs[b] = b;
+    return build_connectivity(scenario, coverage, all_bs);
+}
+
+ConnectivityPlan solve_must(const Scenario& scenario, const CoveragePlan& coverage,
+                            std::size_t bs_index) {
+    if (bs_index >= scenario.base_stations.size())
+        throw std::out_of_range("bs_index out of range");
+    const std::size_t one[] = {bs_index};
+    return build_connectivity(scenario, coverage, one);
+}
+
+void allocate_power_ucpo(const Scenario& scenario, const CoveragePlan& coverage,
+                         ConnectivityPlan& plan) {
+    const std::size_t bs_count = scenario.base_stations.size();
+    const std::size_t cov_count = coverage.rs_count();
+    for (std::size_t v = 0; v < plan.node_count(); ++v) {
+        if (plan.kinds[v] == NodeKind::ConnectivityRs) plan.powers[v] = 0.0;
+    }
+
+    for (std::size_t i = 0; i < cov_count; ++i) {
+        // P^i_rs: strictest received-power requirement among i's subscribers.
+        double p_rs = 0.0;
+        for (std::size_t j = 0; j < scenario.subscriber_count(); ++j) {
+            if (coverage.assignment[j] == i) {
+                p_rs = std::max(p_rs, scenario.min_rx_power(j));
+            }
+        }
+        // Walk the steinerized chain above coverage RS i up to its tree
+        // parent (first non-connectivity node).
+        std::vector<std::size_t> chain;
+        std::size_t cur = plan.parent[bs_count + i];
+        while (plan.kinds[cur] == NodeKind::ConnectivityRs) {
+            chain.push_back(cur);
+            cur = plan.parent[cur];
+        }
+        if (chain.empty()) continue;  // single-hop edge: no connectivity RS
+        const double edge_len =
+            geom::distance(plan.positions[bs_count + i], plan.positions[cur]);
+        const std::size_t sections = chain.size() + 1;  // N_i segments
+        const double seg = edge_len / static_cast<double>(sections);
+        const double p = std::min(
+            wireless::tx_power_for(scenario.radio, p_rs, seg), scenario.radio.max_power);
+        for (const std::size_t v : chain) plan.powers[v] = p;
+    }
+}
+
+void allocate_power_ucpo_aggregated(const Scenario& scenario,
+                                    const CoveragePlan& coverage,
+                                    ConnectivityPlan& plan) {
+    const std::size_t bs_count = scenario.base_stations.size();
+    const std::size_t cov_count = coverage.rs_count();
+    for (std::size_t v = 0; v < plan.node_count(); ++v) {
+        if (plan.kinds[v] == NodeKind::ConnectivityRs) plan.powers[v] = 0.0;
+    }
+
+    // Each coverage RS's own aggregate data rate: the sum of the Shannon
+    // rates its subscribers' required received powers correspond to.
+    std::vector<double> own_rate(cov_count, 0.0);
+    for (std::size_t j = 0; j < scenario.subscriber_count(); ++j) {
+        own_rate[coverage.assignment[j]] +=
+            wireless::shannon_capacity(scenario.radio, scenario.min_rx_power(j));
+    }
+
+    // Recover the coverage-RS tree from the plan: the parent of coverage
+    // RS i is the first non-connectivity ancestor above its chain.
+    std::vector<std::size_t> cov_parent(cov_count, cov_count);  // local index
+    for (std::size_t i = 0; i < cov_count; ++i) {
+        std::size_t cur = plan.parent[bs_count + i];
+        while (cur < plan.node_count() && plan.kinds[cur] == NodeKind::ConnectivityRs) {
+            cur = plan.parent[cur];
+        }
+        if (cur >= bs_count && cur < bs_count + cov_count) {
+            cov_parent[i] = cur - bs_count;
+        }
+    }
+    // Subtree rates, accumulated leaf-to-root. Iterate until stable (the
+    // tree depth bounds the passes; cov_count passes is a safe cap).
+    std::vector<double> subtree_rate = own_rate;
+    std::vector<std::size_t> order(cov_count);
+    for (std::size_t i = 0; i < cov_count; ++i) order[i] = i;
+    // Depth-sort so children accumulate before parents.
+    const auto depth_of = [&](std::size_t i) {
+        std::size_t d = 0, cur = i;
+        while (cov_parent[cur] != cov_count && d <= cov_count) {
+            cur = cov_parent[cur];
+            ++d;
+        }
+        return d;
+    };
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return depth_of(a) > depth_of(b); });
+    for (const std::size_t i : order) {
+        if (cov_parent[i] != cov_count) subtree_rate[cov_parent[i]] += subtree_rate[i];
+    }
+
+    for (std::size_t i = 0; i < cov_count; ++i) {
+        std::vector<std::size_t> chain;
+        std::size_t cur = plan.parent[bs_count + i];
+        while (plan.kinds[cur] == NodeKind::ConnectivityRs) {
+            chain.push_back(cur);
+            cur = plan.parent[cur];
+        }
+        if (chain.empty()) continue;
+        const double edge_len =
+            geom::distance(plan.positions[bs_count + i], plan.positions[cur]);
+        const double seg = edge_len / static_cast<double>(chain.size() + 1);
+        const double p_req =
+            wireless::min_rx_power_for_rate(scenario.radio, subtree_rate[i]);
+        const double p = std::min(wireless::tx_power_for(scenario.radio, p_req, seg),
+                                  scenario.radio.max_power);
+        for (const std::size_t v : chain) plan.powers[v] = p;
+    }
+}
+
+void allocate_power_max(const Scenario& scenario, ConnectivityPlan& plan) {
+    for (std::size_t v = 0; v < plan.node_count(); ++v) {
+        if (plan.kinds[v] == NodeKind::ConnectivityRs) {
+            plan.powers[v] = scenario.radio.max_power;
+        }
+    }
+}
+
+}  // namespace sag::core

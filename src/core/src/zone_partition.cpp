@@ -1,0 +1,46 @@
+#include "sag/core/zone_partition.h"
+
+#include <algorithm>
+
+#include "sag/geometry/spatial_grid.h"
+#include "sag/graph/graph.h"
+#include "sag/wireless/two_ray.h"
+
+namespace sag::core {
+
+double zone_partition_dmax(const Scenario& scenario) {
+    return wireless::ignorable_noise_distance(scenario.radio);
+}
+
+std::vector<std::vector<std::size_t>> zone_partition(const Scenario& scenario) {
+    const double dmax = zone_partition_dmax(scenario);
+    const std::size_t n = scenario.subscriber_count();
+
+    // Candidate pairs via the spatial index: d_eff <= dmax implies
+    // dist(s_i, s_j) <= dmax + max(d_i, d_j) <= dmax + d_top, so a single
+    // radius query over-approximates and the exact check filters.
+    double d_top = 0.0;
+    std::vector<geom::Vec2> positions;
+    positions.reserve(n);
+    for (const Subscriber& s : scenario.subscribers) {
+        d_top = std::max(d_top, s.distance_request);
+        positions.push_back(s.pos);
+    }
+    const double pair_radius = dmax + d_top;
+    const geom::SpatialGrid index(std::move(positions), std::max(pair_radius, 1.0));
+
+    graph::Graph g(n);
+    for (const auto& [i, j] : index.all_pairs_within(pair_radius)) {
+        const Subscriber& si = scenario.subscribers[i];
+        const Subscriber& sj = scenario.subscribers[j];
+        const double dist = geom::distance(si.pos, sj.pos);
+        // d_eff: worst-case gap between a station serving one SS and the
+        // other SS (an RS may stand d_i inside s_i's circle).
+        const double d_eff =
+            std::min(dist - si.distance_request, dist - sj.distance_request);
+        if (d_eff <= dmax) g.add_edge(i, j);
+    }
+    return g.connected_components();
+}
+
+}  // namespace sag::core

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "sag/geometry/circle.h"
+
+namespace sag::geom {
+
+/// Result of a disk-intersection query: a witness point and the worst
+/// (largest) signed violation max_i (|p - c_i| - r_i) at that point.
+/// violation <= 0 means `point` lies in every closed disk.
+struct DiskIntersectionWitness {
+    Vec2 point;
+    double violation = 0.0;
+};
+
+/// Finds a point in the common intersection of the closed disks, if any.
+///
+/// This implements the "all the circles in W have common area" test of the
+/// paper's Algorithm 5 (Update RS Topology). Strategy:
+///  1. exact candidate enumeration — disk centers and all pairwise boundary
+///     intersection points; if the intersection region is non-empty its
+///     closure contains one of these candidates (or a single disk's center
+///     when n == 1, or any point of a lens when n == 2);
+///  2. a convex-minimization fallback: f(p) = max_i(|p - c_i| - r_i) is
+///     convex, so subgradient descent locates the Chebyshev-deepest point.
+///     This rescues near-tangent configurations that candidate enumeration
+///     misses through floating-point cancellation.
+///
+/// Returns std::nullopt when the disks provably have no common point.
+std::optional<Vec2> common_point_of_disks(std::span<const Circle> disks,
+                                          double eps = 1e-7);
+
+/// The Chebyshev-deepest point of the disk family: argmin of the convex
+/// function f(p) = max_i (|p - c_i| - r_i), found by subgradient descent.
+/// Useful both as the fallback for common_point_of_disks and to pick a
+/// numerically robust relocation target well inside the common region.
+DiskIntersectionWitness deepest_point_of_disks(std::span<const Circle> disks,
+                                               int iterations = 400);
+
+}  // namespace sag::geom

@@ -1,0 +1,95 @@
+#include "sag/geometry/region.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace sag::geom {
+
+namespace {
+
+/// max_i (|p - c_i| - r_i): negative inside the common region.
+double worst_violation(std::span<const Circle> disks, const Vec2& p) {
+    double worst = -std::numeric_limits<double>::infinity();
+    for (const Circle& c : disks) {
+        worst = std::max(worst, distance(c.center, p) - c.radius);
+    }
+    return worst;
+}
+
+}  // namespace
+
+DiskIntersectionWitness deepest_point_of_disks(std::span<const Circle> disks,
+                                               int iterations) {
+    if (disks.empty()) return {{0.0, 0.0}, 0.0};
+
+    // Start from the centroid of the centers.
+    Vec2 p{};
+    for (const Circle& c : disks) p += c.center;
+    p = p / static_cast<double>(disks.size());
+
+    double max_radius = 0.0;
+    for (const Circle& c : disks) max_radius = std::max(max_radius, c.radius);
+
+    Vec2 best = p;
+    double best_v = worst_violation(disks, p);
+
+    // Subgradient descent on the convex f(p) = max_i(|p-c_i| - r_i); the
+    // subgradient at p is the unit vector away from the center of the
+    // currently-worst disk. Diminishing step sizes give convergence.
+    double step = std::max(max_radius, 1.0);
+    for (int it = 1; it <= iterations; ++it) {
+        // Find the worst disk at p.
+        double worst = -std::numeric_limits<double>::infinity();
+        const Circle* arg = &disks[0];
+        for (const Circle& c : disks) {
+            const double v = distance(c.center, p) - c.radius;
+            if (v > worst) {
+                worst = v;
+                arg = &c;
+            }
+        }
+        if (worst < best_v) {
+            best_v = worst;
+            best = p;
+        }
+        const Vec2 g = (p - arg->center).normalized();
+        p -= g * (step / static_cast<double>(it));
+    }
+    return {best, best_v};
+}
+
+std::optional<Vec2> common_point_of_disks(std::span<const Circle> disks,
+                                          double eps) {
+    if (disks.empty()) return Vec2{0.0, 0.0};
+
+    const auto in_all = [&](const Vec2& p) {
+        return worst_violation(disks, p) <= eps;
+    };
+
+    // Fast exact path: centers and pairwise boundary intersections.
+    for (const Circle& c : disks) {
+        if (in_all(c.center)) return c.center;
+    }
+    for (std::size_t i = 0; i < disks.size(); ++i) {
+        for (std::size_t j = i + 1; j < disks.size(); ++j) {
+            for (const Vec2& p : circle_intersections(disks[i], disks[j])) {
+                if (in_all(p)) return p;
+            }
+            // A lens of two disks whose deepest point is not a center:
+            // the chord midpoint between the two intersection points.
+            const auto pts = circle_intersections(disks[i], disks[j]);
+            if (pts.size() == 2) {
+                const Vec2 mid = lerp(pts[0], pts[1], 0.5);
+                if (in_all(mid)) return mid;
+            }
+        }
+    }
+
+    // Robust fallback for near-tangent configurations.
+    const DiskIntersectionWitness w = deepest_point_of_disks(disks);
+    if (w.violation <= eps) return w.point;
+    return std::nullopt;
+}
+
+}  // namespace sag::geom

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <vector>
+
+#include "sag/graph/graph.h"
+
+namespace sag::graph {
+
+/// Kruskal's algorithm. Returns the selected edges; when the graph is
+/// disconnected the result is a minimum spanning forest.
+std::vector<Edge> kruskal_mst(const Graph& g);
+
+/// Prim's algorithm over a dense graph given as a full weight matrix
+/// (weights[i][j], symmetric; use +infinity for "no edge"). O(n^2), which
+/// beats Kruskal on the complete geometric graphs MBMC builds.
+/// Returns the parent index of each vertex in the tree rooted at `root`
+/// (parent[root] == root). Unreachable vertices keep parent == themselves.
+std::vector<std::size_t> prim_mst_dense(const std::vector<std::vector<double>>& weights,
+                                        std::size_t root);
+
+/// Total weight of an edge set.
+double total_weight(const std::vector<Edge>& edges);
+
+}  // namespace sag::graph

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <vector>
+
+#include "sag/geometry/vec2.h"
+
+namespace sag::graph {
+
+/// Steinerization (Lin & Xue '99, used by MBMC Step 7): subdivide segment
+/// a->b into ceil(|ab| / max_hop) equal sections, returning the
+/// ceil(|ab|/max_hop) - 1 interior points where relay stations are placed.
+/// Returns an empty vector when the segment is already one feasible hop.
+std::vector<geom::Vec2> steinerize_segment(const geom::Vec2& a, const geom::Vec2& b,
+                                           double max_hop);
+
+/// Number of sections ceil(|ab| / max_hop) the segment splits into
+/// (minimum 1); the paper's weight w2 + 1.
+std::size_t steiner_section_count(const geom::Vec2& a, const geom::Vec2& b,
+                                  double max_hop);
+
+}  // namespace sag::graph

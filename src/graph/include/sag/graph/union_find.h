@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sag::graph {
+
+/// Disjoint-set forest with union by rank and path compression.
+/// Used by Kruskal's MST and by Zone Partition's connected components.
+class UnionFind {
+public:
+    explicit UnionFind(std::size_t n);
+
+    /// Representative of the set containing `x` (with path compression).
+    std::size_t find(std::size_t x);
+    /// Merges the sets of `a` and `b`; returns false when already joined.
+    bool unite(std::size_t a, std::size_t b);
+    bool connected(std::size_t a, std::size_t b) { return find(a) == find(b); }
+    /// Number of disjoint sets remaining.
+    std::size_t set_count() const { return sets_; }
+    /// Size of the set containing `x`.
+    std::size_t set_size(std::size_t x);
+    std::size_t size() const { return parent_.size(); }
+
+private:
+    std::vector<std::size_t> parent_;
+    std::vector<std::size_t> rank_;
+    std::vector<std::size_t> size_;
+    std::size_t sets_;
+};
+
+}  // namespace sag::graph

@@ -1,0 +1,51 @@
+#include "sag/graph/graph.h"
+
+#include <queue>
+#include <stdexcept>
+
+namespace sag::graph {
+
+Graph::Graph(std::size_t vertex_count) : adj_(vertex_count) {}
+
+void Graph::add_edge(std::size_t u, std::size_t v, double weight) {
+    if (u == v) throw std::invalid_argument("self-loops are not supported");
+    if (u >= adj_.size() || v >= adj_.size())
+        throw std::out_of_range("edge endpoint out of range");
+    const std::size_t idx = edges_.size();
+    edges_.push_back({u, v, weight});
+    adj_[u].push_back(idx);
+    adj_[v].push_back(idx);
+}
+
+std::size_t Graph::other_end(std::size_t e, std::size_t v) const {
+    const Edge& edge = edges_[e];
+    return edge.u == v ? edge.v : edge.u;
+}
+
+std::vector<std::vector<std::size_t>> Graph::connected_components() const {
+    std::vector<std::vector<std::size_t>> components;
+    std::vector<bool> seen(adj_.size(), false);
+    for (std::size_t start = 0; start < adj_.size(); ++start) {
+        if (seen[start]) continue;
+        std::vector<std::size_t> comp;
+        std::queue<std::size_t> q;
+        q.push(start);
+        seen[start] = true;
+        while (!q.empty()) {
+            const std::size_t v = q.front();
+            q.pop();
+            comp.push_back(v);
+            for (const std::size_t e : adj_[v]) {
+                const std::size_t w = other_end(e, v);
+                if (!seen[w]) {
+                    seen[w] = true;
+                    q.push(w);
+                }
+            }
+        }
+        components.push_back(std::move(comp));
+    }
+    return components;
+}
+
+}  // namespace sag::graph

@@ -1,0 +1,71 @@
+#include "sag/graph/mst.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "sag/graph/union_find.h"
+
+namespace sag::graph {
+
+std::vector<Edge> kruskal_mst(const Graph& g) {
+    std::vector<std::size_t> order(g.edge_count());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    const auto edges = g.edges();
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return edges[a].weight < edges[b].weight;
+    });
+
+    UnionFind uf(g.vertex_count());
+    std::vector<Edge> tree;
+    tree.reserve(g.vertex_count() > 0 ? g.vertex_count() - 1 : 0);
+    for (const std::size_t e : order) {
+        if (uf.unite(edges[e].u, edges[e].v)) tree.push_back(edges[e]);
+    }
+    return tree;
+}
+
+std::vector<std::size_t> prim_mst_dense(const std::vector<std::vector<double>>& weights,
+                                        std::size_t root) {
+    const std::size_t n = weights.size();
+    if (root >= n) throw std::out_of_range("prim root out of range");
+    for (const auto& row : weights) {
+        if (row.size() != n) throw std::invalid_argument("weight matrix must be square");
+    }
+
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    std::vector<std::size_t> parent(n);
+    std::iota(parent.begin(), parent.end(), std::size_t{0});
+    std::vector<double> best(n, kInf);
+    std::vector<bool> in_tree(n, false);
+    best[root] = 0.0;
+
+    for (std::size_t it = 0; it < n; ++it) {
+        std::size_t u = n;
+        double u_cost = kInf;
+        for (std::size_t v = 0; v < n; ++v) {
+            if (!in_tree[v] && best[v] < u_cost) {
+                u = v;
+                u_cost = best[v];
+            }
+        }
+        if (u == n) break;  // remaining vertices unreachable
+        in_tree[u] = true;
+        for (std::size_t v = 0; v < n; ++v) {
+            if (!in_tree[v] && weights[u][v] < best[v]) {
+                best[v] = weights[u][v];
+                parent[v] = u;
+            }
+        }
+    }
+    return parent;
+}
+
+double total_weight(const std::vector<Edge>& edges) {
+    double sum = 0.0;
+    for (const Edge& e : edges) sum += e.weight;
+    return sum;
+}
+
+}  // namespace sag::graph

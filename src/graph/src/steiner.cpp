@@ -1,0 +1,29 @@
+#include "sag/graph/steiner.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sag::graph {
+
+std::size_t steiner_section_count(const geom::Vec2& a, const geom::Vec2& b,
+                                  double max_hop) {
+    if (max_hop <= 0.0) throw std::invalid_argument("max_hop must be positive");
+    const double len = geom::distance(a, b);
+    // ceil with tolerance so a segment of exactly k hops is not split k+1 ways.
+    const double sections = std::ceil(len / max_hop - 1e-9);
+    return static_cast<std::size_t>(std::max(sections, 1.0));
+}
+
+std::vector<geom::Vec2> steinerize_segment(const geom::Vec2& a, const geom::Vec2& b,
+                                           double max_hop) {
+    const std::size_t sections = steiner_section_count(a, b, max_hop);
+    std::vector<geom::Vec2> points;
+    points.reserve(sections - 1);
+    for (std::size_t k = 1; k < sections; ++k) {
+        points.push_back(geom::lerp(a, b, static_cast<double>(k) /
+                                              static_cast<double>(sections)));
+    }
+    return points;
+}
+
+}  // namespace sag::graph

@@ -1,0 +1,33 @@
+#include "sag/graph/union_find.h"
+
+#include <numeric>
+
+namespace sag::graph {
+
+UnionFind::UnionFind(std::size_t n)
+    : parent_(n), rank_(n, 0), size_(n, 1), sets_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+}
+
+std::size_t UnionFind::find(std::size_t x) {
+    while (parent_[x] != x) {
+        parent_[x] = parent_[parent_[x]];  // path halving
+        x = parent_[x];
+    }
+    return x;
+}
+
+bool UnionFind::unite(std::size_t a, std::size_t b) {
+    std::size_t ra = find(a), rb = find(b);
+    if (ra == rb) return false;
+    if (rank_[ra] < rank_[rb]) std::swap(ra, rb);
+    parent_[rb] = ra;
+    size_[ra] += size_[rb];
+    if (rank_[ra] == rank_[rb]) ++rank_[ra];
+    --sets_;
+    return true;
+}
+
+std::size_t UnionFind::set_size(std::size_t x) { return size_[find(x)]; }
+
+}  // namespace sag::graph

@@ -1,0 +1,180 @@
+#include "sag/io/scenario_io.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace sag::io {
+
+namespace {
+
+Json vec2_to_json(const geom::Vec2& v) {
+    return Json(Json::Array{Json(v.x), Json(v.y)});
+}
+
+geom::Vec2 vec2_from_json(const Json& j) {
+    if (j.size() != 2) throw std::runtime_error("point must be [x, y]");
+    return {j.at(std::size_t{0}).as_number(), j.at(std::size_t{1}).as_number()};
+}
+
+const char* kind_name(core::NodeKind kind) {
+    switch (kind) {
+        case core::NodeKind::BaseStation: return "BS";
+        case core::NodeKind::CoverageRs: return "RS_cover";
+        case core::NodeKind::ConnectivityRs: return "RS_connect";
+    }
+    return "?";
+}
+
+}  // namespace
+
+Json scenario_to_json(const core::Scenario& s) {
+    Json j;
+    j["format"] = Json(1);
+    j["field"] = Json(Json::Object{{"min", vec2_to_json(s.field.min)},
+                                   {"max", vec2_to_json(s.field.max)}});
+    j["snr_threshold_db"] = Json(s.snr_threshold_db);
+
+    Json::Object radio;
+    radio["tx_gain"] = Json(s.radio.tx_gain);
+    radio["rx_gain"] = Json(s.radio.rx_gain);
+    radio["tx_height"] = Json(s.radio.tx_height);
+    radio["rx_height"] = Json(s.radio.rx_height);
+    radio["alpha"] = Json(s.radio.alpha);
+    radio["max_power"] = Json(s.radio.max_power);
+    radio["noise_floor"] = Json(s.radio.noise_floor);
+    radio["bandwidth_hz"] = Json(s.radio.bandwidth_hz);
+    radio["reference_distance"] = Json(s.radio.reference_distance);
+    radio["ignorable_noise"] = Json(s.radio.ignorable_noise);
+    radio["snr_ambient_noise"] = Json(s.radio.snr_ambient_noise);
+    j["radio"] = Json(std::move(radio));
+
+    Json::Array subs;
+    for (const auto& sub : s.subscribers) {
+        subs.push_back(Json(Json::Object{
+            {"pos", vec2_to_json(sub.pos)},
+            {"distance_request", Json(sub.distance_request)}}));
+    }
+    j["subscribers"] = Json(std::move(subs));
+
+    Json::Array bss;
+    for (const auto& bs : s.base_stations) bss.push_back(vec2_to_json(bs.pos));
+    j["base_stations"] = Json(std::move(bss));
+    return j;
+}
+
+core::Scenario scenario_from_json(const Json& j) {
+    if (static_cast<int>(j.get_number("format", 0)) != 1) {
+        throw std::runtime_error("unsupported scenario format version");
+    }
+    core::Scenario s;
+    const Json& field = j.at("field");
+    s.field = {vec2_from_json(field.at("min")), vec2_from_json(field.at("max"))};
+    s.snr_threshold_db = j.at("snr_threshold_db").as_number();
+
+    const Json& radio = j.at("radio");
+    s.radio.tx_gain = radio.get_number("tx_gain", s.radio.tx_gain);
+    s.radio.rx_gain = radio.get_number("rx_gain", s.radio.rx_gain);
+    s.radio.tx_height = radio.get_number("tx_height", s.radio.tx_height);
+    s.radio.rx_height = radio.get_number("rx_height", s.radio.rx_height);
+    s.radio.alpha = radio.get_number("alpha", s.radio.alpha);
+    s.radio.max_power = radio.get_number("max_power", s.radio.max_power);
+    s.radio.noise_floor = radio.get_number("noise_floor", s.radio.noise_floor);
+    s.radio.bandwidth_hz = radio.get_number("bandwidth_hz", s.radio.bandwidth_hz);
+    s.radio.reference_distance =
+        radio.get_number("reference_distance", s.radio.reference_distance);
+    s.radio.ignorable_noise =
+        radio.get_number("ignorable_noise", s.radio.ignorable_noise);
+    s.radio.snr_ambient_noise =
+        radio.get_number("snr_ambient_noise", s.radio.snr_ambient_noise);
+
+    for (const Json& sub : j.at("subscribers").as_array()) {
+        s.subscribers.push_back(
+            {vec2_from_json(sub.at("pos")), sub.at("distance_request").as_number()});
+    }
+    for (const Json& bs : j.at("base_stations").as_array()) {
+        s.base_stations.push_back({vec2_from_json(bs)});
+    }
+    s.validate();
+    return s;
+}
+
+Json sag_result_to_json(const core::SagResult& result) {
+    Json j;
+    j["feasible"] = Json(result.feasible);
+    j["coverage_rs_count"] = Json(result.coverage_rs_count());
+    j["connectivity_rs_count"] = Json(result.connectivity_rs_count());
+    j["lower_tier_power"] = Json(result.lower_tier_power());
+    j["upper_tier_power"] = Json(result.upper_tier_power());
+    j["total_power"] = Json(result.total_power());
+
+    Json::Array coverage;
+    for (std::size_t i = 0; i < result.coverage.rs_count(); ++i) {
+        coverage.push_back(Json(Json::Object{
+            {"pos", vec2_to_json(result.coverage.rs_positions[i])},
+            {"power", Json(i < result.lower_power.powers.size()
+                               ? result.lower_power.powers[i]
+                               : 0.0)}}));
+    }
+    j["coverage_rs"] = Json(std::move(coverage));
+
+    Json::Array assignment;
+    for (const std::size_t a : result.coverage.assignment) assignment.push_back(Json(a));
+    j["assignment"] = Json(std::move(assignment));
+
+    Json::Array nodes;
+    const auto& plan = result.connectivity;
+    for (std::size_t v = 0; v < plan.node_count(); ++v) {
+        nodes.push_back(Json(Json::Object{{"kind", Json(kind_name(plan.kinds[v]))},
+                                          {"pos", vec2_to_json(plan.positions[v])},
+                                          {"parent", Json(plan.parent[v])},
+                                          {"power", Json(plan.powers[v])}}));
+    }
+    j["relay_tree"] = Json(std::move(nodes));
+    return j;
+}
+
+void write_deployment_csv(std::ostream& os, const core::Scenario& scenario,
+                          const core::CoveragePlan& coverage,
+                          const core::ConnectivityPlan& connectivity) {
+    (void)coverage;
+    os << "kind,x,y,power,parent_x,parent_y\n";
+    for (const auto& sub : scenario.subscribers) {
+        os << "SS," << sub.pos.x << ',' << sub.pos.y << ",,,\n";
+    }
+    for (std::size_t v = 0; v < connectivity.node_count(); ++v) {
+        os << kind_name(connectivity.kinds[v]) << ',' << connectivity.positions[v].x
+           << ',' << connectivity.positions[v].y << ',' << connectivity.powers[v];
+        if (connectivity.parent[v] != v) {
+            const auto& p = connectivity.positions[connectivity.parent[v]];
+            os << ',' << p.x << ',' << p.y << '\n';
+        } else {
+            os << ",,\n";
+        }
+    }
+}
+
+std::string read_text_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("cannot open " + path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+void write_text_file(const std::string& path, const std::string& content) {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+    out << content;
+    if (!out) throw std::runtime_error("failed writing " + path);
+}
+
+void save_scenario(const std::string& path, const core::Scenario& scenario) {
+    write_text_file(path, scenario_to_json(scenario).dump(2) + "\n");
+}
+
+core::Scenario load_scenario(const std::string& path) {
+    return scenario_from_json(Json::parse(read_text_file(path)));
+}
+
+}  // namespace sag::io

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sag/geometry/circle.h"
+
+namespace sag::opt {
+
+/// Options for the geometric hitting-set solver.
+struct HittingSetOptions {
+    /// Largest local-search swap: replace `t` chosen points by `t-1`
+    /// candidates. Mustafa & Ray's PTAS [SCG'09] uses unbounded swaps;
+    /// swaps of size <= 3 already recover their quality at the paper's
+    /// instance sizes (see bench_ablation_hitting_set).
+    int max_swap = 2;
+    /// Upper bound on local-search improvement passes.
+    int max_passes = 64;
+    /// Skip 3->2 swaps when chosen-count * candidate-count exceeds this
+    /// (cost guard; the ablation bench sweeps it).
+    std::size_t swap3_cost_limit = 4'000'000;
+};
+
+/// Candidate hitting points for a disk family: every disk center plus all
+/// pairwise boundary intersection points (deduplicated). Any disk family
+/// with a non-empty hitting set admits one drawn from these candidates.
+std::vector<geom::Vec2> disk_hitting_candidates(std::span<const geom::Circle> disks);
+
+/// Minimum hitting set for closed disks (paper §III-A1 step "Minimum
+/// Hitting Set"): returns points such that every disk contains at least
+/// one. Greedy set cover over disk_hitting_candidates() followed by
+/// bounded local search. Empty input -> empty result; a disk family is
+/// always hittable (each disk contains its center).
+std::vector<geom::Vec2> geometric_hitting_set(std::span<const geom::Circle> disks,
+                                              const HittingSetOptions& options = {});
+
+}  // namespace sag::opt

@@ -1,0 +1,36 @@
+#pragma once
+
+#include "sag/sim/scenario_gen.h"
+
+namespace sag::sim {
+
+/// Canned generator configurations matching the paper's evaluation
+/// settings (§IV-A), so users and tests can name an experiment instead of
+/// re-typing its parameters. Field sides are 300/500/800, SNR −15 dB
+/// unless the figure says otherwise, distance requests U[30, 40], 4 BSs.
+namespace presets {
+
+/// Base settings shared by all §IV experiments.
+GeneratorConfig evaluation_base();
+
+/// Fig. 3(a) / Fig. 4: 500x500 at -15 dB with `users` subscribers.
+GeneratorConfig field500(std::size_t users);
+
+/// Fig. 3(b) / Fig. 5: 800x800 at -15 dB.
+GeneratorConfig field800(std::size_t users);
+
+/// Fig. 3(c): 800x800 at the relaxed -40 dB threshold.
+GeneratorConfig field800_relaxed(std::size_t users);
+
+/// Fig. 7(a): 300x300 at -15 dB.
+GeneratorConfig field300(std::size_t users);
+
+/// Fig. 3(d)/(e): 500x500, 30 users, custom SNR threshold.
+GeneratorConfig snr_sweep_point(double snr_db);
+
+/// Fig. 6: 600x600 (plot axes +-300), 30 users, 4 corner BSs.
+GeneratorConfig topology_showcase();
+
+}  // namespace presets
+
+}  // namespace sag::sim

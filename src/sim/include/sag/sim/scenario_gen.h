@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sag/core/scenario.h"
+
+namespace sag::sim {
+
+/// How base stations are laid out in generated scenarios.
+enum class BsLayout {
+    Uniform,  ///< uniform random in the field (paper §IV-A default)
+    Corners,  ///< at the field corners, inset 10% (matches Fig. 6's plots)
+    Center,   ///< single/central placement
+};
+
+/// Deterministic scenario generator reproducing the paper's simulation
+/// environment (§IV-A): square field, uniformly distributed SSs and BSs,
+/// distance requests uniform in [30, 40], common SNR threshold.
+struct GeneratorConfig {
+    double field_side = 500.0;
+    std::size_t subscriber_count = 30;
+    std::size_t base_station_count = 4;
+    double min_distance_request = 30.0;
+    double max_distance_request = 40.0;
+    double snr_threshold_db = -15.0;
+    BsLayout bs_layout = BsLayout::Uniform;
+    wireless::RadioParams radio{};
+};
+
+/// Generates a scenario; the same (config, seed) pair always yields the
+/// same instance, so every experiment in the repo is replayable.
+core::Scenario generate_scenario(const GeneratorConfig& config, std::uint64_t seed);
+
+}  // namespace sag::sim

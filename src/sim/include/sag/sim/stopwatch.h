@@ -1,0 +1,23 @@
+#pragma once
+
+#include <chrono>
+
+namespace sag::sim {
+
+/// Wall-clock stopwatch for the running-time experiments (Figs. 4b/5b).
+class Stopwatch {
+public:
+    Stopwatch() : start_(clock::now()) {}
+    void reset() { start_ = clock::now(); }
+    /// Seconds since construction or the last reset().
+    double seconds() const {
+        return std::chrono::duration<double>(clock::now() - start_).count();
+    }
+    double milliseconds() const { return seconds() * 1e3; }
+
+private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+}  // namespace sag::sim

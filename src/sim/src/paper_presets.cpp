@@ -1,0 +1,56 @@
+#include "sag/sim/paper_presets.h"
+
+namespace sag::sim::presets {
+
+GeneratorConfig evaluation_base() {
+    GeneratorConfig cfg;
+    cfg.field_side = 500.0;
+    cfg.subscriber_count = 30;
+    cfg.base_station_count = 4;
+    cfg.min_distance_request = 30.0;
+    cfg.max_distance_request = 40.0;
+    cfg.snr_threshold_db = -15.0;
+    cfg.bs_layout = BsLayout::Uniform;
+    return cfg;
+}
+
+GeneratorConfig field500(std::size_t users) {
+    GeneratorConfig cfg = evaluation_base();
+    cfg.subscriber_count = users;
+    return cfg;
+}
+
+GeneratorConfig field800(std::size_t users) {
+    GeneratorConfig cfg = evaluation_base();
+    cfg.field_side = 800.0;
+    cfg.subscriber_count = users;
+    return cfg;
+}
+
+GeneratorConfig field800_relaxed(std::size_t users) {
+    GeneratorConfig cfg = field800(users);
+    cfg.snr_threshold_db = -40.0;
+    return cfg;
+}
+
+GeneratorConfig field300(std::size_t users) {
+    GeneratorConfig cfg = evaluation_base();
+    cfg.field_side = 300.0;
+    cfg.subscriber_count = users;
+    return cfg;
+}
+
+GeneratorConfig snr_sweep_point(double snr_db) {
+    GeneratorConfig cfg = evaluation_base();
+    cfg.snr_threshold_db = snr_db;
+    return cfg;
+}
+
+GeneratorConfig topology_showcase() {
+    GeneratorConfig cfg = evaluation_base();
+    cfg.field_side = 600.0;
+    cfg.bs_layout = BsLayout::Corners;
+    return cfg;
+}
+
+}  // namespace sag::sim::presets

@@ -1,0 +1,69 @@
+#include "sag/sim/scenario_gen.h"
+
+#include <random>
+#include <stdexcept>
+
+namespace sag::sim {
+
+core::Scenario generate_scenario(const GeneratorConfig& config, std::uint64_t seed) {
+    if (config.field_side <= 0.0) throw std::invalid_argument("field_side must be positive");
+    if (config.min_distance_request <= 0.0 ||
+        config.max_distance_request < config.min_distance_request)
+        throw std::invalid_argument("bad distance-request range");
+    if (config.base_station_count == 0)
+        throw std::invalid_argument("need at least one base station");
+
+    core::Scenario scenario;
+    scenario.field = geom::Rect::centered_square(config.field_side);
+    scenario.radio = config.radio;
+    scenario.snr_threshold_db = config.snr_threshold_db;
+
+    std::mt19937_64 rng(seed);
+    const double half = config.field_side / 2.0;
+    std::uniform_real_distribution<double> coord(-half, half);
+    std::uniform_real_distribution<double> dist_req(config.min_distance_request,
+                                                    config.max_distance_request);
+
+    scenario.subscribers.reserve(config.subscriber_count);
+    for (std::size_t i = 0; i < config.subscriber_count; ++i) {
+        // Draw in a fixed order so subscriber i is identical across runs
+        // regardless of how later fields evolve.
+        const double x = coord(rng), y = coord(rng), d = dist_req(rng);
+        scenario.subscribers.push_back({{x, y}, d});
+    }
+
+    scenario.base_stations.reserve(config.base_station_count);
+    switch (config.bs_layout) {
+        case BsLayout::Uniform:
+            for (std::size_t b = 0; b < config.base_station_count; ++b) {
+                const double x = coord(rng), y = coord(rng);
+                scenario.base_stations.push_back({{x, y}});
+            }
+            break;
+        case BsLayout::Corners: {
+            const double inset = 0.8 * half;
+            const geom::Vec2 corners[] = {
+                {-inset, -inset}, {inset, -inset}, {-inset, inset}, {inset, inset}};
+            for (std::size_t b = 0; b < config.base_station_count; ++b) {
+                scenario.base_stations.push_back({corners[b % 4]});
+            }
+            break;
+        }
+        case BsLayout::Center:
+            for (std::size_t b = 0; b < config.base_station_count; ++b) {
+                // Stack extras on a small ring so they stay distinct.
+                const double angle =
+                    2.0 * 3.14159265358979323846 * static_cast<double>(b) /
+                    static_cast<double>(config.base_station_count);
+                const double r = b == 0 ? 0.0 : 0.05 * config.field_side;
+                scenario.base_stations.push_back(
+                    {{r * std::cos(angle), r * std::sin(angle)}});
+            }
+            break;
+    }
+
+    scenario.validate();
+    return scenario;
+}
+
+}  // namespace sag::sim

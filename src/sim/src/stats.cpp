@@ -1,0 +1,32 @@
+#include "sag/sim/stats.h"
+
+#include <cmath>
+
+namespace sag::sim {
+
+void RunningStat::add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+    return count_ >= 2 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double mean(std::span<const double> xs) {
+    RunningStat s;
+    for (const double x : xs) s.add(x);
+    return s.count() > 0 ? s.mean() : 0.0;
+}
+
+double stddev(std::span<const double> xs) {
+    RunningStat s;
+    for (const double x : xs) s.add(x);
+    return s.stddev();
+}
+
+}  // namespace sag::sim

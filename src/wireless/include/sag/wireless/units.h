@@ -1,0 +1,13 @@
+#pragma once
+
+#include <cmath>
+
+namespace sag::wireless {
+
+/// Decibel <-> linear power-ratio conversions.
+/// The paper quotes SNR thresholds in dB (e.g. -15 dB); all internal
+/// computation uses linear ratios.
+inline double db_to_linear(double db) { return std::pow(10.0, db / 10.0); }
+inline double linear_to_db(double ratio) { return 10.0 * std::log10(ratio); }
+
+}  // namespace sag::wireless

@@ -1,0 +1,44 @@
+#include "sag/wireless/link.h"
+
+#include <cmath>
+#include <limits>
+
+#include "sag/wireless/two_ray.h"
+
+namespace sag::wireless {
+
+double shannon_capacity(const RadioParams& params, double rx_power) {
+    return params.bandwidth_hz * std::log2(1.0 + rx_power / params.noise_floor);
+}
+
+double min_rx_power_for_rate(const RadioParams& params, double rate_bps) {
+    return params.noise_floor * (std::exp2(rate_bps / params.bandwidth_hz) - 1.0);
+}
+
+double rate_over_distance(const RadioParams& params, double tx_power, double dist) {
+    return shannon_capacity(params, received_power(params, tx_power, dist));
+}
+
+double total_received_power(const RadioParams& params,
+                            std::span<const Transmitter> transmitters,
+                            const geom::Vec2& rx) {
+    double total = 0.0;
+    for (const Transmitter& t : transmitters) {
+        total += received_power(params, t.power, geom::distance(t.pos, rx));
+    }
+    return total;
+}
+
+double interference_snr(const RadioParams& params,
+                        std::span<const Transmitter> transmitters,
+                        std::size_t serving, const geom::Vec2& rx,
+                        double extra_noise) {
+    const Transmitter& s = transmitters[serving];
+    const double signal = received_power(params, s.power, geom::distance(s.pos, rx));
+    const double interference =
+        total_received_power(params, transmitters, rx) - signal + extra_noise;
+    if (interference <= 0.0) return std::numeric_limits<double>::infinity();
+    return signal / interference;
+}
+
+}  // namespace sag::wireless

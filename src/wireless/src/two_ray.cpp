@@ -1,0 +1,30 @@
+#include "sag/wireless/two_ray.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sag::wireless {
+
+double path_gain(const RadioParams& params, double dist) {
+    const double d = std::max(dist, params.reference_distance);
+    return params.combined_gain() * std::pow(d, -params.alpha);
+}
+
+double received_power(const RadioParams& params, double tx_power, double dist) {
+    return tx_power * path_gain(params, dist);
+}
+
+double tx_power_for(const RadioParams& params, double target_rx_power, double dist) {
+    return target_rx_power / path_gain(params, dist);
+}
+
+double range_for(const RadioParams& params, double tx_power, double target_rx_power) {
+    return std::pow(tx_power * params.combined_gain() / target_rx_power,
+                    1.0 / params.alpha);
+}
+
+double ignorable_noise_distance(const RadioParams& params) {
+    return range_for(params, params.max_power, params.ignorable_noise);
+}
+
+}  // namespace sag::wireless

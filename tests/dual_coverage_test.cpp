@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "sag/core/candidates.h"
+#include "sag/core/dual_coverage.h"
+#include "sag/sim/scenario_gen.h"
+
+namespace sag::core {
+namespace {
+
+Scenario base_scenario() {
+    Scenario s;
+    s.field = geom::Rect::centered_square(500.0);
+    s.base_stations = {{{0.0, 0.0}}};
+    s.snr_threshold_db = -15.0;
+    return s;
+}
+
+TEST(DualCoverageTest, EmptyScenarioTrivial) {
+    const Scenario s = base_scenario();
+    const auto plan = solve_dual_coverage(s, {});
+    EXPECT_TRUE(plan.feasible);
+    EXPECT_EQ(plan.rs_count(), 0u);
+}
+
+TEST(DualCoverageTest, SingleSubscriberNeedsTwoRss) {
+    Scenario s = base_scenario();
+    s.subscribers = {{{0.0, 0.0}, 35.0}};
+    const geom::Vec2 cands[] = {{-10.0, 0.0}, {10.0, 0.0}, {0.0, 15.0}};
+    const auto plan = solve_dual_coverage(s, cands);
+    ASSERT_TRUE(plan.feasible);
+    EXPECT_EQ(plan.rs_count(), 2u);
+    EXPECT_TRUE(verify_dual_coverage(s, plan));
+    EXPECT_NE(plan.primary[0], plan.secondary[0]);
+}
+
+TEST(DualCoverageTest, InfeasibleWithOneCandidate) {
+    Scenario s = base_scenario();
+    s.subscribers = {{{0.0, 0.0}, 35.0}};
+    const geom::Vec2 cands[] = {{0.0, 0.0}};
+    const auto plan = solve_dual_coverage(s, cands);
+    EXPECT_FALSE(plan.feasible);
+}
+
+TEST(DualCoverageTest, PrimaryIsNearest) {
+    Scenario s = base_scenario();
+    s.subscribers = {{{0.0, 0.0}, 35.0}};
+    const geom::Vec2 cands[] = {{-30.0, 0.0}, {5.0, 0.0}};
+    const auto plan = solve_dual_coverage(s, cands);
+    ASSERT_TRUE(plan.feasible);
+    EXPECT_EQ(plan.rs_positions[plan.primary[0]], (geom::Vec2{5.0, 0.0}));
+    EXPECT_EQ(plan.rs_positions[plan.secondary[0]], (geom::Vec2{-30.0, 0.0}));
+}
+
+TEST(DualCoverageTest, SharedBackupAcrossSubscribers) {
+    Scenario s = base_scenario();
+    // Two subscribers close together: 3 RSs can dual-cover both
+    // (one shared + one each, or even 2 total if both cover both).
+    s.subscribers = {{{-15.0, 0.0}, 35.0}, {{15.0, 0.0}, 35.0}};
+    const geom::Vec2 cands[] = {{-20.0, 0.0}, {0.0, 0.0}, {20.0, 0.0}};
+    const auto plan = solve_dual_coverage(s, cands);
+    ASSERT_TRUE(plan.feasible);
+    EXPECT_LE(plan.rs_count(), 3u);
+    EXPECT_GE(plan.rs_count(), 2u);
+    EXPECT_TRUE(verify_dual_coverage(s, plan));
+}
+
+TEST(DualCoverageTest, PruneRemovesRedundantRs) {
+    Scenario s = base_scenario();
+    s.subscribers = {{{0.0, 0.0}, 35.0}};
+    // Many candidates on top of each other: prune must get down to 2.
+    const geom::Vec2 cands[] = {{-8.0, 0.0}, {8.0, 0.0}, {0.0, 8.0},
+                                {0.0, -8.0}, {4.0, 4.0}};
+    const auto plan = solve_dual_coverage(s, cands);
+    ASSERT_TRUE(plan.feasible);
+    EXPECT_EQ(plan.rs_count(), 2u);
+}
+
+TEST(DualCoverageVerifyTest, RejectsTamperedPlans) {
+    Scenario s = base_scenario();
+    s.subscribers = {{{0.0, 0.0}, 35.0}};
+    const geom::Vec2 cands[] = {{-10.0, 0.0}, {10.0, 0.0}};
+    auto plan = solve_dual_coverage(s, cands);
+    ASSERT_TRUE(verify_dual_coverage(s, plan));
+
+    auto same_link = plan;
+    same_link.secondary[0] = same_link.primary[0];
+    EXPECT_FALSE(verify_dual_coverage(s, same_link));
+
+    auto swapped = plan;
+    std::swap(swapped.primary[0], swapped.secondary[0]);
+    // Primary must be the nearer RS; a swap that breaks the order fails.
+    if (geom::distance(plan.rs_positions[plan.primary[0]], s.subscribers[0].pos) <
+        geom::distance(plan.rs_positions[plan.secondary[0]], s.subscribers[0].pos) -
+            1e-6) {
+        EXPECT_FALSE(verify_dual_coverage(s, swapped));
+    }
+
+    auto out_of_range = plan;
+    out_of_range.rs_positions[out_of_range.secondary[0]] = {300.0, 300.0};
+    EXPECT_FALSE(verify_dual_coverage(s, out_of_range));
+}
+
+/// Property: on random instances with grid candidates, dual coverage is
+/// feasible, verifies, and uses at least as many RSs as would be needed
+/// for plain coverage (>= 2 by construction).
+class DualCoverageProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DualCoverageProperty, PlansVerify) {
+    sim::GeneratorConfig cfg;
+    cfg.field_side = 500.0;
+    cfg.subscriber_count = 15;
+    const Scenario s = sim::generate_scenario(cfg, GetParam());
+    const auto cands = prune_useless_candidates(s, gac_candidates(s, 15.0));
+    const auto plan = solve_dual_coverage(s, cands);
+    ASSERT_TRUE(plan.feasible);
+    EXPECT_TRUE(verify_dual_coverage(s, plan));
+    EXPECT_GE(plan.rs_count(), 2u);
+    // Every subscriber's two links are distinct RSs within range.
+    for (std::size_t j = 0; j < s.subscriber_count(); ++j) {
+        EXPECT_NE(plan.primary[j], plan.secondary[j]);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DualCoverageProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace sag::core

@@ -1,0 +1,290 @@
+#include <cmath>
+#include <numbers>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "sag/geometry/circle.h"
+#include "sag/geometry/grid.h"
+#include "sag/geometry/region.h"
+#include "sag/geometry/vec2.h"
+
+namespace sag::geom {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(Vec2Test, ArithmeticOperators) {
+    const Vec2 a{1.0, 2.0}, b{3.0, -4.0};
+    EXPECT_EQ(a + b, (Vec2{4.0, -2.0}));
+    EXPECT_EQ(a - b, (Vec2{-2.0, 6.0}));
+    EXPECT_EQ(a * 2.0, (Vec2{2.0, 4.0}));
+    EXPECT_EQ(2.0 * a, (Vec2{2.0, 4.0}));
+    EXPECT_EQ(b / 2.0, (Vec2{1.5, -2.0}));
+}
+
+TEST(Vec2Test, CompoundAssignment) {
+    Vec2 v{1.0, 1.0};
+    v += {2.0, 3.0};
+    EXPECT_EQ(v, (Vec2{3.0, 4.0}));
+    v -= {1.0, 1.0};
+    EXPECT_EQ(v, (Vec2{2.0, 3.0}));
+    v *= 2.0;
+    EXPECT_EQ(v, (Vec2{4.0, 6.0}));
+}
+
+TEST(Vec2Test, DotAndCross) {
+    const Vec2 a{1.0, 0.0}, b{0.0, 1.0};
+    EXPECT_DOUBLE_EQ(a.dot(b), 0.0);
+    EXPECT_DOUBLE_EQ(a.cross(b), 1.0);   // b is CCW of a
+    EXPECT_DOUBLE_EQ(b.cross(a), -1.0);
+    EXPECT_DOUBLE_EQ(a.dot(a), 1.0);
+}
+
+TEST(Vec2Test, NormAndDistance) {
+    const Vec2 v{3.0, 4.0};
+    EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+    EXPECT_DOUBLE_EQ(v.norm_sq(), 25.0);
+    EXPECT_DOUBLE_EQ(distance({0.0, 0.0}, v), 5.0);
+    EXPECT_DOUBLE_EQ(distance_sq({1.0, 1.0}, {4.0, 5.0}), 25.0);
+}
+
+TEST(Vec2Test, NormalizedUnitLength) {
+    const Vec2 v{3.0, 4.0};
+    EXPECT_NEAR(v.normalized().norm(), 1.0, 1e-12);
+    // Zero vector normalizes to a deterministic unit vector, not NaN.
+    EXPECT_EQ((Vec2{0.0, 0.0}).normalized(), (Vec2{1.0, 0.0}));
+}
+
+TEST(Vec2Test, RotationPreservesNormAndQuarterTurn) {
+    const Vec2 v{1.0, 0.0};
+    const Vec2 r = v.rotated(kPi / 2.0);
+    EXPECT_NEAR(r.x, 0.0, 1e-12);
+    EXPECT_NEAR(r.y, 1.0, 1e-12);
+    EXPECT_NEAR(v.rotated(1.234).norm(), 1.0, 1e-12);
+}
+
+TEST(Vec2Test, LerpEndpointsAndMidpoint) {
+    const Vec2 a{0.0, 0.0}, b{10.0, -6.0};
+    EXPECT_EQ(lerp(a, b, 0.0), a);
+    EXPECT_EQ(lerp(a, b, 1.0), b);
+    EXPECT_EQ(lerp(a, b, 0.5), (Vec2{5.0, -3.0}));
+}
+
+TEST(CircleTest, ContainsInteriorBoundaryExterior) {
+    const Circle c{{0.0, 0.0}, 5.0};
+    EXPECT_TRUE(c.contains({1.0, 1.0}));
+    EXPECT_TRUE(c.contains({5.0, 0.0}));            // boundary
+    EXPECT_TRUE(c.contains({5.0 + 1e-10, 0.0}));    // inside eps slack
+    EXPECT_FALSE(c.contains({5.1, 0.0}));
+}
+
+TEST(CircleTest, OnBoundary) {
+    const Circle c{{2.0, 3.0}, 4.0};
+    EXPECT_TRUE(c.on_boundary({6.0, 3.0}));
+    EXPECT_FALSE(c.on_boundary({2.0, 3.0}));
+    EXPECT_FALSE(c.on_boundary({6.5, 3.0}));
+}
+
+TEST(CircleTest, PointAtAngle) {
+    const Circle c{{1.0, 1.0}, 2.0};
+    const Vec2 p = c.point_at_angle(kPi);
+    EXPECT_NEAR(p.x, -1.0, 1e-12);
+    EXPECT_NEAR(p.y, 1.0, 1e-12);
+    EXPECT_TRUE(c.on_boundary(c.point_at_angle(0.37)));
+}
+
+TEST(CircleIntersectionTest, DisjointCirclesNoIntersection) {
+    EXPECT_TRUE(circle_intersections({{0, 0}, 1.0}, {{10, 0}, 2.0}).empty());
+}
+
+TEST(CircleIntersectionTest, ContainedCircleNoIntersection) {
+    EXPECT_TRUE(circle_intersections({{0, 0}, 10.0}, {{1, 0}, 2.0}).empty());
+}
+
+TEST(CircleIntersectionTest, ConcentricCirclesNoIntersection) {
+    EXPECT_TRUE(circle_intersections({{0, 0}, 2.0}, {{0, 0}, 2.0}).empty());
+    EXPECT_TRUE(circle_intersections({{0, 0}, 2.0}, {{0, 0}, 3.0}).empty());
+}
+
+TEST(CircleIntersectionTest, ExternallyTangentSinglePoint) {
+    const auto pts = circle_intersections({{0, 0}, 2.0}, {{5, 0}, 3.0});
+    ASSERT_EQ(pts.size(), 1u);
+    EXPECT_NEAR(pts[0].x, 2.0, 1e-9);
+    EXPECT_NEAR(pts[0].y, 0.0, 1e-9);
+}
+
+TEST(CircleIntersectionTest, InternallyTangentSinglePoint) {
+    const auto pts = circle_intersections({{0, 0}, 5.0}, {{2, 0}, 3.0});
+    ASSERT_EQ(pts.size(), 1u);
+    EXPECT_NEAR(pts[0].x, 5.0, 1e-9);
+}
+
+TEST(CircleIntersectionTest, TwoPointsSymmetricAboutCenterLine) {
+    const Circle a{{0, 0}, 5.0}, b{{6, 0}, 5.0};
+    const auto pts = circle_intersections(a, b);
+    ASSERT_EQ(pts.size(), 2u);
+    EXPECT_NEAR(pts[0].x, 3.0, 1e-9);
+    EXPECT_NEAR(pts[1].x, 3.0, 1e-9);
+    EXPECT_NEAR(pts[0].y, -pts[1].y, 1e-9);
+    EXPECT_NEAR(pts[0].y * pts[0].y, 16.0, 1e-6);  // 5^2 - 3^2
+}
+
+/// Property sweep: intersection points of random circle pairs lie on both
+/// boundaries.
+class CircleIntersectionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CircleIntersectionProperty, PointsLieOnBothCircles) {
+    std::mt19937_64 rng(GetParam());
+    std::uniform_real_distribution<double> coord(-100.0, 100.0);
+    std::uniform_real_distribution<double> radius(1.0, 60.0);
+    for (int trial = 0; trial < 100; ++trial) {
+        const Circle a{{coord(rng), coord(rng)}, radius(rng)};
+        const Circle b{{coord(rng), coord(rng)}, radius(rng)};
+        for (const Vec2& p : circle_intersections(a, b)) {
+            EXPECT_TRUE(a.on_boundary(p, 1e-5)) << "on a, trial " << trial;
+            EXPECT_TRUE(b.on_boundary(p, 1e-5)) << "on b, trial " << trial;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CircleIntersectionProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(DisksOverlapTest, TouchingAndSeparated) {
+    EXPECT_TRUE(disks_overlap({{0, 0}, 2.0}, {{4, 0}, 2.0}));   // touching
+    EXPECT_TRUE(disks_overlap({{0, 0}, 3.0}, {{4, 0}, 2.0}));
+    EXPECT_FALSE(disks_overlap({{0, 0}, 1.0}, {{4, 0}, 2.0}));
+}
+
+TEST(RectTest, GeometryAccessors) {
+    const Rect r{{-10.0, -20.0}, {30.0, 20.0}};
+    EXPECT_DOUBLE_EQ(r.width(), 40.0);
+    EXPECT_DOUBLE_EQ(r.height(), 40.0);
+    EXPECT_EQ(r.center(), (Vec2{10.0, 0.0}));
+    EXPECT_TRUE(r.contains({0.0, 0.0}));
+    EXPECT_TRUE(r.contains({30.0, 20.0}));
+    EXPECT_FALSE(r.contains({31.0, 0.0}));
+}
+
+TEST(RectTest, CenteredSquareMatchesPaperAxes) {
+    const Rect r = Rect::centered_square(600.0);
+    EXPECT_EQ(r.min, (Vec2{-300.0, -300.0}));
+    EXPECT_EQ(r.max, (Vec2{300.0, 300.0}));
+}
+
+TEST(RectTest, BoundingBox) {
+    const Rect r = bounding_box({{1, 5}, {-2, 3}, {4, -1}});
+    EXPECT_EQ(r.min, (Vec2{-2.0, -1.0}));
+    EXPECT_EQ(r.max, (Vec2{4.0, 5.0}));
+    const Rect empty = bounding_box({});
+    EXPECT_EQ(empty.min, (Vec2{0.0, 0.0}));
+}
+
+TEST(GridTest, CountsAndContainment) {
+    const Rect field = Rect::centered_square(100.0);
+    const auto centers = grid_centers(field, 10.0);
+    EXPECT_EQ(centers.size(), 100u);
+    EXPECT_EQ(grid_center_count(field, 10.0), 100u);
+    for (const Vec2& p : centers) EXPECT_TRUE(field.contains(p));
+}
+
+TEST(GridTest, NonDividingCellSizeCoversWholeField) {
+    const Rect field = Rect::centered_square(100.0);
+    const auto centers = grid_centers(field, 30.0);  // 100/30 -> 4 cells/axis
+    EXPECT_EQ(centers.size(), 16u);
+    for (const Vec2& p : centers) EXPECT_TRUE(field.contains(p));
+    // Every field point is within half a cell diagonal of some center.
+    std::mt19937_64 rng(99);
+    std::uniform_real_distribution<double> coord(-50.0, 50.0);
+    const double max_gap = 30.0 * std::sqrt(2.0) / 2.0 + 1e-9;
+    for (int trial = 0; trial < 200; ++trial) {
+        const Vec2 q{coord(rng), coord(rng)};
+        double best = 1e18;
+        for (const Vec2& p : centers) best = std::min(best, distance(p, q));
+        EXPECT_LE(best, max_gap);
+    }
+}
+
+TEST(GridTest, RejectsNonPositiveCellSize) {
+    const Rect field = Rect::centered_square(10.0);
+    EXPECT_THROW((void)grid_centers(field, 0.0), std::invalid_argument);
+    EXPECT_THROW((void)grid_center_count(field, -1.0), std::invalid_argument);
+}
+
+TEST(RegionTest, SingleDiskReturnsPointInside) {
+    const Circle disks[] = {{{3.0, 4.0}, 2.0}};
+    const auto p = common_point_of_disks(disks);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_TRUE(disks[0].contains(*p, 1e-6));
+}
+
+TEST(RegionTest, EmptyFamilyIsTriviallyCommon) {
+    EXPECT_TRUE(common_point_of_disks({}).has_value());
+}
+
+TEST(RegionTest, TwoOverlappingDisks) {
+    const Circle disks[] = {{{0, 0}, 5.0}, {{6, 0}, 5.0}};
+    const auto p = common_point_of_disks(disks);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_TRUE(disks[0].contains(*p, 1e-6));
+    EXPECT_TRUE(disks[1].contains(*p, 1e-6));
+}
+
+TEST(RegionTest, DisjointDisksHaveNoCommonPoint) {
+    const Circle disks[] = {{{0, 0}, 1.0}, {{10, 0}, 1.0}};
+    EXPECT_FALSE(common_point_of_disks(disks).has_value());
+}
+
+TEST(RegionTest, ThreeDisksSharingLensCorner) {
+    // Three unit-ish disks arranged so the intersection is small but real.
+    const Circle disks[] = {{{0, 0}, 2.0}, {{3, 0}, 2.0}, {{1.5, 2.0}, 2.0}};
+    const auto p = common_point_of_disks(disks);
+    ASSERT_TRUE(p.has_value());
+    for (const Circle& d : disks) EXPECT_TRUE(d.contains(*p, 1e-6));
+}
+
+TEST(RegionTest, ThreePairwiseOverlappingButNoCommonPoint) {
+    // Classic Helly counterexample: pairwise lenses, empty triple.
+    const Circle disks[] = {{{0, 0}, 1.05}, {{2, 0}, 1.05}, {{1, 1.7}, 1.05}};
+    EXPECT_TRUE(disks_overlap(disks[0], disks[1]));
+    EXPECT_TRUE(disks_overlap(disks[0], disks[2]));
+    EXPECT_TRUE(disks_overlap(disks[1], disks[2]));
+    EXPECT_FALSE(common_point_of_disks(disks).has_value());
+}
+
+TEST(RegionTest, DeepestPointOfConcentricFamilyIsCenter) {
+    const Circle disks[] = {{{5, 5}, 3.0}, {{5, 5}, 2.0}, {{5, 5}, 1.0}};
+    const auto w = deepest_point_of_disks(disks);
+    EXPECT_LE(w.violation, -0.9);  // ~ -1 (deepest point = common center)
+    EXPECT_NEAR(w.point.x, 5.0, 0.1);
+    EXPECT_NEAR(w.point.y, 5.0, 0.1);
+}
+
+/// Property: whenever all random disks contain a known witness point, the
+/// solver must find some common point.
+class RegionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RegionProperty, FindsCommonPointWhenWitnessExists) {
+    std::mt19937_64 rng(GetParam());
+    std::uniform_real_distribution<double> coord(-50.0, 50.0);
+    std::uniform_real_distribution<double> extra(0.1, 30.0);
+    for (int trial = 0; trial < 60; ++trial) {
+        const Vec2 witness{coord(rng), coord(rng)};
+        std::vector<Circle> disks;
+        for (int i = 0; i < 6; ++i) {
+            const Vec2 center{coord(rng), coord(rng)};
+            disks.push_back({center, distance(center, witness) + extra(rng)});
+        }
+        const auto p = common_point_of_disks(disks);
+        ASSERT_TRUE(p.has_value()) << "trial " << trial;
+        for (const Circle& d : disks) {
+            EXPECT_TRUE(d.contains(*p, 1e-5)) << "trial " << trial;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegionProperty, ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace sag::geom

@@ -1,0 +1,52 @@
+// Golden-format regression tests: the scenario JSON archive is a
+// versioned interchange format ("format": 1); its serialized shape must
+// not drift silently, or archived experiments stop replaying.
+#include <gtest/gtest.h>
+
+#include "sag/io/scenario_io.h"
+
+namespace sag::io {
+namespace {
+
+core::Scenario fixed_scenario() {
+    core::Scenario s;
+    s.field = geom::Rect::centered_square(100.0);
+    s.subscribers = {{{-10.0, 20.0}, 35.0}, {{15.0, -5.0}, 30.0}};
+    s.base_stations = {{{0.0, 0.0}}};
+    s.snr_threshold_db = -15.0;
+    return s;
+}
+
+constexpr const char* kGolden =
+    R"({"base_stations":[[0,0]],"field":{"max":[50,50],"min":[-50,-50]},"format":1,)"
+    R"("radio":{"alpha":3,"bandwidth_hz":1000000,"ignorable_noise":7.4999999999999993e-05,)"
+    R"("max_power":50,"noise_floor":9.9999999999999995e-08,"reference_distance":1,)"
+    R"("rx_gain":1,"rx_height":1.5,"snr_ambient_noise":0.065000000000000002,)"
+    R"("tx_gain":1,"tx_height":1.5},"snr_threshold_db":-15,)"
+    R"("subscribers":[{"distance_request":35,"pos":[-10,20]},)"
+    R"({"distance_request":30,"pos":[15,-5]}]})";
+
+TEST(GoldenFormatTest, CompactSerializationIsStable) {
+    EXPECT_EQ(scenario_to_json(fixed_scenario()).dump(), kGolden);
+}
+
+TEST(GoldenFormatTest, GoldenTextLoads) {
+    const core::Scenario s = scenario_from_json(Json::parse(kGolden));
+    EXPECT_EQ(s.subscriber_count(), 2u);
+    EXPECT_EQ(s.subscribers[0].pos, (geom::Vec2{-10.0, 20.0}));
+    EXPECT_DOUBLE_EQ(s.subscribers[1].distance_request, 30.0);
+    EXPECT_DOUBLE_EQ(s.radio.snr_ambient_noise, 0.065);
+}
+
+TEST(GoldenFormatTest, MissingRadioFieldsFallBackToDefaults) {
+    // Forward compatibility: an archive written before a radio field
+    // existed must still load with the library default for that field.
+    Json j = scenario_to_json(fixed_scenario());
+    j["radio"].as_object().erase("snr_ambient_noise");
+    const core::Scenario s = scenario_from_json(j);
+    EXPECT_DOUBLE_EQ(s.radio.snr_ambient_noise,
+                     wireless::RadioParams{}.snr_ambient_noise);
+}
+
+}  // namespace
+}  // namespace sag::io

@@ -1,0 +1,245 @@
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "sag/graph/graph.h"
+#include "sag/graph/mst.h"
+#include "sag/graph/steiner.h"
+#include "sag/graph/tree.h"
+#include "sag/graph/union_find.h"
+
+namespace sag::graph {
+namespace {
+
+TEST(UnionFindTest, InitiallyAllSingletons) {
+    UnionFind uf(5);
+    EXPECT_EQ(uf.set_count(), 5u);
+    for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(uf.set_size(i), 1u);
+    EXPECT_FALSE(uf.connected(0, 1));
+}
+
+TEST(UnionFindTest, UniteMergesAndCounts) {
+    UnionFind uf(6);
+    EXPECT_TRUE(uf.unite(0, 1));
+    EXPECT_TRUE(uf.unite(2, 3));
+    EXPECT_TRUE(uf.unite(0, 2));
+    EXPECT_FALSE(uf.unite(1, 3));  // already joined
+    EXPECT_EQ(uf.set_count(), 3u);
+    EXPECT_EQ(uf.set_size(3), 4u);
+    EXPECT_TRUE(uf.connected(1, 2));
+    EXPECT_FALSE(uf.connected(0, 5));
+}
+
+TEST(UnionFindTest, TransitivityProperty) {
+    std::mt19937_64 rng(42);
+    UnionFind uf(64);
+    std::uniform_int_distribution<std::size_t> pick(0, 63);
+    for (int i = 0; i < 100; ++i) uf.unite(pick(rng), pick(rng));
+    // connected() must agree with find() equality everywhere.
+    for (std::size_t a = 0; a < 64; a += 7) {
+        for (std::size_t b = 0; b < 64; b += 5) {
+            EXPECT_EQ(uf.connected(a, b), uf.find(a) == uf.find(b));
+        }
+    }
+    std::size_t sum = 0;
+    std::vector<bool> seen(64, false);
+    for (std::size_t v = 0; v < 64; ++v) {
+        const std::size_t r = uf.find(v);
+        if (!seen[r]) {
+            seen[r] = true;
+            sum += uf.set_size(r);
+        }
+    }
+    EXPECT_EQ(sum, 64u);
+}
+
+TEST(GraphTest, AddEdgeAndAdjacency) {
+    Graph g(4);
+    g.add_edge(0, 1, 2.5);
+    g.add_edge(1, 2, 1.0);
+    EXPECT_EQ(g.edge_count(), 2u);
+    EXPECT_EQ(g.incident_edges(1).size(), 2u);
+    EXPECT_EQ(g.other_end(0, 0), 1u);
+    EXPECT_EQ(g.other_end(0, 1), 0u);
+}
+
+TEST(GraphTest, RejectsInvalidEdges) {
+    Graph g(3);
+    EXPECT_THROW(g.add_edge(1, 1), std::invalid_argument);
+    EXPECT_THROW(g.add_edge(0, 3), std::out_of_range);
+}
+
+TEST(GraphTest, ConnectedComponents) {
+    Graph g(6);
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    g.add_edge(4, 5);
+    auto comps = g.connected_components();
+    ASSERT_EQ(comps.size(), 3u);  // {0,1,2}, {3}, {4,5}
+    std::size_t total = 0;
+    for (const auto& c : comps) total += c.size();
+    EXPECT_EQ(total, 6u);
+}
+
+TEST(KruskalTest, KnownMst) {
+    Graph g(4);
+    g.add_edge(0, 1, 1.0);
+    g.add_edge(1, 2, 2.0);
+    g.add_edge(2, 3, 3.0);
+    g.add_edge(0, 3, 10.0);
+    g.add_edge(0, 2, 2.5);
+    const auto mst = kruskal_mst(g);
+    EXPECT_EQ(mst.size(), 3u);
+    EXPECT_DOUBLE_EQ(total_weight(mst), 6.0);
+}
+
+TEST(KruskalTest, DisconnectedGraphYieldsForest) {
+    Graph g(4);
+    g.add_edge(0, 1, 1.0);
+    g.add_edge(2, 3, 2.0);
+    const auto forest = kruskal_mst(g);
+    EXPECT_EQ(forest.size(), 2u);
+}
+
+TEST(PrimDenseTest, MatchesKruskalOnRandomGraphs) {
+    std::mt19937_64 rng(7);
+    std::uniform_real_distribution<double> weight(0.1, 100.0);
+    for (int trial = 0; trial < 25; ++trial) {
+        const std::size_t n = 2 + static_cast<std::size_t>(trial % 9);
+        std::vector<std::vector<double>> w(n, std::vector<double>(n));
+        Graph g(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t j = i + 1; j < n; ++j) {
+                const double x = weight(rng);
+                w[i][j] = w[j][i] = x;
+                g.add_edge(i, j, x);
+            }
+        }
+        const auto parent = prim_mst_dense(w, 0);
+        double prim_total = 0.0;
+        for (std::size_t v = 1; v < n; ++v) prim_total += w[v][parent[v]];
+        EXPECT_NEAR(prim_total, total_weight(kruskal_mst(g)), 1e-9)
+            << "trial " << trial;
+    }
+}
+
+TEST(PrimDenseTest, UnreachableVertexStaysRootless) {
+    constexpr double inf = std::numeric_limits<double>::infinity();
+    std::vector<std::vector<double>> w{{inf, 1.0, inf},
+                                       {1.0, inf, inf},
+                                       {inf, inf, inf}};
+    const auto parent = prim_mst_dense(w, 0);
+    EXPECT_EQ(parent[1], 0u);
+    EXPECT_EQ(parent[2], 2u);  // disconnected: parent == self
+}
+
+TEST(PrimDenseTest, RejectsBadInput) {
+    std::vector<std::vector<double>> w{{0.0, 1.0}, {1.0, 0.0}};
+    EXPECT_THROW((void)prim_mst_dense(w, 5), std::out_of_range);
+    std::vector<std::vector<double>> ragged{{0.0, 1.0}, {1.0}};
+    EXPECT_THROW((void)prim_mst_dense(ragged, 0), std::invalid_argument);
+}
+
+TEST(RootedTreeTest, StructureAccessors) {
+    //      0
+    //     / \
+    //    1   2
+    //    |
+    //    3
+    RootedTree t({0, 0, 0, 1});
+    EXPECT_TRUE(t.is_root(0));
+    EXPECT_FALSE(t.is_root(3));
+    EXPECT_EQ(t.children(0).size(), 2u);
+    EXPECT_EQ(t.depth(3), 2u);
+    EXPECT_EQ(t.path_to_root(3), (std::vector<std::size_t>{3, 1, 0}));
+    EXPECT_EQ(t.subtree(1), (std::vector<std::size_t>{1, 3}));
+    EXPECT_EQ(t.subtree(0).size(), 4u);
+}
+
+TEST(RootedTreeTest, TopologicalOrderParentsFirst) {
+    RootedTree t({0, 0, 1, 2, 0});
+    const auto& topo = t.topological_order();
+    ASSERT_EQ(topo.size(), 5u);
+    std::vector<std::size_t> position(5);
+    for (std::size_t i = 0; i < topo.size(); ++i) position[topo[i]] = i;
+    for (std::size_t v = 0; v < 5; ++v) {
+        if (!t.is_root(v)) EXPECT_LT(position[t.parent(v)], position[v]);
+    }
+}
+
+TEST(RootedTreeTest, ForestWithMultipleRoots) {
+    RootedTree t({0, 1, 0, 1});  // roots 0 and 1
+    EXPECT_TRUE(t.is_root(0));
+    EXPECT_TRUE(t.is_root(1));
+    EXPECT_EQ(t.topological_order().size(), 4u);
+}
+
+TEST(RootedTreeTest, DetectsCycle) {
+    EXPECT_THROW(RootedTree({1, 0}), std::invalid_argument);        // 2-cycle
+    EXPECT_THROW(RootedTree({1, 2, 0}), std::invalid_argument);     // 3-cycle
+    EXPECT_THROW(RootedTree({0, 2, 1}), std::invalid_argument);     // partial
+}
+
+TEST(RootedTreeTest, RejectsOutOfRangeParent) {
+    EXPECT_THROW(RootedTree({0, 5}), std::out_of_range);
+}
+
+TEST(SteinerTest, ShortSegmentNeedsNoRelays) {
+    EXPECT_TRUE(steinerize_segment({0, 0}, {5, 0}, 10.0).empty());
+    EXPECT_EQ(steiner_section_count({0, 0}, {5, 0}, 10.0), 1u);
+}
+
+TEST(SteinerTest, ExactMultipleDoesNotOverSplit) {
+    // Length 30 with hop 10 -> exactly 3 sections, 2 interior points.
+    const auto pts = steinerize_segment({0, 0}, {30, 0}, 10.0);
+    ASSERT_EQ(pts.size(), 2u);
+    EXPECT_NEAR(pts[0].x, 10.0, 1e-9);
+    EXPECT_NEAR(pts[1].x, 20.0, 1e-9);
+}
+
+TEST(SteinerTest, SectionsAreEqualAndWithinHop) {
+    const geom::Vec2 a{3.0, -7.0}, b{81.0, 44.0};
+    const double hop = 13.0;
+    const auto pts = steinerize_segment(a, b, hop);
+    EXPECT_EQ(pts.size() + 1, steiner_section_count(a, b, hop));
+    geom::Vec2 prev = a;
+    double first = -1.0;
+    for (const auto& p : pts) {
+        const double seg = geom::distance(prev, p);
+        EXPECT_LE(seg, hop + 1e-9);
+        if (first < 0.0) first = seg;
+        EXPECT_NEAR(seg, first, 1e-9);  // equal sections
+        prev = p;
+    }
+    EXPECT_LE(geom::distance(prev, b), hop + 1e-9);
+}
+
+TEST(SteinerTest, RejectsNonPositiveHop) {
+    EXPECT_THROW((void)steinerize_segment({0, 0}, {1, 0}, 0.0), std::invalid_argument);
+}
+
+/// Property: for random segments, steinerization uses the minimum number
+/// of relays: ceil(len/hop) - 1.
+class SteinerProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(SteinerProperty, RelayCountIsMinimum) {
+    std::mt19937_64 rng(17);
+    std::uniform_real_distribution<double> coord(-400.0, 400.0);
+    const double hop = GetParam();
+    for (int trial = 0; trial < 100; ++trial) {
+        const geom::Vec2 a{coord(rng), coord(rng)}, b{coord(rng), coord(rng)};
+        const auto pts = steinerize_segment(a, b, hop);
+        const double len = geom::distance(a, b);
+        const auto expect =
+            static_cast<std::size_t>(std::max(std::ceil(len / hop - 1e-9), 1.0)) - 1;
+        EXPECT_EQ(pts.size(), expect) << "len=" << len << " hop=" << hop;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(HopLengths, SteinerProperty,
+                         ::testing::Values(10.0, 30.0, 40.0, 75.0, 200.0));
+
+}  // namespace
+}  // namespace sag::graph

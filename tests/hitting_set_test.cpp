@@ -1,0 +1,134 @@
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "sag/opt/hitting_set.h"
+
+namespace sag::opt {
+namespace {
+
+using geom::Circle;
+using geom::Vec2;
+
+bool hits_all(std::span<const Circle> disks, std::span<const Vec2> points) {
+    for (const Circle& d : disks) {
+        bool hit = false;
+        for (const Vec2& p : points) {
+            if (d.contains(p, 1e-6)) hit = true;
+        }
+        if (!hit) return false;
+    }
+    return true;
+}
+
+TEST(CandidatesTest, IncludeCentersAndIntersections) {
+    const Circle disks[] = {{{0, 0}, 5.0}, {{6, 0}, 5.0}};
+    const auto cands = disk_hitting_candidates(disks);
+    // 2 centers + 2 intersection points.
+    EXPECT_EQ(cands.size(), 4u);
+}
+
+TEST(CandidatesTest, DeduplicatesCoincidentPoints) {
+    // Two identical disks: centers coincide, no boundary intersections.
+    const Circle disks[] = {{{1, 1}, 3.0}, {{1, 1}, 3.0}};
+    const auto cands = disk_hitting_candidates(disks);
+    EXPECT_EQ(cands.size(), 1u);
+}
+
+TEST(HittingSetTest, EmptyInputEmptyOutput) {
+    EXPECT_TRUE(geometric_hitting_set({}).empty());
+}
+
+TEST(HittingSetTest, SingleDiskSinglePoint) {
+    const Circle disks[] = {{{4, 2}, 3.0}};
+    const auto pts = geometric_hitting_set(disks);
+    ASSERT_EQ(pts.size(), 1u);
+    EXPECT_TRUE(disks[0].contains(pts[0], 1e-6));
+}
+
+TEST(HittingSetTest, TwoOverlappingDisksOnePoint) {
+    const Circle disks[] = {{{0, 0}, 5.0}, {{6, 0}, 5.0}};
+    const auto pts = geometric_hitting_set(disks);
+    EXPECT_EQ(pts.size(), 1u);
+    EXPECT_TRUE(hits_all(disks, pts));
+}
+
+TEST(HittingSetTest, TwoDisjointDisksTwoPoints) {
+    const Circle disks[] = {{{0, 0}, 2.0}, {{100, 0}, 2.0}};
+    const auto pts = geometric_hitting_set(disks);
+    EXPECT_EQ(pts.size(), 2u);
+    EXPECT_TRUE(hits_all(disks, pts));
+}
+
+TEST(HittingSetTest, CliqueOfDisksSharingCommonAreaOnePoint) {
+    // Four disks all containing the origin.
+    const Circle disks[] = {
+        {{3, 0}, 4.0}, {{-3, 0}, 4.0}, {{0, 3}, 4.0}, {{0, -3}, 4.0}};
+    const auto pts = geometric_hitting_set(disks);
+    EXPECT_EQ(pts.size(), 1u);
+    EXPECT_TRUE(hits_all(disks, pts));
+}
+
+TEST(HittingSetTest, ChainNeedsEverySecondPoint) {
+    // Disks in a line, consecutive ones overlapping: optimal hits pairs.
+    std::vector<Circle> disks;
+    for (int i = 0; i < 6; ++i) {
+        disks.push_back({{static_cast<double>(12 * i), 0.0}, 7.0});
+    }
+    const auto pts = geometric_hitting_set(disks);
+    EXPECT_EQ(pts.size(), 3u);  // one per overlapping pair
+    EXPECT_TRUE(hits_all(disks, pts));
+}
+
+TEST(HittingSetTest, LocalSearchImprovesOnGreedyTriangle) {
+    // Three disks pairwise overlapping with a common core: 1 point enough.
+    const Circle disks[] = {{{0, 0}, 3.0}, {{4, 0}, 3.0}, {{2, 3}, 3.0}};
+    HittingSetOptions opts;
+    opts.max_swap = 3;
+    const auto pts = geometric_hitting_set(disks, opts);
+    EXPECT_EQ(pts.size(), 1u);
+}
+
+TEST(HittingSetTest, SwapDisabledStillHitsAll) {
+    std::mt19937_64 rng(5);
+    std::uniform_real_distribution<double> coord(-80.0, 80.0);
+    std::vector<Circle> disks;
+    for (int i = 0; i < 15; ++i) disks.push_back({{coord(rng), coord(rng)}, 20.0});
+    HittingSetOptions opts;
+    opts.max_swap = 1;  // prune-only local search
+    const auto pts = geometric_hitting_set(disks, opts);
+    EXPECT_TRUE(hits_all(disks, pts));
+}
+
+/// Property sweep over seeds and swap depth: result always hits all disks,
+/// never exceeds the disk count, and deeper swaps never do worse.
+class HittingSetProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(HittingSetProperty, HitsAllAndBoundedSize) {
+    const auto [seed, n_disks] = GetParam();
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<double> coord(-200.0, 200.0);
+    std::uniform_real_distribution<double> radius(30.0, 40.0);
+    std::vector<Circle> disks;
+    for (int i = 0; i < n_disks; ++i) {
+        disks.push_back({{coord(rng), coord(rng)}, radius(rng)});
+    }
+    HittingSetOptions shallow, deep;
+    shallow.max_swap = 1;
+    deep.max_swap = 3;
+    const auto pts1 = geometric_hitting_set(disks, shallow);
+    const auto pts3 = geometric_hitting_set(disks, deep);
+    EXPECT_TRUE(hits_all(disks, pts1));
+    EXPECT_TRUE(hits_all(disks, pts3));
+    EXPECT_LE(pts1.size(), disks.size());
+    EXPECT_LE(pts3.size(), pts1.size());  // deeper search is never worse
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndSizes, HittingSetProperty,
+    ::testing::Combine(::testing::Values(1, 12, 123, 1234),
+                       ::testing::Values(5, 12, 25)));
+
+}  // namespace
+}  // namespace sag::opt

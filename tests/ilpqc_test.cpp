@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "sag/core/candidates.h"
+#include "sag/core/feasibility.h"
+#include "sag/core/ilpqc.h"
+#include "sag/sim/scenario_gen.h"
+
+namespace sag::core {
+namespace {
+
+TEST(IlpqcTest, EmptyScenarioTriviallyFeasible) {
+    Scenario s;
+    s.field = geom::Rect::centered_square(100.0);
+    s.base_stations = {{{0.0, 0.0}}};
+    const auto plan = solve_ilpqc_coverage(s, {});
+    EXPECT_TRUE(plan.feasible);
+    EXPECT_EQ(plan.rs_count(), 0u);
+}
+
+TEST(IlpqcTest, SingleSubscriberSingleRs) {
+    Scenario s;
+    s.field = geom::Rect::centered_square(200.0);
+    s.subscribers = {{{10.0, 10.0}, 35.0}};
+    s.base_stations = {{{0.0, 0.0}}};
+    const auto cands = iac_candidates(s);  // isolated -> its center
+    const auto plan = solve_ilpqc_coverage(s, cands);
+    ASSERT_TRUE(plan.feasible);
+    EXPECT_EQ(plan.rs_count(), 1u);
+    EXPECT_TRUE(verify_coverage_max_power(s, plan).feasible);
+}
+
+TEST(IlpqcTest, TwoFarSubscribersNeedTwoRss) {
+    Scenario s;
+    s.field = geom::Rect::centered_square(600.0);
+    s.subscribers = {{{-200.0, 0.0}, 35.0}, {{200.0, 0.0}, 35.0}};
+    s.base_stations = {{{0.0, 0.0}}};
+    const auto plan = solve_ilpqc_coverage(s, iac_candidates(s));
+    ASSERT_TRUE(plan.feasible);
+    EXPECT_EQ(plan.rs_count(), 2u);
+    EXPECT_TRUE(plan.proven_optimal);
+}
+
+TEST(IlpqcTest, TwoOverlappingSubscribersShareOneRs) {
+    Scenario s;
+    s.field = geom::Rect::centered_square(600.0);
+    s.subscribers = {{{-20.0, 0.0}, 35.0}, {{20.0, 0.0}, 35.0}};
+    s.base_stations = {{{0.0, 0.0}}};
+    const auto plan = solve_ilpqc_coverage(s, iac_candidates(s));
+    ASSERT_TRUE(plan.feasible);
+    EXPECT_EQ(plan.rs_count(), 1u);
+    EXPECT_TRUE(verify_coverage_max_power(s, plan).feasible);
+}
+
+TEST(IlpqcTest, ImpossibleSnrReportsInfeasible) {
+    // Two subscribers that cannot share one RS (circles disjoint) and a
+    // threshold so strict that two simultaneously radiating RSs always
+    // break it: ILPQC must return infeasible, like IAC in Fig. 3d.
+    Scenario s;
+    s.field = geom::Rect::centered_square(300.0);
+    s.subscribers = {{{-45.0, 0.0}, 35.0}, {{45.0, 0.0}, 35.0}};
+    s.base_stations = {{{0.0, 0.0}}};
+    s.snr_threshold_db = 60.0;  // absurd on purpose
+    const auto plan = solve_ilpqc_coverage(s, iac_candidates(s));
+    EXPECT_FALSE(plan.feasible);
+}
+
+TEST(IlpqcTest, GacCandidatesAlsoWork) {
+    sim::GeneratorConfig cfg;
+    cfg.field_side = 400.0;
+    cfg.subscriber_count = 12;
+    const Scenario s = sim::generate_scenario(cfg, 21);
+    const auto cands = prune_useless_candidates(s, gac_candidates(s, 15.0));
+    const auto plan = solve_ilpqc_coverage(s, cands);
+    ASSERT_TRUE(plan.feasible);
+    EXPECT_TRUE(verify_coverage_max_power(s, plan).feasible);
+}
+
+TEST(IlpqcTest, FinerGridNeverWorse) {
+    sim::GeneratorConfig cfg;
+    cfg.field_side = 300.0;
+    cfg.subscriber_count = 10;
+    const Scenario s = sim::generate_scenario(cfg, 33);
+    const auto coarse =
+        solve_ilpqc_coverage(s, prune_useless_candidates(s, gac_candidates(s, 40.0)));
+    const auto fine =
+        solve_ilpqc_coverage(s, prune_useless_candidates(s, gac_candidates(s, 14.0)));
+    ASSERT_TRUE(coarse.feasible);
+    ASSERT_TRUE(fine.feasible);
+    EXPECT_LE(fine.rs_count(), coarse.rs_count());
+}
+
+TEST(IlpqcTest, NodeBudgetGivesAnytimeAnswer) {
+    sim::GeneratorConfig cfg;
+    cfg.field_side = 500.0;
+    cfg.subscriber_count = 20;
+    const Scenario s = sim::generate_scenario(cfg, 5);
+    IlpqcOptions opts;
+    opts.node_budget = 3;  // practically nothing
+    const auto plan =
+        solve_ilpqc_coverage(s, prune_useless_candidates(s, gac_candidates(s, 20.0)), opts);
+    // The greedy fallback should still deliver a feasible cover here.
+    ASSERT_TRUE(plan.feasible);
+    EXPECT_TRUE(verify_coverage_max_power(s, plan).feasible);
+}
+
+/// Property sweep: on random instances the ILPQC plan always passes the
+/// independent verifier and is no larger than the subscriber count.
+class IlpqcProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(IlpqcProperty, PlansVerifyEndToEnd) {
+    sim::GeneratorConfig cfg;
+    cfg.field_side = 500.0;
+    cfg.subscriber_count = 14;
+    const Scenario s = sim::generate_scenario(cfg, GetParam());
+    const auto plan = solve_ilpqc_coverage(s, iac_candidates(s));
+    if (!plan.feasible) GTEST_SKIP() << "instance infeasible under IAC";
+    EXPECT_LE(plan.rs_count(), s.subscriber_count());
+    const auto report = verify_coverage_max_power(s, plan);
+    EXPECT_TRUE(report.feasible) << report.violations << " violations";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IlpqcProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace sag::core

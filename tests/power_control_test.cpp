@@ -1,0 +1,132 @@
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sag/opt/power_control.h"
+
+namespace sag::opt {
+namespace {
+
+TEST(PowerControlTest, NoCouplingSettlesAtFloors) {
+    const std::vector<double> floors{1.0, 2.0, 3.0};
+    const std::vector<double> caps{10.0, 10.0, 10.0};
+    const auto r = fixed_point_power_control(
+        floors, caps, [](std::size_t, std::span<const double>) { return 0.0; });
+    ASSERT_TRUE(r.converged);
+    EXPECT_TRUE(r.feasible);
+    EXPECT_EQ(r.powers, floors);
+}
+
+TEST(PowerControlTest, LinearCouplingConvergesToMinimalFixedPoint) {
+    // p0 >= 1 + 0.5*p1, p1 >= 1 + 0.5*p0 -> minimal fixed point (2, 2).
+    const std::vector<double> floors{0.0, 0.0};
+    const std::vector<double> caps{100.0, 100.0};
+    const auto r = fixed_point_power_control(
+        floors, caps, [](std::size_t i, std::span<const double> p) {
+            return 1.0 + 0.5 * p[1 - i];
+        });
+    ASSERT_TRUE(r.converged);
+    EXPECT_TRUE(r.feasible);
+    EXPECT_NEAR(r.powers[0], 2.0, 1e-8);
+    EXPECT_NEAR(r.powers[1], 2.0, 1e-8);
+}
+
+TEST(PowerControlTest, InfeasibleWhenFixedPointExceedsCap) {
+    // p0 >= 1 + 0.9*p1, symmetric -> fixed point at 10 > cap 5.
+    const std::vector<double> floors{0.0, 0.0};
+    const std::vector<double> caps{5.0, 5.0};
+    const auto r = fixed_point_power_control(
+        floors, caps, [](std::size_t i, std::span<const double> p) {
+            return 1.0 + 0.9 * p[1 - i];
+        });
+    EXPECT_FALSE(r.feasible);
+}
+
+TEST(PowerControlTest, DivergentCouplingHitsCapsAndReportsInfeasible) {
+    // Gain > 1: true fixed point is infinite; caps bound the iteration.
+    const std::vector<double> floors{1.0, 1.0};
+    const std::vector<double> caps{50.0, 50.0};
+    const auto r = fixed_point_power_control(
+        floors, caps, [](std::size_t i, std::span<const double> p) {
+            return 2.0 * p[1 - i] + 1.0;
+        });
+    EXPECT_FALSE(r.feasible);
+    for (const double p : r.powers) EXPECT_LE(p, 50.0 + 1e-12);
+}
+
+TEST(PowerControlTest, FloorsAlreadyAboveRequirementStay) {
+    const std::vector<double> floors{5.0};
+    const std::vector<double> caps{10.0};
+    const auto r = fixed_point_power_control(
+        floors, caps, [](std::size_t, std::span<const double>) { return 1.0; });
+    EXPECT_TRUE(r.feasible);
+    EXPECT_DOUBLE_EQ(r.powers[0], 5.0);
+}
+
+TEST(PowerControlTest, RejectsSizeMismatch) {
+    const std::vector<double> floors{1.0, 2.0};
+    const std::vector<double> caps{10.0};
+    EXPECT_THROW((void)fixed_point_power_control(
+                     floors, caps,
+                     [](std::size_t, std::span<const double>) { return 0.0; }),
+                 std::invalid_argument);
+}
+
+TEST(PowerControlTest, EmptySystemTriviallyFeasible) {
+    const auto r = fixed_point_power_control(
+        {}, {}, [](std::size_t, std::span<const double>) { return 0.0; });
+    EXPECT_TRUE(r.feasible);
+    EXPECT_TRUE(r.powers.empty());
+}
+
+/// Property: for random diagonally-dominant interference matrices the fixed
+/// point is feasible, satisfies every constraint, and is component-wise
+/// minimal (lowering any entry breaks its own constraint).
+class PowerControlProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PowerControlProperty, FixedPointIsMinimalFeasible) {
+    std::mt19937_64 rng(GetParam());
+    std::uniform_real_distribution<double> gain(0.0, 1.0);
+    std::uniform_real_distribution<double> floor_dist(0.1, 1.0);
+    for (int trial = 0; trial < 30; ++trial) {
+        const std::size_t n = 2 + (trial % 5);
+        // Row-normalized coupling with total gain < 1 => convergent.
+        std::vector<std::vector<double>> f(n, std::vector<double>(n, 0.0));
+        for (std::size_t i = 0; i < n; ++i) {
+            double row = 0.0;
+            for (std::size_t j = 0; j < n; ++j) {
+                if (j != i) {
+                    f[i][j] = gain(rng);
+                    row += f[i][j];
+                }
+            }
+            for (std::size_t j = 0; j < n; ++j) {
+                if (j != i && row > 0.0) f[i][j] *= 0.8 / row;
+            }
+        }
+        std::vector<double> floors(n), caps(n, 1e6);
+        for (double& x : floors) x = floor_dist(rng);
+
+        const auto required = [&](std::size_t i, std::span<const double> p) {
+            double sum = 0.0;
+            for (std::size_t j = 0; j < n; ++j) sum += f[i][j] * p[j];
+            return sum;
+        };
+        const auto r = fixed_point_power_control(floors, caps, required);
+        ASSERT_TRUE(r.feasible) << "trial " << trial;
+        for (std::size_t i = 0; i < n; ++i) {
+            EXPECT_GE(r.powers[i] + 1e-7, floors[i]);
+            EXPECT_GE(r.powers[i] + 1e-7, required(i, r.powers));
+            // Minimality: the binding constraint is tight.
+            const double need = std::max(floors[i], required(i, r.powers));
+            EXPECT_NEAR(r.powers[i], need, 1e-6) << "trial " << trial;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PowerControlProperty,
+                         ::testing::Values(31, 41, 59, 26));
+
+}  // namespace
+}  // namespace sag::opt

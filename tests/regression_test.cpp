@@ -1,0 +1,70 @@
+// Pinned-output regression tests: exact solver outputs for fixed seeds.
+// These WILL break when an algorithm changes behaviour — that is the
+// point: any diff here must be explained (and EXPERIMENTS.md re-run)
+// rather than slipping silently into the benchmark numbers.
+//
+// Environment: 500x500 field, 20 subscribers, 4 BSs, SNR -15 dB, default
+// RadioParams (alpha 3, Pmax 50, ambient noise 0.065).
+#include <gtest/gtest.h>
+
+#include "sag/core/candidates.h"
+#include "sag/core/ilpqc.h"
+#include "sag/core/sag.h"
+#include "sag/sim/scenario_gen.h"
+
+namespace sag::core {
+namespace {
+
+struct Anchor {
+    int seed;
+    std::size_t samc_rs;
+    std::size_t connectivity_rs;
+    double lower_power;
+    double upper_power;
+    std::size_t iac_rs;
+};
+
+constexpr Anchor kAnchors[] = {
+    {1, 14, 34, 300.009471, 1035.531176, 14},
+    {2, 13, 28, 250.009543, 904.452404, 13},
+    {3, 15, 34, 200.013230, 1029.232184, 15},
+};
+
+class RegressionAnchors : public ::testing::TestWithParam<Anchor> {};
+
+TEST_P(RegressionAnchors, PipelineOutputsPinned) {
+    const Anchor& a = GetParam();
+    sim::GeneratorConfig cfg;
+    cfg.field_side = 500.0;
+    cfg.subscriber_count = 20;
+    cfg.base_station_count = 4;
+    const auto s = sim::generate_scenario(cfg, a.seed);
+
+    const auto result = solve_sag(s);
+    ASSERT_TRUE(result.feasible);
+    EXPECT_EQ(result.coverage_rs_count(), a.samc_rs);
+    EXPECT_EQ(result.connectivity_rs_count(), a.connectivity_rs);
+    EXPECT_NEAR(result.lower_tier_power(), a.lower_power, 1e-4);
+    EXPECT_NEAR(result.upper_tier_power(), a.upper_power, 1e-4);
+}
+
+TEST_P(RegressionAnchors, IlpqcOutputsPinned) {
+    const Anchor& a = GetParam();
+    sim::GeneratorConfig cfg;
+    cfg.field_side = 500.0;
+    cfg.subscriber_count = 20;
+    cfg.base_station_count = 4;
+    const auto s = sim::generate_scenario(cfg, a.seed);
+    const auto plan = solve_ilpqc_coverage(s, iac_candidates(s));
+    ASSERT_TRUE(plan.feasible);
+    EXPECT_TRUE(plan.proven_optimal);
+    EXPECT_EQ(plan.rs_count(), a.iac_rs);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegressionAnchors, ::testing::ValuesIn(kAnchors),
+                         [](const auto& info) {
+                             return "seed" + std::to_string(info.param.seed);
+                         });
+
+}  // namespace
+}  // namespace sag::core

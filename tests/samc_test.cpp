@@ -1,0 +1,190 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "sag/core/feasibility.h"
+#include "sag/core/samc.h"
+#include "sag/core/snr.h"
+#include "sag/opt/hitting_set.h"
+#include "sag/sim/scenario_gen.h"
+
+namespace sag::core {
+namespace {
+
+using samc_detail::coverage_link_escape;
+using samc_detail::sliding_movement;
+
+Scenario base_scenario(double side = 500.0) {
+    Scenario s;
+    s.field = geom::Rect::centered_square(side);
+    s.base_stations = {{{0.0, 0.0}}};
+    s.snr_threshold_db = -15.0;
+    // Hand-constructed cases reason about pure interference geometry;
+    // generator-based integration tests below keep the default noise.
+    s.radio.snr_ambient_noise = 0.0;
+    return s;
+}
+
+TEST(CoverageLinkEscapeTest, AssignsEverySubscriberExactlyOnce) {
+    Scenario s = base_scenario();
+    s.subscribers = {{{-30.0, 0.0}, 35.0}, {{30.0, 0.0}, 35.0}, {{0.0, 30.0}, 35.0}};
+    const std::size_t subs[] = {0, 1, 2};
+    const geom::Vec2 points[] = {{0.0, 0.0}, {100.0, 100.0}};
+    const auto za = coverage_link_escape(s, subs, points);
+    ASSERT_EQ(za.serving.size(), 3u);
+    for (const std::size_t p : za.serving) EXPECT_EQ(p, 0u);  // all reach point 0
+}
+
+TEST(CoverageLinkEscapeTest, HighDegreePointClaimsFirst) {
+    Scenario s = base_scenario();
+    // Point 0 covers subs 0,1; point 1 covers all three (degree 3) and
+    // must claim every subscriber first.
+    s.subscribers = {{{-10.0, 0.0}, 35.0}, {{10.0, 0.0}, 35.0}, {{60.0, 0.0}, 35.0}};
+    const std::size_t subs[] = {0, 1, 2};
+    const geom::Vec2 points[] = {{0.0, 0.0}, {25.0, 0.0}};
+    const auto za = coverage_link_escape(s, subs, points);
+    // Point 1 covers all three -> claims them all; point 0 ends one-on-none.
+    EXPECT_EQ(za.serving[0], 1u);
+    EXPECT_EQ(za.serving[1], 1u);
+    EXPECT_EQ(za.serving[2], 1u);
+}
+
+TEST(CoverageLinkEscapeTest, RespectsDistanceRequests) {
+    Scenario s = base_scenario();
+    s.subscribers = {{{-100.0, 0.0}, 30.0}, {{100.0, 0.0}, 30.0}};
+    const std::size_t subs[] = {0, 1};
+    const geom::Vec2 points[] = {{-100.0, 0.0}, {100.0, 0.0}};
+    const auto za = coverage_link_escape(s, subs, points);
+    EXPECT_EQ(za.serving[0], 0u);
+    EXPECT_EQ(za.serving[1], 1u);
+}
+
+TEST(SlidingMovementTest, OneOnOneRsMovesOntoSubscriber) {
+    Scenario s = base_scenario();
+    s.subscribers = {{{-100.0, 0.0}, 30.0}, {{100.0, 0.0}, 30.0}};
+    const std::size_t subs[] = {0, 1};
+    samc_detail::ZoneAssignment za;
+    za.points = {{-90.0, 0.0}, {110.0, 0.0}};  // inside circles but offset
+    za.serving = {0, 1};
+    const auto slide = sliding_movement(s, subs, za, {});
+    ASSERT_TRUE(slide.feasible);
+    EXPECT_EQ(slide.points[0], s.subscribers[0].pos);
+    EXPECT_EQ(slide.points[1], s.subscribers[1].pos);
+}
+
+TEST(SlidingMovementTest, MultiCoverRsStaysWhenSnrHolds) {
+    Scenario s = base_scenario();
+    s.subscribers = {{{-20.0, 0.0}, 35.0}, {{20.0, 0.0}, 35.0}};
+    const std::size_t subs[] = {0, 1};
+    samc_detail::ZoneAssignment za;
+    za.points = {{0.0, 0.0}};
+    za.serving = {0, 0};
+    const auto slide = sliding_movement(s, subs, za, {});
+    ASSERT_TRUE(slide.feasible);
+    EXPECT_EQ(slide.points[0], (geom::Vec2{0.0, 0.0}));  // untouched
+}
+
+TEST(SlidingMovementTest, RepairsSnrViolationByRelocation) {
+    Scenario s = base_scenario();
+    s.snr_threshold_db = 20.0;  // strict: forces separation
+    // Sub 0 one-on-one (RS slides onto it); subs 1,2 share an RS placed
+    // badly close to sub 0's RS -> sub 0's SNR initially violated.
+    s.subscribers = {{{-80.0, 0.0}, 35.0}, {{40.0, 0.0}, 35.0}, {{100.0, 0.0}, 35.0}};
+    const std::size_t subs[] = {0, 1, 2};
+    samc_detail::ZoneAssignment za;
+    za.points = {{-80.0, 0.0}, {68.0, 5.0}};
+    za.serving = {0, 1, 1};
+    const auto slide = sliding_movement(s, subs, za, {});
+    EXPECT_TRUE(slide.feasible);
+    // Relocated RS must still cover both its subscribers.
+    EXPECT_LE(geom::distance(slide.points[1], s.subscribers[1].pos), 35.0 + 1e-6);
+    EXPECT_LE(geom::distance(slide.points[1], s.subscribers[2].pos), 35.0 + 1e-6);
+}
+
+TEST(SlidingMovementTest, ImpossibleSnrReportsInfeasible) {
+    Scenario s = base_scenario();
+    s.snr_threshold_db = 60.0;  // cannot hold with two radiators nearby
+    s.subscribers = {{{-45.0, 0.0}, 35.0}, {{45.0, 0.0}, 35.0}};
+    const std::size_t subs[] = {0, 1};
+    samc_detail::ZoneAssignment za;
+    za.points = {{-45.0, 0.0}, {45.0, 0.0}};
+    za.serving = {0, 1};
+    const auto slide = sliding_movement(s, subs, za, {});
+    EXPECT_FALSE(slide.feasible);
+}
+
+TEST(SamcTest, EmptyScenario) {
+    Scenario s = base_scenario();
+    const auto result = solve_samc(s);
+    EXPECT_TRUE(result.plan.feasible);
+    EXPECT_EQ(result.plan.rs_count(), 0u);
+    EXPECT_TRUE(result.zones.empty());
+}
+
+TEST(SamcTest, SingleSubscriberGetsDedicatedRs) {
+    Scenario s = base_scenario();
+    s.subscribers = {{{50.0, 50.0}, 35.0}};
+    const auto result = solve_samc(s);
+    ASSERT_TRUE(result.plan.feasible);
+    EXPECT_EQ(result.plan.rs_count(), 1u);
+    EXPECT_TRUE(verify_coverage_max_power(s, result.plan).feasible);
+}
+
+TEST(SamcTest, RsCountEqualsHittingSetCount) {
+    // The paper's key property: SAMC never adds/removes RSs while fixing
+    // SNR, so its count equals the per-zone hitting set's.
+    sim::GeneratorConfig cfg;
+    cfg.field_side = 500.0;
+    cfg.subscriber_count = 18;
+    const Scenario s = sim::generate_scenario(cfg, 71);
+    const auto result = solve_samc(s);
+    std::size_t hitting_total = 0;
+    for (const auto& zone : result.zones) {
+        std::vector<geom::Circle> disks;
+        for (const std::size_t j : zone) disks.push_back(s.feasible_circle(j));
+        hitting_total += opt::geometric_hitting_set(disks, {}).size();
+    }
+    EXPECT_EQ(result.plan.rs_count(), hitting_total);
+}
+
+TEST(SamcTest, AssignmentsRespectDistanceRequests) {
+    sim::GeneratorConfig cfg;
+    cfg.field_side = 800.0;
+    cfg.subscriber_count = 25;
+    const Scenario s = sim::generate_scenario(cfg, 17);
+    const auto result = solve_samc(s);
+    ASSERT_TRUE(result.plan.feasible);
+    for (std::size_t j = 0; j < s.subscriber_count(); ++j) {
+        const auto& rs = result.plan.rs_positions[result.plan.assignment[j]];
+        EXPECT_LE(geom::distance(rs, s.subscribers[j].pos),
+                  s.subscribers[j].distance_request + 1e-6);
+    }
+}
+
+/// Property: SAMC plans verify end-to-end (distance, rate, SNR) on random
+/// instances across field sizes and seeds.
+class SamcProperty
+    : public ::testing::TestWithParam<std::tuple<int, double, std::size_t>> {};
+
+TEST_P(SamcProperty, PlanVerifies) {
+    const auto [seed, side, n] = GetParam();
+    sim::GeneratorConfig cfg;
+    cfg.field_side = side;
+    cfg.subscriber_count = n;
+    const Scenario s = sim::generate_scenario(cfg, seed);
+    const auto result = solve_samc(s);
+    ASSERT_TRUE(result.plan.feasible) << "SAMC infeasible";
+    const auto report = verify_coverage_max_power(s, result.plan);
+    EXPECT_TRUE(report.feasible) << report.violations << " violations";
+    EXPECT_LE(result.plan.rs_count(), s.subscriber_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SamcProperty,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(500.0, 800.0),
+                       ::testing::Values(std::size_t{10}, std::size_t{25})));
+
+}  // namespace
+}  // namespace sag::core

@@ -1,0 +1,106 @@
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "sag/core/sag.h"
+#include "sag/io/scenario_io.h"
+#include "sag/sim/scenario_gen.h"
+
+namespace sag::io {
+namespace {
+
+core::Scenario sample_scenario() {
+    sim::GeneratorConfig cfg;
+    cfg.field_side = 500.0;
+    cfg.subscriber_count = 12;
+    cfg.base_station_count = 2;
+    cfg.snr_threshold_db = -17.5;
+    cfg.radio.alpha = 2.5;  // non-default to prove it round-trips
+    return sim::generate_scenario(cfg, 5);
+}
+
+TEST(ScenarioIoTest, JsonRoundTripIsExact) {
+    const core::Scenario original = sample_scenario();
+    const core::Scenario copy = scenario_from_json(scenario_to_json(original));
+    ASSERT_EQ(copy.subscriber_count(), original.subscriber_count());
+    for (std::size_t j = 0; j < original.subscriber_count(); ++j) {
+        EXPECT_EQ(copy.subscribers[j].pos, original.subscribers[j].pos);
+        EXPECT_EQ(copy.subscribers[j].distance_request,
+                  original.subscribers[j].distance_request);
+    }
+    ASSERT_EQ(copy.base_stations.size(), original.base_stations.size());
+    EXPECT_EQ(copy.base_stations[1].pos, original.base_stations[1].pos);
+    EXPECT_EQ(copy.snr_threshold_db, original.snr_threshold_db);
+    EXPECT_EQ(copy.radio.alpha, original.radio.alpha);
+    EXPECT_EQ(copy.radio.snr_ambient_noise, original.radio.snr_ambient_noise);
+    EXPECT_EQ(copy.field.min, original.field.min);
+}
+
+TEST(ScenarioIoTest, TextualRoundTripThroughParser) {
+    const core::Scenario original = sample_scenario();
+    const std::string text = scenario_to_json(original).dump(2);
+    const core::Scenario copy = scenario_from_json(Json::parse(text));
+    EXPECT_EQ(copy.subscribers[3].pos, original.subscribers[3].pos);
+}
+
+TEST(ScenarioIoTest, RejectsUnknownFormatVersion) {
+    Json j = scenario_to_json(sample_scenario());
+    j["format"] = Json(99);
+    EXPECT_THROW((void)scenario_from_json(j), std::runtime_error);
+}
+
+TEST(ScenarioIoTest, RejectsMalformedPoint) {
+    Json j = scenario_to_json(sample_scenario());
+    j["base_stations"].as_array()[0] = Json(Json::Array{Json(1.0)});  // 1-element
+    EXPECT_THROW((void)scenario_from_json(j), std::runtime_error);
+}
+
+TEST(ScenarioIoTest, FileSaveLoad) {
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "sag_io_test_scenario.json").string();
+    const core::Scenario original = sample_scenario();
+    save_scenario(path, original);
+    const core::Scenario loaded = load_scenario(path);
+    EXPECT_EQ(loaded.subscribers[0].pos, original.subscribers[0].pos);
+    std::remove(path.c_str());
+}
+
+TEST(ScenarioIoTest, LoadMissingFileThrows) {
+    EXPECT_THROW((void)load_scenario("/nonexistent/sag.json"), std::runtime_error);
+}
+
+TEST(SagResultIoTest, ReportContainsBothTiers) {
+    const core::Scenario s = sample_scenario();
+    const auto result = core::solve_sag(s);
+    ASSERT_TRUE(result.feasible);
+    const Json j = sag_result_to_json(result);
+    EXPECT_TRUE(j.at("feasible").as_bool());
+    EXPECT_EQ(static_cast<std::size_t>(j.at("coverage_rs_count").as_number()),
+              result.coverage_rs_count());
+    EXPECT_EQ(j.at("coverage_rs").size(), result.coverage_rs_count());
+    EXPECT_EQ(j.at("assignment").size(), s.subscriber_count());
+    EXPECT_EQ(j.at("relay_tree").size(), result.connectivity.node_count());
+    EXPECT_NEAR(j.at("total_power").as_number(), result.total_power(), 1e-9);
+    // Report text parses back.
+    EXPECT_NO_THROW((void)Json::parse(j.dump(2)));
+}
+
+TEST(DeploymentCsvTest, RowsMatchNodeAndSubscriberCounts) {
+    const core::Scenario s = sample_scenario();
+    const auto result = core::solve_sag(s);
+    ASSERT_TRUE(result.feasible);
+    std::ostringstream os;
+    write_deployment_csv(os, s, result.coverage, result.connectivity);
+    std::istringstream is(os.str());
+    std::string line;
+    std::size_t rows = 0;
+    std::getline(is, line);
+    EXPECT_EQ(line, "kind,x,y,power,parent_x,parent_y");
+    while (std::getline(is, line)) ++rows;
+    EXPECT_EQ(rows, s.subscriber_count() + result.connectivity.node_count());
+}
+
+}  // namespace
+}  // namespace sag::io

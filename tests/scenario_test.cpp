@@ -1,0 +1,235 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "sag/core/candidates.h"
+#include "sag/core/scenario.h"
+#include "sag/core/zone_partition.h"
+#include "sag/sim/scenario_gen.h"
+#include "sag/wireless/two_ray.h"
+#include "sag/wireless/units.h"
+
+namespace sag::core {
+namespace {
+
+Scenario tiny_scenario() {
+    Scenario s;
+    s.field = geom::Rect::centered_square(500.0);
+    s.subscribers = {{{0.0, 0.0}, 30.0}, {{100.0, 0.0}, 40.0}};
+    s.base_stations = {{{-200.0, -200.0}}};
+    s.snr_threshold_db = -15.0;
+    return s;
+}
+
+TEST(ScenarioTest, SnrThresholdConversion) {
+    Scenario s = tiny_scenario();
+    EXPECT_NEAR(s.snr_threshold_linear(), wireless::db_to_linear(-15.0), 1e-15);
+}
+
+TEST(ScenarioTest, FeasibleCircleMatchesSubscriber) {
+    Scenario s = tiny_scenario();
+    const auto c = s.feasible_circle(1);
+    EXPECT_EQ(c.center, (geom::Vec2{100.0, 0.0}));
+    EXPECT_DOUBLE_EQ(c.radius, 40.0);
+    EXPECT_EQ(s.feasible_circles().size(), 2u);
+}
+
+TEST(ScenarioTest, MinRxPowerIsPowerAtDistanceRequest) {
+    Scenario s = tiny_scenario();
+    const double expect =
+        wireless::received_power(s.radio, s.radio.max_power, 30.0);
+    EXPECT_NEAR(s.min_rx_power(0), expect, 1e-15);
+    // Larger distance request -> weaker demanded power.
+    EXPECT_LT(s.min_rx_power(1), s.min_rx_power(0));
+}
+
+TEST(ScenarioTest, MinDistanceRequest) {
+    EXPECT_DOUBLE_EQ(tiny_scenario().min_distance_request(), 30.0);
+}
+
+TEST(ScenarioTest, ValidateAcceptsGoodInstance) {
+    EXPECT_NO_THROW(tiny_scenario().validate());
+}
+
+TEST(ScenarioTest, ValidateRejectsBadInstances) {
+    Scenario s = tiny_scenario();
+    s.base_stations.clear();
+    EXPECT_THROW(s.validate(), std::invalid_argument);
+
+    s = tiny_scenario();
+    s.subscribers[0].distance_request = 0.0;
+    EXPECT_THROW(s.validate(), std::invalid_argument);
+
+    s = tiny_scenario();
+    s.subscribers[0].pos = {400.0, 0.0};  // outside field
+    EXPECT_THROW(s.validate(), std::invalid_argument);
+
+    s = tiny_scenario();
+    s.base_stations[0].pos = {0.0, 9999.0};
+    EXPECT_THROW(s.validate(), std::invalid_argument);
+}
+
+TEST(ZonePartitionTest, DmaxMatchesNmaxDefinition) {
+    Scenario s = tiny_scenario();
+    const double dmax = zone_partition_dmax(s);
+    EXPECT_NEAR(wireless::received_power(s.radio, s.radio.max_power, dmax),
+                s.radio.ignorable_noise, 1e-12);
+}
+
+TEST(ZonePartitionTest, NearbySubscribersShareAZone) {
+    Scenario s = tiny_scenario();  // 100 apart, d_eff = 60 < dmax(~150)
+    const auto zones = zone_partition(s);
+    ASSERT_EQ(zones.size(), 1u);
+    EXPECT_EQ(zones[0].size(), 2u);
+}
+
+TEST(ZonePartitionTest, FarSubscribersSplit) {
+    Scenario s = tiny_scenario();
+    s.field = geom::Rect::centered_square(2000.0);
+    s.subscribers[1].pos = {900.0, 0.0};  // d_eff = 860 >> dmax
+    const auto zones = zone_partition(s);
+    EXPECT_EQ(zones.size(), 2u);
+}
+
+TEST(ZonePartitionTest, ZonesPartitionTheSubscribers) {
+    sim::GeneratorConfig cfg;
+    cfg.field_side = 2000.0;
+    cfg.subscriber_count = 40;
+    const Scenario s = sim::generate_scenario(cfg, 3);
+    const auto zones = zone_partition(s);
+    std::set<std::size_t> seen;
+    for (const auto& z : zones) {
+        EXPECT_FALSE(z.empty());
+        for (const std::size_t j : z) EXPECT_TRUE(seen.insert(j).second);
+    }
+    EXPECT_EQ(seen.size(), s.subscriber_count());
+}
+
+TEST(ZonePartitionTest, InterZoneStationsCannotInterfereAboveNmax) {
+    sim::GeneratorConfig cfg;
+    cfg.field_side = 3000.0;
+    cfg.subscriber_count = 30;
+    const Scenario s = sim::generate_scenario(cfg, 9);
+    const double dmax = zone_partition_dmax(s);
+    const auto zones = zone_partition(s);
+    // For subscribers in different zones: any RS within s_i's circle is
+    // at least dmax from s_j.
+    for (std::size_t a = 0; a < zones.size(); ++a) {
+        for (std::size_t b = a + 1; b < zones.size(); ++b) {
+            for (const std::size_t i : zones[a]) {
+                for (const std::size_t j : zones[b]) {
+                    const double dist =
+                        geom::distance(s.subscribers[i].pos, s.subscribers[j].pos);
+                    const double d_eff =
+                        std::min(dist - s.subscribers[i].distance_request,
+                                 dist - s.subscribers[j].distance_request);
+                    EXPECT_GT(d_eff, dmax);
+                }
+            }
+        }
+    }
+}
+
+TEST(CandidatesTest, IacContainsIntersectionsOfOverlappingCircles) {
+    Scenario s = tiny_scenario();
+    s.subscribers = {{{0.0, 0.0}, 40.0}, {{50.0, 0.0}, 40.0}};
+    const auto cands = iac_candidates(s);
+    EXPECT_EQ(cands.size(), 2u);  // two boundary intersections
+    for (const auto& p : cands) {
+        EXPECT_TRUE(s.feasible_circle(0).on_boundary(p, 1e-6));
+        EXPECT_TRUE(s.feasible_circle(1).on_boundary(p, 1e-6));
+    }
+}
+
+TEST(CandidatesTest, IacAddsCenterForIsolatedSubscriber) {
+    Scenario s = tiny_scenario();
+    s.subscribers = {{{0.0, 0.0}, 30.0}, {{200.0, 0.0}, 30.0}};
+    const auto cands = iac_candidates(s);
+    ASSERT_EQ(cands.size(), 2u);  // both isolated: centers only
+    EXPECT_EQ(cands[0], (geom::Vec2{0.0, 0.0}));
+    EXPECT_EQ(cands[1], (geom::Vec2{200.0, 0.0}));
+}
+
+TEST(CandidatesTest, GacDensityTracksGridSize) {
+    Scenario s = tiny_scenario();
+    const auto coarse = gac_candidates(s, 50.0);
+    const auto fine = gac_candidates(s, 20.0);
+    EXPECT_EQ(coarse.size(), 100u);
+    EXPECT_EQ(fine.size(), 625u);
+    for (const auto& p : fine) EXPECT_TRUE(s.field.contains(p));
+}
+
+TEST(CandidatesTest, PruneRemovesUncoveringPositions) {
+    Scenario s = tiny_scenario();
+    auto cands = gac_candidates(s, 25.0);
+    const std::size_t before = cands.size();
+    cands = prune_useless_candidates(s, std::move(cands));
+    EXPECT_LT(cands.size(), before);
+    for (const auto& p : cands) {
+        const bool covers_some =
+            s.feasible_circle(0).contains(p, 1e-6) ||
+            s.feasible_circle(1).contains(p, 1e-6);
+        EXPECT_TRUE(covers_some);
+    }
+}
+
+TEST(GeneratorTest, Deterministic) {
+    sim::GeneratorConfig cfg;
+    cfg.subscriber_count = 15;
+    const Scenario a = sim::generate_scenario(cfg, 42);
+    const Scenario b = sim::generate_scenario(cfg, 42);
+    ASSERT_EQ(a.subscriber_count(), b.subscriber_count());
+    for (std::size_t i = 0; i < a.subscriber_count(); ++i) {
+        EXPECT_EQ(a.subscribers[i].pos, b.subscribers[i].pos);
+        EXPECT_EQ(a.subscribers[i].distance_request, b.subscribers[i].distance_request);
+    }
+    const Scenario c = sim::generate_scenario(cfg, 43);
+    EXPECT_NE(a.subscribers[0].pos, c.subscribers[0].pos);
+}
+
+TEST(GeneratorTest, RespectsConfig) {
+    sim::GeneratorConfig cfg;
+    cfg.field_side = 800.0;
+    cfg.subscriber_count = 25;
+    cfg.base_station_count = 3;
+    cfg.snr_threshold_db = -20.0;
+    const Scenario s = sim::generate_scenario(cfg, 1);
+    EXPECT_EQ(s.subscriber_count(), 25u);
+    EXPECT_EQ(s.base_stations.size(), 3u);
+    EXPECT_DOUBLE_EQ(s.snr_threshold_db, -20.0);
+    EXPECT_DOUBLE_EQ(s.field.width(), 800.0);
+    for (const auto& sub : s.subscribers) {
+        EXPECT_GE(sub.distance_request, 30.0);
+        EXPECT_LE(sub.distance_request, 40.0);
+        EXPECT_TRUE(s.field.contains(sub.pos));
+    }
+}
+
+TEST(GeneratorTest, CornersLayoutPlacesBsAtInsetCorners) {
+    sim::GeneratorConfig cfg;
+    cfg.field_side = 600.0;
+    cfg.base_station_count = 4;
+    cfg.bs_layout = sim::BsLayout::Corners;
+    const Scenario s = sim::generate_scenario(cfg, 8);
+    ASSERT_EQ(s.base_stations.size(), 4u);
+    for (const auto& b : s.base_stations) {
+        EXPECT_NEAR(std::abs(b.pos.x), 240.0, 1e-9);
+        EXPECT_NEAR(std::abs(b.pos.y), 240.0, 1e-9);
+    }
+}
+
+TEST(GeneratorTest, RejectsBadConfig) {
+    sim::GeneratorConfig cfg;
+    cfg.field_side = -5.0;
+    EXPECT_THROW((void)sim::generate_scenario(cfg, 1), std::invalid_argument);
+    cfg = {};
+    cfg.base_station_count = 0;
+    EXPECT_THROW((void)sim::generate_scenario(cfg, 1), std::invalid_argument);
+    cfg = {};
+    cfg.max_distance_request = 10.0;  // below min
+    EXPECT_THROW((void)sim::generate_scenario(cfg, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sag::core

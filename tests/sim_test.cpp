@@ -1,0 +1,86 @@
+#include <cmath>
+#include <sstream>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "sag/sim/stats.h"
+#include "sag/sim/stopwatch.h"
+#include "sag/sim/table.h"
+
+namespace sag::sim {
+namespace {
+
+TEST(RunningStatTest, MeanAndVariance) {
+    RunningStat s;
+    for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_NEAR(s.mean(), 5.0, 1e-12);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+}
+
+TEST(RunningStatTest, DegenerateCases) {
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    s.add(3.5);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(StatsTest, SpanHelpers) {
+    const double xs[] = {1.0, 2.0, 3.0};
+    EXPECT_NEAR(mean(xs), 2.0, 1e-12);
+    EXPECT_NEAR(stddev(xs), 1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(mean(std::span<const double>{}), 0.0);
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+    Stopwatch sw;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    const double t = sw.seconds();
+    EXPECT_GE(t, 0.015);
+    EXPECT_LT(t, 5.0);
+    sw.reset();
+    EXPECT_LT(sw.seconds(), 0.015);
+    EXPECT_NEAR(sw.milliseconds(), sw.seconds() * 1e3, 1.0);
+}
+
+TEST(TableTest, PrintAlignsColumns) {
+    Table t({"users", "RSs"});
+    t.add_row({"15", "9"});
+    t.add_numeric_row({20.0, 11.5}, 1);
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("users"), std::string::npos);
+    EXPECT_NE(out.find("20.0"), std::string::npos);
+    EXPECT_NE(out.find("11.5"), std::string::npos);
+    EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TableTest, CsvOutput) {
+    Table t({"a", "b"});
+    t.add_row({"1", "2"});
+    std::ostringstream os;
+    t.write_csv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TableTest, RejectsWrongWidth) {
+    Table t({"a", "b"});
+    EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TableTest, NanRendersAsNa) {
+    EXPECT_EQ(format_cell(std::nan(""), 2), "n/a");
+    EXPECT_EQ(format_cell(3.14159, 2), "3.14");
+    Table t({"x"});
+    t.add_numeric_row({std::nan("")});
+    std::ostringstream os;
+    t.write_csv(os);
+    EXPECT_EQ(os.str(), "x\nn/a\n");
+}
+
+}  // namespace
+}  // namespace sag::sim

@@ -1,0 +1,90 @@
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "sag/geometry/circle.h"
+#include "sag/geometry/spatial_grid.h"
+
+namespace sag::geom {
+namespace {
+
+TEST(SpatialGridTest, EmptyIndex) {
+    const SpatialGrid grid({}, 10.0);
+    EXPECT_EQ(grid.size(), 0u);
+    EXPECT_TRUE(grid.query_radius({0, 0}, 100.0).empty());
+    EXPECT_TRUE(grid.all_pairs_within(100.0).empty());
+}
+
+TEST(SpatialGridTest, RejectsBadCellSize) {
+    EXPECT_THROW(SpatialGrid({{0, 0}}, 0.0), std::invalid_argument);
+    EXPECT_THROW(SpatialGrid({{0, 0}}, -5.0), std::invalid_argument);
+}
+
+TEST(SpatialGridTest, QueryRadiusInclusiveBoundary) {
+    const SpatialGrid grid({{0, 0}, {10, 0}, {20, 0}}, 7.0);
+    const auto hits = grid.query_radius({0, 0}, 10.0);
+    EXPECT_EQ(hits, (std::vector<std::size_t>{0, 1}));  // 20 excluded
+    EXPECT_EQ(grid.query_radius({0, 0}, 9.99).size(), 1u);
+}
+
+TEST(SpatialGridTest, NegativeRadiusEmpty) {
+    const SpatialGrid grid({{0, 0}}, 5.0);
+    EXPECT_TRUE(grid.query_radius({0, 0}, -1.0).empty());
+}
+
+TEST(SpatialGridTest, NegativeCoordinatesHandled) {
+    const SpatialGrid grid({{-100, -100}, {-95, -100}, {100, 100}}, 8.0);
+    const auto hits = grid.query_radius({-100, -100}, 6.0);
+    EXPECT_EQ(hits, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(SpatialGridTest, PairsEachReportedOnceSorted) {
+    const SpatialGrid grid({{0, 0}, {3, 0}, {6, 0}}, 4.0);
+    const auto pairs = grid.all_pairs_within(3.5);
+    ASSERT_EQ(pairs.size(), 2u);
+    EXPECT_EQ(pairs[0], std::make_pair(std::size_t{0}, std::size_t{1}));
+    EXPECT_EQ(pairs[1], std::make_pair(std::size_t{1}, std::size_t{2}));
+}
+
+/// Property: results match the brute-force scan for random point sets and
+/// several cell sizes (including pathological ones).
+class SpatialGridProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(SpatialGridProperty, MatchesBruteForce) {
+    const double cell = GetParam();
+    std::mt19937_64 rng(101);
+    std::uniform_real_distribution<double> coord(-500.0, 500.0);
+    std::vector<Vec2> pts;
+    for (int i = 0; i < 200; ++i) pts.push_back({coord(rng), coord(rng)});
+    const SpatialGrid grid(pts, cell);
+
+    for (const double radius : {0.0, 12.0, 80.0, 400.0}) {
+        // query_radius vs brute force at a few probes.
+        for (int probe = 0; probe < 10; ++probe) {
+            const Vec2 c{coord(rng), coord(rng)};
+            std::vector<std::size_t> brute;
+            for (std::size_t i = 0; i < pts.size(); ++i) {
+                if (distance_sq(pts[i], c) <= radius * radius + kEps) brute.push_back(i);
+            }
+            EXPECT_EQ(grid.query_radius(c, radius), brute)
+                << "cell " << cell << " radius " << radius;
+        }
+        // all_pairs_within vs brute force.
+        std::vector<std::pair<std::size_t, std::size_t>> brute_pairs;
+        for (std::size_t i = 0; i < pts.size(); ++i) {
+            for (std::size_t j = i + 1; j < pts.size(); ++j) {
+                if (distance_sq(pts[i], pts[j]) <= radius * radius + kEps) {
+                    brute_pairs.emplace_back(i, j);
+                }
+            }
+        }
+        EXPECT_EQ(grid.all_pairs_within(radius), brute_pairs)
+            << "cell " << cell << " radius " << radius;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(CellSizes, SpatialGridProperty,
+                         ::testing::Values(1.0, 25.0, 150.0, 2000.0));
+
+}  // namespace
+}  // namespace sag::geom

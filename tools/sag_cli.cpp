@@ -1,0 +1,183 @@
+// sag_cli — command-line front end for the library.
+//
+//   sag_cli generate --out scenario.json [--users N] [--bs N] [--field S]
+//                    [--snr DB] [--seed K] [--bs-layout uniform|corners|center]
+//       Generate a random scenario and write it as JSON.
+//
+//   sag_cli solve --scenario scenario.json [--out result.json] [--csv tree.csv]
+//                 [--coverage samc|iac|gac] [--grid SIZE]
+//       Run the SAG pipeline (coverage + PRO + MBMC + UCPO) and report.
+//
+//   sag_cli verify --scenario scenario.json --result result.json
+//       Re-check a previously produced deployment against its scenario.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "sag/core/candidates.h"
+#include "sag/core/feasibility.h"
+#include "sag/core/ilpqc.h"
+#include "sag/core/sag.h"
+#include "sag/io/scenario_io.h"
+#include "sag/sim/scenario_gen.h"
+
+namespace {
+
+using namespace sag;
+
+/// Tiny --key value / --flag argument map.
+class Args {
+public:
+    Args(int argc, char** argv) {
+        for (int i = 2; i < argc; ++i) {
+            std::string key = argv[i];
+            if (key.rfind("--", 0) != 0) continue;
+            key = key.substr(2);
+            if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+                values_[key] = argv[++i];
+            } else {
+                values_[key] = "";
+            }
+        }
+    }
+    std::optional<std::string> get(const std::string& key) const {
+        const auto it = values_.find(key);
+        return it == values_.end() ? std::nullopt : std::make_optional(it->second);
+    }
+    std::string get_or(const std::string& key, const std::string& fallback) const {
+        return get(key).value_or(fallback);
+    }
+    double num_or(const std::string& key, double fallback) const {
+        const auto v = get(key);
+        return v ? std::stod(*v) : fallback;
+    }
+
+private:
+    std::map<std::string, std::string> values_;
+};
+
+int usage() {
+    std::fprintf(stderr,
+                 "usage:\n"
+                 "  sag_cli generate --out FILE [--users N] [--bs N] [--field S]"
+                 " [--snr DB] [--seed K] [--bs-layout uniform|corners|center]\n"
+                 "  sag_cli solve --scenario FILE [--out FILE] [--csv FILE]"
+                 " [--coverage samc|iac|gac] [--grid SIZE]\n"
+                 "  sag_cli verify --scenario FILE --result FILE\n");
+    return 2;
+}
+
+int cmd_generate(const Args& args) {
+    const auto out = args.get("out");
+    if (!out) return usage();
+    sim::GeneratorConfig cfg;
+    cfg.field_side = args.num_or("field", 500.0);
+    cfg.subscriber_count = static_cast<std::size_t>(args.num_or("users", 30));
+    cfg.base_station_count = static_cast<std::size_t>(args.num_or("bs", 4));
+    cfg.snr_threshold_db = args.num_or("snr", -15.0);
+    const std::string layout = args.get_or("bs-layout", "uniform");
+    cfg.bs_layout = layout == "corners"  ? sim::BsLayout::Corners
+                    : layout == "center" ? sim::BsLayout::Center
+                                         : sim::BsLayout::Uniform;
+    const auto seed = static_cast<std::uint64_t>(args.num_or("seed", 1));
+    io::save_scenario(*out, sim::generate_scenario(cfg, seed));
+    std::printf("wrote %s (%zu subscribers, %zu base stations, %.0fx%.0f)\n",
+                out->c_str(), cfg.subscriber_count, cfg.base_station_count,
+                cfg.field_side, cfg.field_side);
+    return 0;
+}
+
+int cmd_solve(const Args& args) {
+    const auto scenario_path = args.get("scenario");
+    if (!scenario_path) return usage();
+    const core::Scenario scenario = io::load_scenario(*scenario_path);
+
+    const std::string method = args.get_or("coverage", "samc");
+    core::CoveragePlan coverage;
+    if (method == "samc") {
+        coverage = core::solve_samc(scenario).plan;
+    } else if (method == "iac" || method == "gac") {
+        core::IlpqcOptions opts;
+        opts.time_budget_seconds = 10.0;
+        const auto candidates =
+            method == "iac"
+                ? core::iac_candidates(scenario)
+                : core::prune_useless_candidates(
+                      scenario,
+                      core::gac_candidates(scenario, args.num_or("grid", 15.0)));
+        coverage = core::solve_ilpqc_coverage(scenario, candidates, opts);
+    } else {
+        std::fprintf(stderr, "unknown coverage method '%s'\n", method.c_str());
+        return usage();
+    }
+
+    const core::SagResult result = core::green_pipeline(scenario, std::move(coverage));
+    std::printf("coverage method : %s\n", method.c_str());
+    std::printf("feasible        : %s\n", result.feasible ? "yes" : "no");
+    if (result.feasible) {
+        std::printf("coverage RSs    : %zu\n", result.coverage_rs_count());
+        std::printf("connectivity RSs: %zu\n", result.connectivity_rs_count());
+        std::printf("P_L / P_H       : %.2f / %.2f\n", result.lower_tier_power(),
+                    result.upper_tier_power());
+        std::printf("P_total         : %.2f\n", result.total_power());
+    }
+
+    if (const auto out = args.get("out")) {
+        io::write_text_file(*out, io::sag_result_to_json(result).dump(2) + "\n");
+        std::printf("wrote %s\n", out->c_str());
+    }
+    if (const auto csv = args.get("csv")) {
+        std::ofstream os(*csv);
+        io::write_deployment_csv(os, scenario, result.coverage, result.connectivity);
+        std::printf("wrote %s\n", csv->c_str());
+    }
+    return result.feasible ? 0 : 1;
+}
+
+int cmd_verify(const Args& args) {
+    const auto scenario_path = args.get("scenario");
+    const auto result_path = args.get("result");
+    if (!scenario_path || !result_path) return usage();
+    const core::Scenario scenario = io::load_scenario(*scenario_path);
+    const io::Json report = io::Json::parse(io::read_text_file(*result_path));
+
+    // Rebuild the coverage plan + powers from the archived report.
+    core::CoveragePlan coverage;
+    coverage.feasible = report.at("feasible").as_bool();
+    std::vector<double> powers;
+    for (const auto& rs : report.at("coverage_rs").as_array()) {
+        const auto& pos = rs.at("pos");
+        coverage.rs_positions.push_back(
+            {pos.at(std::size_t{0}).as_number(), pos.at(std::size_t{1}).as_number()});
+        powers.push_back(rs.at("power").as_number());
+    }
+    for (const auto& a : report.at("assignment").as_array()) {
+        coverage.assignment.push_back(static_cast<std::size_t>(a.as_number()));
+    }
+
+    const auto check = core::verify_coverage(scenario, coverage, powers);
+    std::printf("coverage check: %s (%zu violations over %zu subscribers)\n",
+                check.feasible ? "OK" : "FAILED", check.violations,
+                check.subscribers.size());
+    return check.feasible ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) return usage();
+    const Args args(argc, argv);
+    const std::string cmd = argv[1];
+    try {
+        if (cmd == "generate") return cmd_generate(args);
+        if (cmd == "solve") return cmd_solve(args);
+        if (cmd == "verify") return cmd_verify(args);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    return usage();
+}
