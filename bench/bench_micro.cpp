@@ -7,6 +7,8 @@
 #include "sag/core/ilpqc.h"
 #include "sag/core/power.h"
 #include "sag/core/samc.h"
+#include "sag/core/snr.h"
+#include "sag/core/snr_field.h"
 #include "sag/core/ucra.h"
 #include "sag/opt/hitting_set.h"
 #include "sag/sim/scenario_gen.h"
@@ -78,6 +80,60 @@ void BM_Mbmc(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_Mbmc)->Arg(10)->Arg(20)->Arg(40);
+
+// --- snr_field_delta: single-RS-move SNR re-evaluation, scratch vs
+// incremental, at the paper's 800x800 m preset. One RS per 8 subscribers
+// (the paper's coverage density ballpark); each iteration relocates one RS
+// and re-reads every subscriber's SNR.
+
+struct DeltaBenchFixture {
+    core::Scenario scenario;
+    std::vector<geom::Vec2> rs;
+    std::vector<double> powers;
+    std::vector<std::size_t> serving;
+    geom::Vec2 home, away;
+
+    explicit DeltaBenchFixture(std::size_t users)
+        : scenario(make_scenario(users, 800.0)) {
+        for (std::size_t j = 0; j < users; j += 8) {
+            rs.push_back(scenario.subscribers[j].pos);
+        }
+        powers.assign(rs.size(), scenario.radio.max_power);
+        serving.resize(users);
+        for (std::size_t j = 0; j < users; ++j) serving[j] = j % rs.size();
+        home = rs[0];
+        away = home + geom::Vec2{15.0, -10.0};
+    }
+};
+
+void BM_SnrFieldDeltaScratch(benchmark::State& state) {
+    DeltaBenchFixture f(static_cast<std::size_t>(state.range(0)));
+    bool flip = false;
+    for (auto _ : state) {
+        f.rs[0] = flip ? f.away : f.home;
+        flip = !flip;
+        benchmark::DoNotOptimize(
+            core::coverage_snrs(f.scenario, f.rs, f.powers, f.serving));
+    }
+}
+BENCHMARK(BM_SnrFieldDeltaScratch)->Arg(500)->Arg(1000)->Arg(2000);
+
+void BM_SnrFieldDeltaIncremental(benchmark::State& state) {
+    DeltaBenchFixture f(static_cast<std::size_t>(state.range(0)));
+    core::SnrField field(f.scenario, f.rs, f.powers);
+    field.set_check_interval(0);
+    std::vector<double> snrs(f.serving.size());
+    bool flip = false;
+    for (auto _ : state) {
+        field.move_rs(0, flip ? f.away : f.home);
+        flip = !flip;
+        for (std::size_t k = 0; k < f.serving.size(); ++k) {
+            snrs[k] = field.snr_of(k, f.serving[k]);
+        }
+        benchmark::DoNotOptimize(snrs);
+    }
+}
+BENCHMARK(BM_SnrFieldDeltaIncremental)->Arg(500)->Arg(1000)->Arg(2000);
 
 }  // namespace
 

@@ -13,7 +13,11 @@ namespace sag::core {
 /// (indices into rs_positions) and every RS transmits its entry of
 /// `powers`. Interference is the total received power from all *other*
 /// RSs in rs_positions (paper Definition 2); base stations do not radiate
-/// on the access band in this model.
+/// on the access band in this model. A zero serving signal (e.g. the
+/// serving RS powered down) reports SNR 0, never infinity, even when the
+/// interference is also zero. Implemented as a one-shot core::SnrField
+/// (snr_field.h); solvers that probe many nearby configurations should
+/// hold a field and apply deltas instead of calling this per candidate.
 std::vector<double> coverage_snrs(const Scenario& scenario,
                                   std::span<const geom::Vec2> rs_positions,
                                   std::span<const double> powers,

@@ -1,0 +1,192 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "sag/core/scenario.h"
+
+namespace sag::core {
+
+/// Stateful, delta-updatable interference field: the incremental SNR
+/// evaluation engine behind every SNR-constrained step of the pipeline.
+///
+/// The field caches, per tracked subscriber, the *total* received power
+/// from the current RS set. Definition 2's interference for a subscriber
+/// served by RS i is then `total - signal_i + N_amb`, so one cached sum
+/// answers SNR queries for any serving choice in O(1). Mutations
+/// (`move_rs`, `set_power`, `add_rs`, `remove_rs`) update the cache in
+/// O(tracked subscribers) — one path-loss evaluation per subscriber —
+/// instead of the O(subscribers x RSs) full rebuild of `coverage_snrs`.
+///
+/// Exactness: each per-subscriber total is kept as a Neumaier-compensated
+/// (sum, comp) pair. Every delta adds/subtracts the *same doubles* a
+/// from-scratch evaluation would sum, and the compensation captures each
+/// addition's rounding residual exactly, so an incrementally maintained
+/// field and a freshly built one agree to the last few ulps no matter how
+/// many deltas were applied. A debug-only full-recompute assert
+/// (`set_check_interval`) makes that equivalence checkable on every path.
+///
+/// Zone-local solvers construct the field over a subscriber subset; all
+/// indices into subscribers passed to/returned from this class are then
+/// *tracked-local* (position within that subset).
+class SnrField {
+public:
+    /// Field over a subset of subscribers (`subs` holds indices into
+    /// `scenario.subscribers`; kept by copy). `rs_positions` and `powers`
+    /// must be the same length.
+    SnrField(const Scenario& scenario, std::span<const geom::Vec2> rs_positions,
+             std::span<const double> powers, std::span<const std::size_t> subs);
+
+    /// Field over every subscriber of the scenario.
+    SnrField(const Scenario& scenario, std::span<const geom::Vec2> rs_positions,
+             std::span<const double> powers);
+
+    /// Every RS at `scenario.radio.max_power` (the placement-phase query).
+    static SnrField at_max_power(const Scenario& scenario,
+                                 std::span<const geom::Vec2> rs_positions);
+    static SnrField at_max_power(const Scenario& scenario,
+                                 std::span<const geom::Vec2> rs_positions,
+                                 std::span<const std::size_t> subs);
+
+    const Scenario& scenario() const { return *scenario_; }
+
+    std::size_t rs_count() const { return rs_pos_.size(); }
+    const geom::Vec2& rs_position(std::size_t i) const { return rs_pos_[i]; }
+    double rs_power(std::size_t i) const { return rs_power_[i]; }
+    std::span<const geom::Vec2> rs_positions() const { return rs_pos_; }
+    std::span<const double> rs_powers() const { return rs_power_; }
+
+    std::size_t tracked_count() const { return sub_ids_.size(); }
+    /// Global subscriber index of tracked slot k.
+    std::size_t tracked_subscriber(std::size_t k) const { return sub_ids_[k]; }
+
+    // --- Deltas: each O(tracked_count), journaled when a Transaction is open.
+
+    /// Relocate RS i.
+    void move_rs(std::size_t i, const geom::Vec2& to);
+    /// Change RS i's transmit power.
+    void set_power(std::size_t i, double power);
+    /// Append an RS; returns its index (== old rs_count()).
+    std::size_t add_rs(const geom::Vec2& pos, double power);
+    /// Erase RS i; RSs after i shift down by one index.
+    void remove_rs(std::size_t i);
+
+    // --- Reads: O(1) after the cached totals.
+
+    /// Total received power at tracked subscriber k from the whole RS set.
+    double total_rx(std::size_t k) const { return total_[k] + comp_[k]; }
+
+    /// Definition-2 SNR of tracked subscriber k when served by RS
+    /// `serving`: signal / (total - signal + N_amb). Zero signal reports
+    /// 0 (never infinity); zero denominator with positive signal reports
+    /// infinity.
+    double snr_of(std::size_t k, std::size_t serving) const;
+
+    /// True when snr_of(k, serving) clears beta with relative slack.
+    bool meets_threshold(std::size_t k, std::size_t serving,
+                         double rel_slack = 1e-12) const;
+
+    /// Tracked-local indices of subscribers failing either their distance
+    /// request against `serving[k]` or the SNR threshold. `serving` is
+    /// tracked-local -> RS index, one entry per tracked subscriber.
+    std::vector<std::size_t> violated(std::span<const std::size_t> serving) const;
+
+    /// True when every tracked subscriber in `subs_local` clears beta under
+    /// `serving` (distance not checked).
+    bool all_meet_threshold(std::span<const std::size_t> serving,
+                            double rel_slack = 1e-12) const;
+
+    // --- Maintenance.
+
+    /// Exact from-scratch rebuild of tracked slot k's total. Safe to call
+    /// concurrently for distinct k (used by sim::refresh_snr_field).
+    void recompute_subscriber(std::size_t k);
+    /// From-scratch rebuild of every tracked total (serial).
+    void refresh();
+
+    /// Debug equivalence: every `interval` mutations, recompute the field
+    /// from scratch and abort (assert) on >1e-9 relative divergence.
+    /// 0 disables. Defaults: 64 in debug builds, 0 with NDEBUG.
+    void set_check_interval(std::size_t interval) { check_interval_ = interval; }
+    /// Immediate scratch comparison; returns the worst relative error seen.
+    double verify_against_scratch() const;
+
+    /// RAII guard for speculative probes: mutations made while a
+    /// Transaction is open are rolled back (in reverse order) when it is
+    /// destroyed, unless `commit()` was called. Transactions nest; an
+    /// inner commit leaves its deltas to the outer transaction's fate.
+    class Transaction {
+    public:
+        explicit Transaction(SnrField& field);
+        ~Transaction();
+        Transaction(const Transaction&) = delete;
+        Transaction& operator=(const Transaction&) = delete;
+        void commit() { committed_ = true; }
+
+    private:
+        SnrField& field_;
+        std::size_t mark_;
+        bool committed_ = false;
+    };
+
+private:
+    struct UndoRecord {
+        enum class Kind { Move, Power, Add, Remove } kind;
+        std::size_t index;
+        geom::Vec2 pos;    // Move: old position; Remove: erased position
+        double power = 0;  // Power: old power;   Remove: erased power
+    };
+
+    /// Neumaier-compensated `total_[k] += term`.
+    void accumulate(std::size_t k, double term);
+    /// Subtract/add RS (pos, power)'s contribution at every tracked sub.
+    void apply_rs_contribution(const geom::Vec2& pos, double power, double sign);
+    void insert_rs(std::size_t i, const geom::Vec2& pos, double power);
+    void journal(UndoRecord rec);
+    void rollback_to(std::size_t mark);
+    void after_mutation();
+
+    const Scenario* scenario_;
+    std::vector<geom::Vec2> rs_pos_;
+    std::vector<double> rs_power_;
+    std::vector<std::size_t> sub_ids_;   // tracked -> global subscriber index
+    std::vector<geom::Vec2> sub_pos_;    // cached subscriber positions
+    std::vector<double> sub_reach_;      // cached distance requests
+    std::vector<double> total_;          // compensated sums...
+    std::vector<double> comp_;           // ...and their residuals
+    std::vector<UndoRecord> journal_;
+    std::size_t tx_depth_ = 0;
+    bool journaling_paused_ = false;
+    std::size_t mutations_ = 0;
+#ifdef NDEBUG
+    std::size_t check_interval_ = 0;
+#else
+    std::size_t check_interval_ = 64;
+#endif
+};
+
+/// Incremental ILPQC feasibility oracle: keeps a persistent SnrField over
+/// the candidate set chosen so far and diffs each query against the
+/// previous one, so the branch-and-bound's stack-disciplined descent pays
+/// only for the RSs that actually changed (add/remove deltas) instead of
+/// rebuilding the interference sums per leaf.
+class SnrFeasibilityOracle {
+public:
+    SnrFeasibilityOracle(const Scenario& scenario,
+                         std::span<const geom::Vec2> candidates);
+
+    /// True when the candidate subset `chosen` (indices into the candidate
+    /// array, in search order) admits a nearest assignment that clears the
+    /// SNR threshold at max power. Equivalent to
+    /// `snr_feasible_at_max_power` over the materialized positions.
+    bool feasible(std::span<const std::size_t> chosen);
+
+private:
+    const Scenario* scenario_;
+    std::vector<geom::Vec2> candidates_;
+    std::vector<std::size_t> current_;  // chosen prefix mirrored in field_
+    SnrField field_;
+};
+
+}  // namespace sag::core

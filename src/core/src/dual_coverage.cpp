@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "sag/core/snr.h"
+#include "sag/core/snr_field.h"
 #include "sag/opt/set_cover.h"
 
 namespace sag::core {
@@ -41,16 +42,15 @@ bool assign_links(const Scenario& scenario, std::span<const geom::Vec2> rs,
     return true;
 }
 
-/// Full feasibility for a candidate RS set: dual in-range links plus the
-/// primary SNR constraint at max power.
-bool set_feasible(const Scenario& scenario, std::span<const geom::Vec2> rs) {
+/// Full feasibility for the field's current RS set: dual in-range links
+/// plus the primary SNR constraint at max power, read off the cached
+/// interference totals.
+bool field_feasible(const Scenario& scenario, const SnrField& field) {
     std::vector<std::size_t> primary, secondary;
-    if (!assign_links(scenario, rs, primary, secondary)) return false;
-    const std::vector<double> powers(rs.size(), scenario.radio.max_power);
-    const auto snrs = coverage_snrs(scenario, rs, powers, primary);
-    const double beta = scenario.snr_threshold_linear();
-    return std::all_of(snrs.begin(), snrs.end(),
-                       [&](double snr) { return snr >= beta * (1.0 - 1e-12); });
+    if (!assign_links(scenario, field.rs_positions(), primary, secondary)) {
+        return false;
+    }
+    return field.all_meet_threshold(primary, 1e-12);
 }
 
 }  // namespace
@@ -84,22 +84,25 @@ DualCoveragePlan solve_dual_coverage(const Scenario& scenario,
     std::vector<geom::Vec2> rs;
     rs.reserve(chosen->size());
     for (const std::size_t i : *chosen) rs.push_back(candidates[i]);
-    if (!set_feasible(scenario, rs)) return plan;
+    SnrField field = SnrField::at_max_power(scenario, rs);
+    if (!field_feasible(scenario, field)) return plan;
 
     // Redundancy prune: drop RSs whose removal keeps everything feasible.
     // (Removing an RS also removes its interference, so pruning can only
-    // help the SNR side.)
-    for (std::size_t i = 0; i < rs.size();) {
-        std::vector<geom::Vec2> trimmed = rs;
-        trimmed.erase(trimmed.begin() + static_cast<std::ptrdiff_t>(i));
-        if (trimmed.size() >= 2 && set_feasible(scenario, trimmed)) {
-            rs = std::move(trimmed);
+    // help the SNR side.) Each trial removal is a rolled-back delta on the
+    // field instead of a full copy-and-rebuild of the candidate set.
+    for (std::size_t i = 0; i < field.rs_count();) {
+        SnrField::Transaction trial(field);
+        field.remove_rs(i);
+        if (field.rs_count() >= 2 && field_feasible(scenario, field)) {
+            trial.commit();
         } else {
             ++i;
         }
     }
 
-    plan.rs_positions = std::move(rs);
+    const auto pruned = field.rs_positions();
+    plan.rs_positions.assign(pruned.begin(), pruned.end());
     plan.feasible =
         assign_links(scenario, plan.rs_positions, plan.primary, plan.secondary);
     return plan;
@@ -120,11 +123,8 @@ bool verify_dual_coverage(const Scenario& scenario, const DualCoveragePlan& plan
             return false;
         if (dp > ds + 1e-6) return false;  // primary must be the nearer one
     }
-    const std::vector<double> powers(plan.rs_count(), scenario.radio.max_power);
-    const auto snrs = coverage_snrs(scenario, plan.rs_positions, powers, plan.primary);
-    const double beta = scenario.snr_threshold_linear();
-    return std::all_of(snrs.begin(), snrs.end(),
-                       [&](double snr) { return snr >= beta * (1.0 - 1e-9); });
+    const SnrField field = SnrField::at_max_power(scenario, plan.rs_positions);
+    return field.all_meet_threshold(plan.primary, 1e-9);
 }
 
 }  // namespace sag::core

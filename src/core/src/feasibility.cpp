@@ -4,7 +4,7 @@
 #include <limits>
 #include <sstream>
 
-#include "sag/core/snr.h"
+#include "sag/core/snr_field.h"
 #include "sag/wireless/link.h"
 #include "sag/wireless/two_ray.h"
 #include "sag/wireless/units.h"
@@ -29,8 +29,9 @@ CoverageReport verify_coverage(const Scenario& scenario, const CoveragePlan& pla
         return report;
     }
 
-    const auto snrs =
-        coverage_snrs(scenario, plan.rs_positions, powers, plan.assignment);
+    // Batch audit off one interference field: the totals are computed once
+    // and every subscriber's SNR is an O(1) read.
+    const SnrField field(scenario, plan.rs_positions, powers);
     const double beta = scenario.snr_threshold_linear();
 
     for (std::size_t j = 0; j < scenario.subscriber_count(); ++j) {
@@ -43,9 +44,10 @@ CoverageReport verify_coverage(const Scenario& scenario, const CoveragePlan& pla
         const double rx = wireless::received_power(
             scenario.radio, powers[check.serving_rs], check.access_distance);
         check.rate_ok = rx >= scenario.min_rx_power(j) * (1.0 - 1e-9);
-        check.snr_ok = snrs[j] >= beta * (1.0 - 1e-9);
-        check.snr_db = std::isfinite(snrs[j])
-                           ? wireless::linear_to_db(snrs[j])
+        const double snr = field.snr_of(j, check.serving_rs);
+        check.snr_ok = snr >= beta * (1.0 - 1e-9);
+        check.snr_db = std::isfinite(snr)
+                           ? wireless::linear_to_db(snr)
                            : std::numeric_limits<double>::infinity();
         if (!check.distance_ok || !check.rate_ok || !check.snr_ok) ++report.violations;
     }

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "sag/core/snr.h"
+#include "sag/core/snr_field.h"
 #include "sag/opt/set_cover.h"
 
 namespace sag::core {
@@ -55,13 +56,13 @@ CoveragePlan solve_ilpqc_coverage(const Scenario& scenario,
 
     // Constraint (3.5) as the leaf oracle: with the chosen set at max
     // power, every subscriber's best in-range server must clear beta.
-    std::vector<std::size_t> all_subs(n);
-    for (std::size_t j = 0; j < n; ++j) all_subs[j] = j;
-    std::vector<geom::Vec2> buffer;
+    // The incremental oracle diffs each query against the previous one,
+    // so the branch-and-bound's stack-disciplined descent pays one
+    // add/remove delta per changed candidate instead of rebuilding the
+    // interference sums from scratch at every node.
+    SnrFeasibilityOracle snr_oracle(scenario, candidates);
     const opt::CoverOracle oracle = [&](std::span<const std::size_t> chosen) {
-        buffer.clear();
-        for (const std::size_t i : chosen) buffer.push_back(candidates[i]);
-        return snr_feasible_at_max_power(scenario, buffer, all_subs);
+        return snr_oracle.feasible(chosen);
     };
 
     opt::SetCoverBnBOptions bnb;

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sag/core/snr_field.h"
 #include "sag/wireless/two_ray.h"
 
 namespace sag::core {
@@ -96,12 +97,14 @@ opt::MilpProblem build_ilpqc_milp(const Scenario& scenario,
                 geom::distance(candidates[k], scenario.subscribers[j].pos));
         }
     }
+    // Worst-case interference per link (every candidate transmitting) from
+    // a one-shot field: O(m n) totals once, O(1) per link, instead of the
+    // former O(links x m) re-summation.
+    const SnrField cand_field = SnrField::at_max_power(scenario, candidates);
     for (std::size_t l = 0; l < layout.links.size(); ++l) {
         const auto [i, j] = layout.links[l];
-        double worst_interference = scenario.radio.snr_ambient_noise;
-        for (std::size_t k = 0; k < layout.m; ++k) {
-            if (k != i) worst_interference += g[k][j];
-        }
+        const double worst_interference =
+            cand_field.total_rx(j) - g[i][j] + scenario.radio.snr_ambient_noise;
         const double big_m = beta * worst_interference;  // tight M
         std::vector<double> row(nv, 0.0);
         for (std::size_t k = 0; k < layout.m; ++k) {

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "sag/core/snr.h"
+#include "sag/core/snr_field.h"
 #include "sag/opt/lp.h"
 #include "sag/opt/power_control.h"
 #include "sag/wireless/two_ray.h"
@@ -26,25 +27,6 @@ std::vector<std::vector<double>> gain_matrix(const Scenario& scenario,
         }
     }
     return g;
-}
-
-/// True when every subscriber served by `rs` clears beta under `powers`.
-bool served_snr_ok(const Scenario& scenario, const CoveragePlan& plan,
-                   const std::vector<std::vector<double>>& g, std::size_t rs,
-                   std::span<const double> powers) {
-    const double beta = scenario.snr_threshold_linear();
-    for (std::size_t j = 0; j < scenario.subscriber_count(); ++j) {
-        if (plan.assignment[j] != rs) continue;
-        double interference = scenario.radio.snr_ambient_noise;
-        for (std::size_t k = 0; k < plan.rs_count(); ++k) {
-            if (k != rs) interference += powers[k] * g[k][j];
-        }
-        const double signal = powers[rs] * g[rs][j];
-        if (interference > 0.0 && signal / interference < beta * (1.0 - 1e-12)) {
-            return false;
-        }
-    }
-    return true;
 }
 
 double snr_floor_from_gains(const Scenario& scenario, const CoveragePlan& plan,
@@ -106,17 +88,54 @@ PowerAllocation allocate_power_pro(const Scenario& scenario, const CoveragePlan&
     PowerAllocation out;
     const std::size_t n = plan.rs_count();
     const double pmax = scenario.radio.max_power;
-    const auto g = gain_matrix(scenario, plan);
+    const double beta = scenario.snr_threshold_linear();
 
     std::vector<double> p_min(n);
     for (std::size_t i = 0; i < n; ++i) p_min[i] = coverage_power_floor(scenario, plan, i);
 
-    // Algorithm 6 state: p1 is the working vector (Step 9 re-syncs it to
-    // the committed Ptmp each round), committed[i] marks removal from K.
-    std::vector<double> p1(n, pmax);
+    // Per-RS served lists: each probe only needs to re-check the SNR of
+    // the RS's own subscribers, read in O(1) off the field's cached totals.
+    std::vector<std::vector<std::size_t>> served(n);
+    for (std::size_t j = 0; j < scenario.subscriber_count(); ++j) {
+        served[plan.assignment[j]].push_back(j);
+    }
+
+    // Algorithm 6 state: the field's powers are the working vector p1
+    // (Step 9 re-syncs them to the committed Ptmp each round), committed[i]
+    // marks removal from K. Each tentative drop is a rolled-back power
+    // delta instead of an O(|served| x RS) interference rebuild.
+    std::vector<double> start(n, pmax);
+    SnrField field(scenario, plan.rs_positions, start);
     std::vector<double> p_tmp(n, pmax);
     std::vector<bool> committed(n, false);
     std::size_t remaining = n;
+
+    const auto served_snr_ok = [&](std::size_t i) {
+        for (const std::size_t j : served[i]) {
+            const double snr = field.snr_of(j, i);
+            // Mirror the historic check: an interference-free subscriber
+            // passes vacuously (snr_of reports infinity there).
+            if (snr < beta * (1.0 - 1e-12)) return false;
+        }
+        return true;
+    };
+
+    // Smallest power letting every subscriber of RS i clear beta against
+    // the field's current interference (the paper's P_snr).
+    const auto snr_floor = [&](std::size_t i) {
+        double need = 0.0;
+        for (const std::size_t j : served[i]) {
+            const double d =
+                geom::distance(plan.rs_positions[i], scenario.subscribers[j].pos);
+            const double own =
+                wireless::received_power(scenario.radio, field.rs_power(i), d);
+            const double interference =
+                field.total_rx(j) - own + scenario.radio.snr_ambient_noise;
+            need = std::max(need,
+                            beta * interference / wireless::path_gain(scenario.radio, d));
+        }
+        return need;
+    };
 
     while (remaining > 0) {
         ++out.iterations;
@@ -127,16 +146,17 @@ PowerAllocation allocate_power_pro(const Scenario& scenario, const CoveragePlan&
         // Ptmp when its own subscribers' SNR survives.
         for (std::size_t i = 0; i < n; ++i) {
             if (committed[i]) continue;
-            const double saved = p1[i];
-            p1[i] = p_min[i];
-            if (served_snr_ok(scenario, plan, g, i, p1)) {
+            SnrField::Transaction probe(field);
+            field.set_power(i, p_min[i]);
+            if (served_snr_ok(i)) {
                 committed[i] = true;
                 --remaining;
                 p_tmp[i] = p_min[i];
             }
-            p1[i] = saved;
+            // probe rolls back: later drops in the round still see the
+            // round-start powers, exactly as Algorithm 6 prescribes.
         }
-        p1 = p_tmp;  // Step 9
+        for (std::size_t i = 0; i < n; ++i) field.set_power(i, p_tmp[i]);  // Step 9
 
         if (remaining == before && remaining > 0) {
             // Steps 10-13: no RS could reach its coverage power; pay the
@@ -146,8 +166,7 @@ PowerAllocation allocate_power_pro(const Scenario& scenario, const CoveragePlan&
             double best_power = pmax;
             for (std::size_t i = 0; i < n; ++i) {
                 if (committed[i]) continue;
-                const double p_snr =
-                    std::max(p_min[i], snr_floor_from_gains(scenario, plan, g, i, p1));
+                const double p_snr = std::max(p_min[i], snr_floor(i));
                 const double delta = p_snr - p_min[i];
                 if (delta < best_delta) {
                     best_delta = delta;
@@ -159,13 +178,14 @@ PowerAllocation allocate_power_pro(const Scenario& scenario, const CoveragePlan&
                     break;  // ablation mode: take the first stuck RS
                 }
             }
-            p1[arg] = p_tmp[arg] = std::min(best_power, pmax);
+            p_tmp[arg] = std::min(best_power, pmax);
+            field.set_power(arg, p_tmp[arg]);
             committed[arg] = true;
             --remaining;
         }
     }
 
-    out.powers = std::move(p1);
+    out.powers = p_tmp;
     out.total = std::accumulate(out.powers.begin(), out.powers.end(), 0.0);
     out.feasible = allocation_feasible(scenario, plan, out.powers);
     return out;

@@ -8,6 +8,7 @@
 #include <optional>
 
 #include "sag/core/snr.h"
+#include "sag/core/snr_field.h"
 #include "sag/core/zone_partition.h"
 #include "sag/geometry/region.h"
 #include "sag/wireless/two_ray.h"
@@ -63,30 +64,23 @@ ZoneAssignment coverage_link_escape(const Scenario& scenario,
 
 namespace {
 
-/// Zone-local evaluation state: positions, explicit serving map, max power.
+/// Zone-local evaluation state: a delta-updatable max-power interference
+/// field over the zone's subscribers plus the explicit serving map.
+/// Candidate relocations are probed through SnrField transactions, so a
+/// probe costs one delta per moved RS instead of a full O(subs x RS)
+/// interference rebuild (and no per-probe powers/positions allocations).
 struct ZoneState {
     const Scenario& scenario;
     std::span<const std::size_t> subs;
-    std::vector<geom::Vec2> points;
+    SnrField field;
     std::vector<std::size_t> serving;
 
-    /// Indices (zone-local) of subscribers violating distance or SNR.
-    std::vector<std::size_t> violated(std::span<const geom::Vec2> positions) const {
-        const std::vector<double> powers(positions.size(),
-                                         scenario.radio.max_power);
-        const auto snrs =
-            coverage_snrs(scenario, positions, powers, subs, serving);
-        const double beta = scenario.snr_threshold_linear();
-        std::vector<std::size_t> bad;
-        for (std::size_t k = 0; k < subs.size(); ++k) {
-            const Subscriber& s = scenario.subscribers[subs[k]];
-            const double d = geom::distance(positions[serving[k]], s.pos);
-            if (d > s.distance_request + 1e-6 || snrs[k] < beta * (1.0 - 1e-12)) {
-                bad.push_back(k);
-            }
-        }
-        return bad;
-    }
+    const geom::Vec2& point(std::size_t p) const { return field.rs_position(p); }
+    std::size_t point_count() const { return field.rs_count(); }
+
+    /// Indices (zone-local) of subscribers violating distance or SNR
+    /// under the field's current positions.
+    std::vector<std::size_t> violated() const { return field.violated(serving); }
 };
 
 /// One relocation proposal from Algorithm 5 Step 2.
@@ -96,17 +90,14 @@ struct Proposal {
 };
 
 /// Interference at subscriber `k` from every point except `skip`, all at
-/// max power, plus the ambient noise of the SNR denominator.
+/// max power, plus the ambient noise of the SNR denominator. O(1) off the
+/// field's cached total.
 double interference_at(const ZoneState& st, std::size_t k, std::size_t skip) {
     const geom::Vec2& rx = st.scenario.subscribers[st.subs[k]].pos;
-    double total = st.scenario.radio.snr_ambient_noise;
-    for (std::size_t p = 0; p < st.points.size(); ++p) {
-        if (p == skip) continue;
-        total += wireless::received_power(st.scenario.radio,
-                                          st.scenario.radio.max_power,
-                                          geom::distance(st.points[p], rx));
-    }
-    return total;
+    const double skipped =
+        wireless::received_power(st.scenario.radio, st.scenario.radio.max_power,
+                                 geom::distance(st.point(skip), rx));
+    return st.field.total_rx(k) - skipped + st.scenario.radio.snr_ambient_noise;
 }
 
 /// Algorithm 5 Step 2 for one RS: the region where it (a) still covers all
@@ -177,22 +168,25 @@ SlideResult sliding_movement(const Scenario& scenario,
                              const ZoneAssignment& assignment,
                              const SamcOptions& options) {
     SlideResult result;
-    ZoneState st{scenario, subs, assignment.points, assignment.serving};
 
     // Algorithm 4 Step 2: one-on-one RSs slide onto their subscriber and
-    // become fixed members of H.
-    std::vector<std::size_t> served_count(st.points.size(), 0);
-    for (const std::size_t p : st.serving) {
-        if (p < st.points.size()) ++served_count[p];
+    // become fixed members of H (applied before the field is built).
+    std::vector<geom::Vec2> points = assignment.points;
+    std::vector<std::size_t> served_count(points.size(), 0);
+    for (const std::size_t p : assignment.serving) {
+        if (p < points.size()) ++served_count[p];
     }
-    std::vector<bool> fixed(st.points.size(), false);
+    std::vector<bool> fixed(points.size(), false);
     for (std::size_t k = 0; k < subs.size(); ++k) {
-        const std::size_t p = st.serving[k];
+        const std::size_t p = assignment.serving[k];
         if (served_count[p] == 1) {
-            st.points[p] = scenario.subscribers[subs[k]].pos;
+            points[p] = scenario.subscribers[subs[k]].pos;
             fixed[p] = true;
         }
     }
+
+    ZoneState st{scenario, subs, SnrField::at_max_power(scenario, points, subs),
+                 assignment.serving};
 
     // Optional repair: serve each violated subscriber from its nearest
     // in-range RS. Only the switched subscriber's SNR changes, so the
@@ -202,27 +196,26 @@ SlideResult sliding_movement(const Scenario& scenario,
         for (const std::size_t k : bad) {
             const Subscriber& sub = scenario.subscribers[subs[k]];
             std::size_t best = st.serving[k];
-            double best_dist =
-                geom::distance(st.points[best], sub.pos);
-            for (std::size_t p = 0; p < st.points.size(); ++p) {
-                const double d = geom::distance(st.points[p], sub.pos);
+            double best_dist = geom::distance(st.point(best), sub.pos);
+            for (std::size_t p = 0; p < st.point_count(); ++p) {
+                const double d = geom::distance(st.point(p), sub.pos);
                 if (d <= sub.distance_request + 1e-6 && d < best_dist - 1e-9) {
                     best = p;
                     best_dist = d;
                 }
             }
             if (best != st.serving[k]) {
-                st.serving[k] = best;
+                st.serving[k] = best;  // serving swaps leave the field intact
                 changed = true;
             }
         }
         return changed;
     };
 
-    auto violated = st.violated(st.points);
+    auto violated = st.violated();
     if (options.allow_reassignment && !violated.empty() &&
         reassign_violated(violated)) {
-        violated = st.violated(st.points);
+        violated = st.violated();
     }
 
     // Algorithms 4 Steps 3-5 + 5: relocate multi-cover RSs until clean or
@@ -254,44 +247,51 @@ SlideResult sliding_movement(const Scenario& scenario,
 
         // Algorithm 5 Step 3: try relocation combinations, largest first
         // (moving every updatable RS at once is the natural first try).
+        // Each probe is a transaction: move the combination's RSs, read the
+        // violated set off the incrementally updated field, roll back.
         std::size_t budget = options.max_update_combinations;
         std::size_t best_violations = violated.size();
         std::optional<std::vector<geom::Vec2>> best_points;
-        std::vector<geom::Vec2> trial;
         bool solved = false;
         for (std::size_t t = proposals.size(); t >= 1 && !solved && budget > 0; --t) {
             solved = for_each_combination(
                 proposals.size(), t, budget,
                 [&](std::span<const std::size_t> combo) {
-                    trial = st.points;
+                    SnrField::Transaction tx(st.field);
                     for (const std::size_t c : combo) {
-                        trial[proposals[c].point] = proposals[c].target;
+                        st.field.move_rs(proposals[c].point, proposals[c].target);
                     }
-                    const auto bad = st.violated(trial);
+                    const auto bad = st.violated();
                     if (bad.size() < best_violations) {
                         best_violations = bad.size();
-                        best_points = trial;
+                        const auto probed = st.field.rs_positions();
+                        best_points.emplace(probed.begin(), probed.end());
                     }
                     return bad.empty();
                 });
         }
         if (solved || best_points) {
-            st.points = *best_points;  // solved implies best_points == trial
-            violated = st.violated(st.points);
+            // Commit the winning combination (move_rs no-ops on unchanged
+            // points, so this re-applies exactly the probed deltas).
+            for (std::size_t p = 0; p < best_points->size(); ++p) {
+                st.field.move_rs(p, (*best_points)[p]);
+            }
+            violated = st.violated();
             if (options.allow_reassignment && !violated.empty() &&
                 reassign_violated(violated)) {
-                violated = st.violated(st.points);
+                violated = st.violated();
             }
             if (solved) break;
         } else if (options.allow_reassignment && reassign_violated(violated)) {
-            violated = st.violated(st.points);  // repair without relocation
+            violated = st.violated();  // repair without relocation
         } else {
             break;  // no combination shrinks the violated set -> infeasible
         }
     }
 
-    result.feasible = st.violated(st.points).empty();
-    result.points = std::move(st.points);
+    result.feasible = st.violated().empty();
+    const auto final_points = st.field.rs_positions();
+    result.points.assign(final_points.begin(), final_points.end());
     result.serving = std::move(st.serving);
     return result;
 }

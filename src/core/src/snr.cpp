@@ -2,7 +2,10 @@
 
 #include <limits>
 #include <numeric>
+#include <ranges>
 
+#include "sag/core/snr_field.h"
+#include "sag/geometry/spatial_grid.h"
 #include "sag/wireless/link.h"
 #include "sag/wireless/two_ray.h"
 
@@ -16,6 +19,28 @@ std::vector<std::size_t> all_indices(std::size_t n) {
     return idx;
 }
 
+/// Below this RS count a linear scan beats building a hash grid.
+constexpr std::size_t kGridLookupThreshold = 32;
+
+/// Nearest in-range RS for one subscriber among `candidates` (ascending
+/// index order, strict < keeps the lowest index on ties — identical
+/// semantics to the linear scan).
+template <typename Indices>
+std::size_t nearest_in_range(const Subscriber& s,
+                             std::span<const geom::Vec2> rs_positions,
+                             const Indices& candidates) {
+    std::size_t best = rs_positions.size();
+    double best_dist = std::numeric_limits<double>::infinity();
+    for (const std::size_t i : candidates) {
+        const double d = geom::distance(rs_positions[i], s.pos);
+        if (d <= s.distance_request + geom::kEps && d < best_dist) {
+            best = i;
+            best_dist = d;
+        }
+    }
+    return best;
+}
+
 }  // namespace
 
 std::vector<double> coverage_snrs(const Scenario& scenario,
@@ -23,22 +48,10 @@ std::vector<double> coverage_snrs(const Scenario& scenario,
                                   std::span<const double> powers,
                                   std::span<const std::size_t> subs,
                                   std::span<const std::size_t> assignment) {
+    const SnrField field(scenario, rs_positions, powers, subs);
     std::vector<double> snrs(subs.size(), 0.0);
     for (std::size_t k = 0; k < subs.size(); ++k) {
-        const geom::Vec2& rx = scenario.subscribers[subs[k]].pos;
-        double total = 0.0;
-        for (std::size_t i = 0; i < rs_positions.size(); ++i) {
-            total += wireless::received_power(scenario.radio, powers[i],
-                                              geom::distance(rs_positions[i], rx));
-        }
-        const std::size_t serving = assignment[k];
-        const double signal =
-            wireless::received_power(scenario.radio, powers[serving],
-                                     geom::distance(rs_positions[serving], rx));
-        const double interference =
-            total - signal + scenario.radio.snr_ambient_noise;
-        snrs[k] = interference > 0.0 ? signal / interference
-                                     : std::numeric_limits<double>::infinity();
+        snrs[k] = field.snr_of(k, assignment[k]);
     }
     return snrs;
 }
@@ -47,17 +60,31 @@ std::optional<std::vector<std::size_t>> nearest_assignment(
     const Scenario& scenario, std::span<const geom::Vec2> rs_positions,
     std::span<const std::size_t> subs) {
     std::vector<std::size_t> assignment(subs.size());
+
+    if (rs_positions.size() >= kGridLookupThreshold) {
+        double max_reach = 0.0;
+        for (const std::size_t j : subs) {
+            max_reach = std::max(max_reach, scenario.subscribers[j].distance_request);
+        }
+        if (max_reach > 0.0) {
+            const geom::SpatialGrid grid(
+                {rs_positions.begin(), rs_positions.end()}, max_reach);
+            for (std::size_t k = 0; k < subs.size(); ++k) {
+                const Subscriber& s = scenario.subscribers[subs[k]];
+                const std::size_t best = nearest_in_range(
+                    s, rs_positions,
+                    grid.query_radius(s.pos, s.distance_request + geom::kEps));
+                if (best == rs_positions.size()) return std::nullopt;
+                assignment[k] = best;
+            }
+            return assignment;
+        }
+    }
+
+    const auto every_rs = std::views::iota(std::size_t{0}, rs_positions.size());
     for (std::size_t k = 0; k < subs.size(); ++k) {
         const Subscriber& s = scenario.subscribers[subs[k]];
-        std::size_t best = rs_positions.size();
-        double best_dist = std::numeric_limits<double>::infinity();
-        for (std::size_t i = 0; i < rs_positions.size(); ++i) {
-            const double d = geom::distance(rs_positions[i], s.pos);
-            if (d <= s.distance_request + geom::kEps && d < best_dist) {
-                best = i;
-                best_dist = d;
-            }
-        }
+        const std::size_t best = nearest_in_range(s, rs_positions, every_rs);
         if (best == rs_positions.size()) return std::nullopt;
         assignment[k] = best;
     }
@@ -83,13 +110,8 @@ bool snr_feasible_at_max_power(const Scenario& scenario,
                                std::span<const std::size_t> subs) {
     const auto assignment = nearest_assignment(scenario, rs_positions, subs);
     if (!assignment) return false;
-    const std::vector<double> powers(rs_positions.size(), scenario.radio.max_power);
-    const auto snrs = coverage_snrs(scenario, rs_positions, powers, subs, *assignment);
-    const double beta = scenario.snr_threshold_linear();
-    for (const double snr : snrs) {
-        if (snr < beta) return false;
-    }
-    return true;
+    const SnrField field = SnrField::at_max_power(scenario, rs_positions, subs);
+    return field.all_meet_threshold(*assignment, 0.0);
 }
 
 }  // namespace sag::core

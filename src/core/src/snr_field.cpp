@@ -1,0 +1,292 @@
+#include "sag/core/snr_field.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "sag/core/snr.h"
+#include "sag/wireless/two_ray.h"
+
+namespace sag::core {
+
+namespace {
+
+std::vector<std::size_t> all_indices(std::size_t n) {
+    std::vector<std::size_t> idx(n);
+    std::iota(idx.begin(), idx.end(), std::size_t{0});
+    return idx;
+}
+
+}  // namespace
+
+SnrField::SnrField(const Scenario& scenario, std::span<const geom::Vec2> rs_positions,
+                   std::span<const double> powers, std::span<const std::size_t> subs)
+    : scenario_(&scenario),
+      rs_pos_(rs_positions.begin(), rs_positions.end()),
+      rs_power_(powers.begin(), powers.end()),
+      sub_ids_(subs.begin(), subs.end()) {
+    assert(rs_pos_.size() == rs_power_.size());
+    sub_pos_.reserve(sub_ids_.size());
+    sub_reach_.reserve(sub_ids_.size());
+    for (const std::size_t j : sub_ids_) {
+        sub_pos_.push_back(scenario.subscribers[j].pos);
+        sub_reach_.push_back(scenario.subscribers[j].distance_request);
+    }
+    total_.assign(sub_ids_.size(), 0.0);
+    comp_.assign(sub_ids_.size(), 0.0);
+    refresh();
+}
+
+SnrField::SnrField(const Scenario& scenario, std::span<const geom::Vec2> rs_positions,
+                   std::span<const double> powers)
+    : SnrField(scenario, rs_positions, powers,
+               all_indices(scenario.subscriber_count())) {}
+
+SnrField SnrField::at_max_power(const Scenario& scenario,
+                                std::span<const geom::Vec2> rs_positions) {
+    const std::vector<double> powers(rs_positions.size(), scenario.radio.max_power);
+    return SnrField(scenario, rs_positions, powers);
+}
+
+SnrField SnrField::at_max_power(const Scenario& scenario,
+                                std::span<const geom::Vec2> rs_positions,
+                                std::span<const std::size_t> subs) {
+    const std::vector<double> powers(rs_positions.size(), scenario.radio.max_power);
+    return SnrField(scenario, rs_positions, powers, subs);
+}
+
+void SnrField::accumulate(std::size_t k, double term) {
+    // Neumaier two-sum: the residual of each addition is captured exactly,
+    // so a term later subtracted (same double, opposite sign) cancels
+    // without leaving the usual catastrophic-cancellation residue.
+    const double sum = total_[k] + term;
+    if (std::abs(total_[k]) >= std::abs(term)) {
+        comp_[k] += (total_[k] - sum) + term;
+    } else {
+        comp_[k] += (term - sum) + total_[k];
+    }
+    total_[k] = sum;
+}
+
+void SnrField::apply_rs_contribution(const geom::Vec2& pos, double power,
+                                     double sign) {
+    const auto& radio = scenario_->radio;
+    for (std::size_t k = 0; k < sub_pos_.size(); ++k) {
+        const double term =
+            wireless::received_power(radio, power, geom::distance(pos, sub_pos_[k]));
+        accumulate(k, sign * term);
+    }
+}
+
+void SnrField::move_rs(std::size_t i, const geom::Vec2& to) {
+    assert(i < rs_pos_.size());
+    if (rs_pos_[i] == to) return;
+    journal({UndoRecord::Kind::Move, i, rs_pos_[i], 0.0});
+    apply_rs_contribution(rs_pos_[i], rs_power_[i], -1.0);
+    rs_pos_[i] = to;
+    apply_rs_contribution(rs_pos_[i], rs_power_[i], +1.0);
+    after_mutation();
+}
+
+void SnrField::set_power(std::size_t i, double power) {
+    assert(i < rs_power_.size());
+    if (rs_power_[i] == power) return;
+    journal({UndoRecord::Kind::Power, i, {}, rs_power_[i]});
+    // Subtract the old term and add the new one per subscriber (rather
+    // than adding a fused difference) so both are the exact doubles a
+    // from-scratch evaluation would produce.
+    const auto& radio = scenario_->radio;
+    const double old_power = rs_power_[i];
+    for (std::size_t k = 0; k < sub_pos_.size(); ++k) {
+        const double d = geom::distance(rs_pos_[i], sub_pos_[k]);
+        accumulate(k, -wireless::received_power(radio, old_power, d));
+        accumulate(k, wireless::received_power(radio, power, d));
+    }
+    rs_power_[i] = power;
+    after_mutation();
+}
+
+std::size_t SnrField::add_rs(const geom::Vec2& pos, double power) {
+    const std::size_t i = rs_pos_.size();
+    journal({UndoRecord::Kind::Add, i, {}, 0.0});
+    rs_pos_.push_back(pos);
+    rs_power_.push_back(power);
+    apply_rs_contribution(pos, power, +1.0);
+    after_mutation();
+    return i;
+}
+
+void SnrField::remove_rs(std::size_t i) {
+    assert(i < rs_pos_.size());
+    journal({UndoRecord::Kind::Remove, i, rs_pos_[i], rs_power_[i]});
+    apply_rs_contribution(rs_pos_[i], rs_power_[i], -1.0);
+    rs_pos_.erase(rs_pos_.begin() + static_cast<std::ptrdiff_t>(i));
+    rs_power_.erase(rs_power_.begin() + static_cast<std::ptrdiff_t>(i));
+    after_mutation();
+}
+
+void SnrField::insert_rs(std::size_t i, const geom::Vec2& pos, double power) {
+    assert(i <= rs_pos_.size());
+    rs_pos_.insert(rs_pos_.begin() + static_cast<std::ptrdiff_t>(i), pos);
+    rs_power_.insert(rs_power_.begin() + static_cast<std::ptrdiff_t>(i), power);
+    apply_rs_contribution(pos, power, +1.0);
+    after_mutation();
+}
+
+double SnrField::snr_of(std::size_t k, std::size_t serving) const {
+    assert(k < sub_pos_.size() && serving < rs_pos_.size());
+    const double signal =
+        wireless::received_power(scenario_->radio, rs_power_[serving],
+                                 geom::distance(rs_pos_[serving], sub_pos_[k]));
+    if (signal <= 0.0) return 0.0;  // a silent server delivers no SNR
+    const double interference =
+        total_rx(k) - signal + scenario_->radio.snr_ambient_noise;
+    return interference > 0.0 ? signal / interference
+                              : std::numeric_limits<double>::infinity();
+}
+
+bool SnrField::meets_threshold(std::size_t k, std::size_t serving,
+                               double rel_slack) const {
+    return snr_of(k, serving) >=
+           scenario_->snr_threshold_linear() * (1.0 - rel_slack);
+}
+
+std::vector<std::size_t> SnrField::violated(
+    std::span<const std::size_t> serving) const {
+    assert(serving.size() == sub_pos_.size());
+    const double beta = scenario_->snr_threshold_linear();
+    std::vector<std::size_t> bad;
+    for (std::size_t k = 0; k < sub_pos_.size(); ++k) {
+        const double d = geom::distance(rs_pos_[serving[k]], sub_pos_[k]);
+        if (d > sub_reach_[k] + 1e-6 ||
+            snr_of(k, serving[k]) < beta * (1.0 - 1e-12)) {
+            bad.push_back(k);
+        }
+    }
+    return bad;
+}
+
+bool SnrField::all_meet_threshold(std::span<const std::size_t> serving,
+                                  double rel_slack) const {
+    assert(serving.size() == sub_pos_.size());
+    for (std::size_t k = 0; k < sub_pos_.size(); ++k) {
+        if (!meets_threshold(k, serving[k], rel_slack)) return false;
+    }
+    return true;
+}
+
+void SnrField::recompute_subscriber(std::size_t k) {
+    const auto& radio = scenario_->radio;
+    double sum = 0.0, comp = 0.0;
+    for (std::size_t i = 0; i < rs_pos_.size(); ++i) {
+        const double term = wireless::received_power(
+            radio, rs_power_[i], geom::distance(rs_pos_[i], sub_pos_[k]));
+        const double next = sum + term;
+        if (std::abs(sum) >= std::abs(term)) {
+            comp += (sum - next) + term;
+        } else {
+            comp += (term - next) + sum;
+        }
+        sum = next;
+    }
+    total_[k] = sum;
+    comp_[k] = comp;
+}
+
+void SnrField::refresh() {
+    for (std::size_t k = 0; k < sub_pos_.size(); ++k) recompute_subscriber(k);
+}
+
+double SnrField::verify_against_scratch() const {
+    double worst = 0.0;
+    const auto& radio = scenario_->radio;
+    for (std::size_t k = 0; k < sub_pos_.size(); ++k) {
+        double scratch = 0.0;
+        for (std::size_t i = 0; i < rs_pos_.size(); ++i) {
+            scratch += wireless::received_power(
+                radio, rs_power_[i], geom::distance(rs_pos_[i], sub_pos_[k]));
+        }
+        const double scale =
+            std::max({std::abs(scratch), std::abs(total_rx(k)), 1e-300});
+        worst = std::max(worst, std::abs(total_rx(k) - scratch) / scale);
+    }
+    return worst;
+}
+
+void SnrField::journal(UndoRecord rec) {
+    if (tx_depth_ > 0 && !journaling_paused_) journal_.push_back(rec);
+}
+
+void SnrField::rollback_to(std::size_t mark) {
+    journaling_paused_ = true;
+    while (journal_.size() > mark) {
+        const UndoRecord rec = journal_.back();
+        journal_.pop_back();
+        switch (rec.kind) {
+            case UndoRecord::Kind::Move:
+                move_rs(rec.index, rec.pos);
+                break;
+            case UndoRecord::Kind::Power:
+                set_power(rec.index, rec.power);
+                break;
+            case UndoRecord::Kind::Add:
+                remove_rs(rec.index);
+                break;
+            case UndoRecord::Kind::Remove:
+                insert_rs(rec.index, rec.pos, rec.power);
+                break;
+        }
+    }
+    journaling_paused_ = false;
+}
+
+void SnrField::after_mutation() {
+    ++mutations_;
+    if (check_interval_ != 0 && mutations_ % check_interval_ == 0) {
+        assert(verify_against_scratch() <= 1e-9 &&
+               "SnrField incremental state diverged from scratch recompute");
+    }
+}
+
+SnrField::Transaction::Transaction(SnrField& field)
+    : field_(field), mark_(field.journal_.size()) {
+    ++field_.tx_depth_;
+}
+
+SnrField::Transaction::~Transaction() {
+    if (!committed_) field_.rollback_to(mark_);
+    --field_.tx_depth_;
+    if (field_.tx_depth_ == 0) field_.journal_.clear();
+}
+
+SnrFeasibilityOracle::SnrFeasibilityOracle(const Scenario& scenario,
+                                           std::span<const geom::Vec2> candidates)
+    : scenario_(&scenario),
+      candidates_(candidates.begin(), candidates.end()),
+      field_(scenario, {}, {}) {}
+
+bool SnrFeasibilityOracle::feasible(std::span<const std::size_t> chosen) {
+    // The branch-and-bound descends with stack discipline, so consecutive
+    // queries share a long prefix: pop back to it, push the rest.
+    std::size_t prefix = 0;
+    while (prefix < current_.size() && prefix < chosen.size() &&
+           current_[prefix] == chosen[prefix]) {
+        ++prefix;
+    }
+    while (current_.size() > prefix) {
+        field_.remove_rs(current_.size() - 1);
+        current_.pop_back();
+    }
+    for (std::size_t c = prefix; c < chosen.size(); ++c) {
+        field_.add_rs(candidates_[chosen[c]], scenario_->radio.max_power);
+        current_.push_back(chosen[c]);
+    }
+
+    const auto assignment = nearest_assignment(*scenario_, field_.rs_positions());
+    if (!assignment) return false;
+    return field_.all_meet_threshold(*assignment, 0.0);
+}
+
+}  // namespace sag::core

@@ -1,0 +1,16 @@
+#pragma once
+
+#include "sag/core/snr_field.h"
+#include "sag/sim/thread_pool.h"
+
+namespace sag::sim {
+
+/// Parallel from-scratch rebuild of a field's cached interference totals:
+/// the tracked subscribers are split into contiguous chunks, one pool task
+/// each (core::SnrField::recompute_subscriber is safe for distinct
+/// subscribers). Equivalent to core::SnrField::refresh(); worth it when
+/// tracked_count x rs_count is large — city-scale audits, not the paper's
+/// 70-subscriber fields.
+void refresh_snr_field(core::SnrField& field, ThreadPool& pool);
+
+}  // namespace sag::sim

@@ -1,0 +1,22 @@
+#include "sag/sim/snr_field_refresh.h"
+
+#include <algorithm>
+
+namespace sag::sim {
+
+void refresh_snr_field(core::SnrField& field, ThreadPool& pool) {
+    const std::size_t count = field.tracked_count();
+    if (count == 0) return;
+    // A few chunks per worker amortizes queue overhead while still
+    // balancing uneven progress across cores.
+    const std::size_t chunks =
+        std::min(count, std::max<std::size_t>(1, pool.thread_count() * 4));
+    const std::size_t per_chunk = (count + chunks - 1) / chunks;
+    parallel_for_index(pool, chunks, [&](std::size_t c) {
+        const std::size_t begin = c * per_chunk;
+        const std::size_t end = std::min(count, begin + per_chunk);
+        for (std::size_t k = begin; k < end; ++k) field.recompute_subscriber(k);
+    });
+}
+
+}  // namespace sag::sim

@@ -48,6 +48,30 @@ TEST(SnrTest, TwoRsMatchHandComputedRatio) {
     EXPECT_NEAR(snrs[0], snrs[1], 1e-9 * expected);  // symmetric layout
 }
 
+TEST(SnrTest, ZeroPowerServerReportsZeroSnrNotInfinity) {
+    // Regression: with the serving RS powered down and no other
+    // interferers (and zero ambient noise) the old code divided 0 by 0
+    // and reported infinite SNR for a subscriber receiving nothing.
+    const Scenario s = two_sub_scenario();
+    const geom::Vec2 rs[] = {{-50.0, 0.0}};
+    const double powers[] = {0.0};
+    const std::size_t subs[] = {0};
+    const std::size_t assignment[] = {0};
+    const auto snrs = coverage_snrs(s, rs, powers, subs, assignment);
+    EXPECT_FALSE(std::isinf(snrs[0]));
+    EXPECT_EQ(snrs[0], 0.0);
+}
+
+TEST(SnrTest, ZeroPowerServerAmongActiveInterferersScoresZero) {
+    const Scenario s = two_sub_scenario();
+    const geom::Vec2 rs[] = {{-50.0, 0.0}, {50.0, 0.0}};
+    const double powers[] = {0.0, 50.0};
+    const std::size_t assignment[] = {0, 1};
+    const auto snrs = coverage_snrs(s, rs, powers, assignment);
+    EXPECT_EQ(snrs[0], 0.0);       // silent server, live interferer
+    EXPECT_TRUE(std::isinf(snrs[1]));  // live server, silent interferer
+}
+
 TEST(SnrTest, NearestAssignmentPicksClosestInRange) {
     const Scenario s = two_sub_scenario();
     const geom::Vec2 rs[] = {{-60.0, 0.0}, {40.0, 0.0}};
