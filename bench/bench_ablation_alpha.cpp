@@ -15,6 +15,7 @@
 int main(int argc, char** argv) {
     using namespace sag;
     const auto bc = bench::BenchConfig::parse(argc, argv);
+    const bench::ReportScope report_scope(bc);
     bench::print_header("Ablation: attenuation factor alpha",
                         "500x500, 30 users, SNR=-15dB, 4 BSs");
 

@@ -12,6 +12,7 @@
 int main(int argc, char** argv) {
     using namespace sag;
     const auto bc = bench::BenchConfig::parse(argc, argv);
+    const bench::ReportScope report_scope(bc);
     bench::print_header("Ablation: B&B node budget",
                         "GAC (grid 15) on 500x500, 35 users, SNR=-15dB");
 

@@ -10,6 +10,7 @@
 int main(int argc, char** argv) {
     using namespace sag;
     const auto bc = bench::BenchConfig::parse(argc, argv);
+    const bench::ReportScope report_scope(bc);
     bench::print_header("Ablation: hitting-set swap depth",
                         "points placed / time for max_swap = 1, 2, 3 "
                         "(disk radii 30-40, 500x500 field)");

@@ -11,6 +11,7 @@
 int main(int argc, char** argv) {
     using namespace sag;
     const auto bc = bench::BenchConfig::parse(argc, argv);
+    const bench::ReportScope report_scope(bc);
     bench::print_header("Ablation: PRO stuck-RS selection",
                         "coverage-tier power, 500x500, SNR=-11.5dB; min-delta ties the "
                         "optimum, first-index pays slightly more when RSs get stuck");

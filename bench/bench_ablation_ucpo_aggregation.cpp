@@ -12,6 +12,7 @@
 int main(int argc, char** argv) {
     using namespace sag;
     const auto bc = bench::BenchConfig::parse(argc, argv);
+    const bench::ReportScope report_scope(bc);
     bench::print_header("Ablation: UCPO traffic aggregation",
                         "upper-tier power, 800x800, SNR=-15dB, 4 BSs");
 

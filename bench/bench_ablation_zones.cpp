@@ -12,6 +12,7 @@
 int main(int argc, char** argv) {
     using namespace sag;
     const auto bc = bench::BenchConfig::parse(argc, argv);
+    const bench::ReportScope report_scope(bc);
     bench::print_header("Ablation: Zone Partition N_max",
                         "1500x1500, 60 users, SNR=-15dB; d_max, zone count, "
                         "SAMC time, and globally verified feasibility vs N_max");

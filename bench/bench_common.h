@@ -8,11 +8,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
+#include <filesystem>
 #include <iostream>
 #include <limits>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "sag/io/report_io.h"
+#include "sag/obs/obs.h"
 #include "sag/sim/scenario_gen.h"
 #include "sag/sim/stats.h"
 #include "sag/sim/stopwatch.h"
@@ -25,10 +30,14 @@ namespace sag::bench {
 ///   --fast       3 seeds and reduced ILP budgets (CI-friendly)
 ///   --threads=N  parallel seed evaluation where the binary supports it
 ///                (never used for wall-clock measurements)
+///   --report[=FILE]  write an obs::RunReport with per-phase spans and
+///                solver counters (default results/<binary>_report.json;
+///                schema in docs/OBSERVABILITY.md)
 struct BenchConfig {
     int seeds = 10;
     bool fast = false;
     int threads = 1;
+    std::string report_path;  ///< empty = no run report requested
 
     static BenchConfig parse(int argc, char** argv) {
         BenchConfig cfg;
@@ -41,9 +50,18 @@ struct BenchConfig {
             } else if (arg == "--fast") {
                 cfg.fast = true;
                 cfg.seeds = 3;
+            } else if (arg.rfind("--report=", 0) == 0) {
+                cfg.report_path = arg.substr(9);
+            } else if (arg == "--report") {
+                cfg.report_path =
+                    "results/" +
+                    std::filesystem::path(argv[0]).filename().string() +
+                    "_report.json";
             } else if (arg == "--help") {
-                std::printf("usage: %s [--seeds=N] [--threads=N] [--fast]\n",
-                            argv[0]);
+                std::printf(
+                    "usage: %s [--seeds=N] [--threads=N] [--fast]"
+                    " [--report[=FILE]]\n",
+                    argv[0]);
                 std::exit(0);
             }
         }
@@ -51,6 +69,35 @@ struct BenchConfig {
         if (cfg.threads < 1) cfg.threads = 1;
         return cfg;
     }
+};
+
+/// Installs an obs::Recorder for the binary's lifetime when --report was
+/// given and writes the merged report on destruction. With no --report
+/// the recorder is never created, so the solvers stay on the no-sink
+/// instrumentation path and wall-clock numbers are untouched.
+class ReportScope {
+public:
+    explicit ReportScope(const BenchConfig& cfg) : path_(cfg.report_path) {
+        if (!path_.empty()) recorder_.emplace();
+    }
+    ~ReportScope() {
+        if (!recorder_) return;
+        try {
+            const std::filesystem::path p(path_);
+            if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+            io::write_run_report(recorder_->snapshot(), path_);
+            std::printf("\nwrote run report: %s\n", path_.c_str());
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "failed writing run report %s: %s\n",
+                         path_.c_str(), e.what());
+        }
+    }
+    ReportScope(const ReportScope&) = delete;
+    ReportScope& operator=(const ReportScope&) = delete;
+
+private:
+    std::string path_;
+    std::optional<obs::ScopedRecorder> recorder_;
 };
 
 /// NaN marks "no feasible solution" — the paper's missing data points

@@ -147,6 +147,7 @@ void grid_sweep(const BenchConfig& bc) {
 
 int main(int argc, char** argv) {
     const BenchConfig bc = BenchConfig::parse(argc, argv);
+    const sag::bench::ReportScope report_scope(bc);
     std::printf("Fig. 3 reproduction (seeds per point: %d%s)\n\n", bc.seeds,
                 bc.fast ? ", fast mode" : "");
 

@@ -60,6 +60,7 @@ void dump(const char* name, const core::Scenario& s, const core::CoveragePlan& c
 
 int main(int argc, char** argv) {
     const auto bc = bench::BenchConfig::parse(argc, argv);
+    const bench::ReportScope report_scope(bc);
     (void)bc;
     bench::print_header("Fig 6", "tree topologies, 300x300 (plot axes +-300), "
                                  "30 users, 4 corner BSs, SNR=-15dB");

@@ -97,6 +97,7 @@ void field_sweep(const char* figure, double side,
 
 int main(int argc, char** argv) {
     const BenchConfig bc = BenchConfig::parse(argc, argv);
+    const sag::bench::ReportScope report_scope(bc);
     std::printf("Fig. 7 reproduction (seeds per point: %d%s)\n\n", bc.seeds,
                 bc.fast ? ", fast mode" : "");
     field_sweep("Fig 7(a)", 300.0, {5, 10, 15, 20, 25, 30, 35, 40}, 15.0, bc);

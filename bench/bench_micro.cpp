@@ -10,6 +10,7 @@
 #include "sag/core/snr.h"
 #include "sag/core/snr_field.h"
 #include "sag/core/ucra.h"
+#include "sag/obs/obs.h"
 #include "sag/opt/hitting_set.h"
 #include "sag/sim/scenario_gen.h"
 
@@ -134,6 +135,36 @@ void BM_SnrFieldDeltaIncremental(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_SnrFieldDeltaIncremental)->Arg(500)->Arg(1000)->Arg(2000);
+
+// Overhead smoke for the obs instrumentation contract (see
+// docs/OBSERVABILITY.md): the incremental-delta kernel runs the
+// SAG_OBS_* macros on every mutation, so comparing this timing against
+// BM_SnrFieldDeltaIncremental (no recorder installed: the macros reduce
+// to one load + branch) bounds the no-sink cost, and the WithRecorder
+// variant bounds the full recording cost. The acceptance budget is a
+// no-sink delta <= 2% on snr_field_delta.
+void BM_SnrFieldDeltaWithRecorder(benchmark::State& state) {
+    DeltaBenchFixture f(static_cast<std::size_t>(state.range(0)));
+    core::SnrField field(f.scenario, f.rs, f.powers);
+    field.set_check_interval(0);
+    obs::ScopedRecorder recorder;
+    std::vector<double> snrs(f.serving.size());
+    bool flip = false;
+    for (auto _ : state) {
+        field.move_rs(0, flip ? f.away : f.home);
+        flip = !flip;
+        for (std::size_t k = 0; k < f.serving.size(); ++k) {
+            snrs[k] = field.snr_of(k, f.serving[k]);
+        }
+        benchmark::DoNotOptimize(snrs);
+    }
+    const auto report = recorder.snapshot();
+    state.counters["deltas"] = static_cast<double>(
+        report.counters.count("snr_field.deltas.applied")
+            ? report.counters.at("snr_field.deltas.applied")
+            : 0);
+}
+BENCHMARK(BM_SnrFieldDeltaWithRecorder)->Arg(500)->Arg(1000)->Arg(2000);
 
 }  // namespace
 

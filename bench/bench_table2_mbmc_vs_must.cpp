@@ -11,6 +11,7 @@
 int main(int argc, char** argv) {
     using namespace sag;
     const auto bc = bench::BenchConfig::parse(argc, argv);
+    const bench::ReportScope report_scope(bc);
     bench::print_header("Table II",
                         "connectivity RSs, MUST(BSk) vs MBMC, 500x500, 30 users, "
                         "SNR=-15dB (n/a = BS k does not exist in that row)");

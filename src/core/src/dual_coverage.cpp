@@ -5,6 +5,7 @@
 
 #include "sag/core/snr.h"
 #include "sag/core/snr_field.h"
+#include "sag/obs/obs.h"
 #include "sag/opt/set_cover.h"
 
 namespace sag::core {
@@ -57,6 +58,7 @@ bool field_feasible(const Scenario& scenario, const SnrField& field) {
 
 DualCoveragePlan solve_dual_coverage(const Scenario& scenario,
                                      std::span<const geom::Vec2> candidates) {
+    SAG_OBS_SPAN("dual_coverage.solve");
     DualCoveragePlan plan;
     const std::size_t n = scenario.subscriber_count();
     if (n == 0) {
@@ -92,6 +94,7 @@ DualCoveragePlan solve_dual_coverage(const Scenario& scenario,
     // help the SNR side.) Each trial removal is a rolled-back delta on the
     // field instead of a full copy-and-rebuild of the candidate set.
     for (std::size_t i = 0; i < field.rs_count();) {
+        SAG_OBS_COUNT("dual_coverage.prune_trials");
         SnrField::Transaction trial(field);
         field.remove_rs(i);
         if (field.rs_count() >= 2 && field_feasible(scenario, field)) {

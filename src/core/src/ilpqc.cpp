@@ -6,6 +6,7 @@
 
 #include "sag/core/snr.h"
 #include "sag/core/snr_field.h"
+#include "sag/obs/obs.h"
 #include "sag/opt/set_cover.h"
 
 namespace sag::core {
@@ -30,6 +31,7 @@ double noise_only_service_radius(const Scenario& scenario) {
 CoveragePlan solve_ilpqc_coverage(const Scenario& scenario,
                                   std::span<const geom::Vec2> candidates,
                                   const IlpqcOptions& options) {
+    SAG_OBS_SPAN("ilpqc.solve");
     CoveragePlan plan;
     const std::size_t n = scenario.subscriber_count();
     if (n == 0) {
@@ -76,6 +78,7 @@ CoveragePlan solve_ilpqc_coverage(const Scenario& scenario,
     const auto result = opt::solve_set_cover_bnb(inst, oracle, bnb);
 
     plan.search_nodes = result.nodes_explored;
+    SAG_OBS_COUNT_ADD("ilpqc.bnb.nodes", result.nodes_explored);
     plan.proven_optimal = result.proven_optimal;
     if (!result.feasible) return plan;
 

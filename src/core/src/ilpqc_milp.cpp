@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "sag/core/snr_field.h"
+#include "sag/obs/obs.h"
 #include "sag/wireless/two_ray.h"
 
 namespace sag::core {
@@ -122,6 +123,7 @@ opt::MilpProblem build_ilpqc_milp(const Scenario& scenario,
 CoveragePlan solve_ilpqc_milp(const Scenario& scenario,
                               std::span<const geom::Vec2> candidates,
                               const opt::MilpOptions& options) {
+    SAG_OBS_SPAN("ilpqc.milp.solve");
     CoveragePlan plan;
     if (scenario.subscriber_count() == 0) {
         plan.feasible = true;
@@ -135,6 +137,7 @@ CoveragePlan solve_ilpqc_milp(const Scenario& scenario,
     opts.bound_gap = 1.0 - 1e-6;  // pure cardinality objective
     const auto result = opt::solve_milp(problem, opts);
     plan.search_nodes = result.nodes;
+    SAG_OBS_COUNT_ADD("ilpqc.milp.nodes", result.nodes);
     if (!result.optimal()) return plan;
     plan.proven_optimal = true;
 

@@ -6,6 +6,7 @@
 
 #include "sag/core/snr.h"
 #include "sag/core/snr_field.h"
+#include "sag/obs/obs.h"
 #include "sag/opt/lp.h"
 #include "sag/opt/power_control.h"
 #include "sag/wireless/two_ray.h"
@@ -85,6 +86,7 @@ double snr_power_floor(const Scenario& scenario, const CoveragePlan& plan,
 
 PowerAllocation allocate_power_pro(const Scenario& scenario, const CoveragePlan& plan,
                                    const ProOptions& options) {
+    SAG_OBS_SPAN("pro.allocate");
     PowerAllocation out;
     const std::size_t n = plan.rs_count();
     const double pmax = scenario.radio.max_power;
@@ -146,12 +148,14 @@ PowerAllocation allocate_power_pro(const Scenario& scenario, const CoveragePlan&
         // Ptmp when its own subscribers' SNR survives.
         for (std::size_t i = 0; i < n; ++i) {
             if (committed[i]) continue;
+            SAG_OBS_COUNT("pro.drop_probes");
             SnrField::Transaction probe(field);
             field.set_power(i, p_min[i]);
             if (served_snr_ok(i)) {
                 committed[i] = true;
                 --remaining;
                 p_tmp[i] = p_min[i];
+                SAG_OBS_COUNT("pro.drops_committed");
             }
             // probe rolls back: later drops in the round still see the
             // round-start powers, exactly as Algorithm 6 prescribes.
@@ -182,8 +186,10 @@ PowerAllocation allocate_power_pro(const Scenario& scenario, const CoveragePlan&
             field.set_power(arg, p_tmp[arg]);
             committed[arg] = true;
             --remaining;
+            SAG_OBS_COUNT("pro.premium_payments");
         }
     }
+    SAG_OBS_COUNT_ADD("pro.rounds", out.iterations);
 
     out.powers = p_tmp;
     out.total = std::accumulate(out.powers.begin(), out.powers.end(), 0.0);

@@ -1,27 +1,46 @@
 #include "sag/core/sag.h"
 
 #include "sag/core/ucra.h"
+#include "sag/obs/obs.h"
 
 namespace sag::core {
 
 SagResult green_pipeline(const Scenario& scenario, CoveragePlan coverage) {
+    SAG_OBS_SPAN("sag.pipeline");
     SagResult result;
     result.coverage = std::move(coverage);
     if (!result.coverage.feasible) return result;
 
-    result.lower_power = allocate_power_pro(scenario, result.coverage);
-    result.connectivity = solve_mbmc(scenario, result.coverage);
-    allocate_power_ucpo(scenario, result.coverage, result.connectivity);
+    {
+        SAG_OBS_SPAN("sag.pro");
+        result.lower_power = allocate_power_pro(scenario, result.coverage);
+    }
+    {
+        SAG_OBS_SPAN("sag.mbmc");
+        result.connectivity = solve_mbmc(scenario, result.coverage);
+    }
+    {
+        SAG_OBS_SPAN("sag.ucpo");
+        allocate_power_ucpo(scenario, result.coverage, result.connectivity);
+    }
     result.feasible = result.lower_power.feasible && result.connectivity.feasible;
+    SAG_OBS_GAUGE("sag.total_power", result.total_power());
     return result;
 }
 
 SagResult solve_sag(const Scenario& scenario, const SamcOptions& options) {
-    return green_pipeline(scenario, solve_samc(scenario, options).plan);
+    SAG_OBS_SPAN("sag.solve");
+    CoveragePlan plan;
+    {
+        SAG_OBS_SPAN("sag.coverage");
+        plan = solve_samc(scenario, options).plan;
+    }
+    return green_pipeline(scenario, std::move(plan));
 }
 
 SagResult solve_darp_baseline(const Scenario& scenario, CoveragePlan coverage,
                               std::size_t bs_index) {
+    SAG_OBS_SPAN("sag.darp");
     SagResult result;
     result.coverage = std::move(coverage);
     if (!result.coverage.feasible) return result;

@@ -10,6 +10,7 @@
 #include "sag/core/snr.h"
 #include "sag/core/snr_field.h"
 #include "sag/core/zone_partition.h"
+#include "sag/obs/obs.h"
 #include "sag/geometry/region.h"
 #include "sag/wireless/two_ray.h"
 
@@ -19,6 +20,7 @@ namespace samc_detail {
 ZoneAssignment coverage_link_escape(const Scenario& scenario,
                                     std::span<const std::size_t> subs,
                                     std::span<const geom::Vec2> points) {
+    SAG_OBS_SPAN("samc.link_escape");
     ZoneAssignment out;
     out.points.assign(points.begin(), points.end());
     out.serving.assign(subs.size(), points.size());
@@ -167,6 +169,7 @@ SlideResult sliding_movement(const Scenario& scenario,
                              std::span<const std::size_t> subs,
                              const ZoneAssignment& assignment,
                              const SamcOptions& options) {
+    SAG_OBS_SPAN("samc.sliding");
     SlideResult result;
 
     // Algorithm 4 Step 2: one-on-one RSs slide onto their subscriber and
@@ -207,6 +210,7 @@ SlideResult sliding_movement(const Scenario& scenario,
             if (best != st.serving[k]) {
                 st.serving[k] = best;  // serving swaps leave the field intact
                 changed = true;
+                SAG_OBS_COUNT("samc.sliding.reassignments");
             }
         }
         return changed;
@@ -243,6 +247,7 @@ SlideResult sliding_movement(const Scenario& scenario,
                 proposals.push_back({p, *target});
             }
         }
+        SAG_OBS_COUNT_ADD("samc.sliding.proposals", proposals.size());
         if (proposals.empty()) break;  // nothing updatable -> stuck
 
         // Algorithm 5 Step 3: try relocation combinations, largest first
@@ -257,6 +262,7 @@ SlideResult sliding_movement(const Scenario& scenario,
             solved = for_each_combination(
                 proposals.size(), t, budget,
                 [&](std::span<const std::size_t> combo) {
+                    SAG_OBS_COUNT("samc.sliding.probes");
                     SnrField::Transaction tx(st.field);
                     for (const std::size_t c : combo) {
                         st.field.move_rs(proposals[c].point, proposals[c].target);
@@ -289,6 +295,7 @@ SlideResult sliding_movement(const Scenario& scenario,
         }
     }
 
+    SAG_OBS_COUNT_ADD("samc.sliding.rounds", result.rounds);
     result.feasible = st.violated().empty();
     const auto final_points = st.field.rs_positions();
     result.points.assign(final_points.begin(), final_points.end());
@@ -299,12 +306,18 @@ SlideResult sliding_movement(const Scenario& scenario,
 }  // namespace samc_detail
 
 SamcResult solve_samc(const Scenario& scenario, const SamcOptions& options) {
+    SAG_OBS_SPAN("samc.solve");
     SamcResult result;
-    result.zones = zone_partition(scenario);
+    {
+        SAG_OBS_SPAN("samc.zone_partition");
+        result.zones = zone_partition(scenario);
+    }
+    SAG_OBS_COUNT_ADD("samc.zones", result.zones.size());
     result.plan.assignment.assign(scenario.subscriber_count(), 0);
     result.plan.feasible = true;
 
     for (const auto& zone : result.zones) {
+        SAG_OBS_SPAN("samc.zone");
         std::vector<geom::Circle> disks;
         disks.reserve(zone.size());
         for (const std::size_t j : zone) disks.push_back(scenario.feasible_circle(j));

@@ -7,6 +7,7 @@
 #include <numeric>
 
 #include "sag/core/snr.h"
+#include "sag/obs/obs.h"
 #include "sag/wireless/two_ray.h"
 
 namespace sag::core {
@@ -243,8 +244,16 @@ void SnrField::rollback_to(std::size_t mark) {
 }
 
 void SnrField::after_mutation() {
+    // journaling_paused_ is only true while rollback_to replays undo
+    // records, so it cleanly splits applied from reverted deltas.
+    if (journaling_paused_) {
+        SAG_OBS_COUNT("snr_field.deltas.reverted");
+    } else {
+        SAG_OBS_COUNT("snr_field.deltas.applied");
+    }
     ++mutations_;
     if (check_interval_ != 0 && mutations_ % check_interval_ == 0) {
+        SAG_OBS_COUNT("snr_field.scratch_checks");
         assert(verify_against_scratch() <= 1e-9 &&
                "SnrField incremental state diverged from scratch recompute");
     }
@@ -268,6 +277,7 @@ SnrFeasibilityOracle::SnrFeasibilityOracle(const Scenario& scenario,
       field_(scenario, {}, {}) {}
 
 bool SnrFeasibilityOracle::feasible(std::span<const std::size_t> chosen) {
+    SAG_OBS_COUNT("ilpqc.oracle.calls");
     // The branch-and-bound descends with stack discipline, so consecutive
     // queries share a long prefix: pop back to it, push the rest.
     std::size_t prefix = 0;
@@ -275,6 +285,8 @@ bool SnrFeasibilityOracle::feasible(std::span<const std::size_t> chosen) {
            current_[prefix] == chosen[prefix]) {
         ++prefix;
     }
+    SAG_OBS_COUNT_ADD("ilpqc.oracle.rs_removed", current_.size() - prefix);
+    SAG_OBS_COUNT_ADD("ilpqc.oracle.rs_added", chosen.size() - prefix);
     while (current_.size() > prefix) {
         field_.remove_rs(current_.size() - 1);
         current_.pop_back();

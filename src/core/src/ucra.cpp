@@ -10,6 +10,7 @@
 #include "sag/graph/mst.h"
 #include "sag/graph/steiner.h"
 #include "sag/graph/tree.h"
+#include "sag/obs/obs.h"
 #include "sag/wireless/link.h"
 #include "sag/wireless/two_ray.h"
 
@@ -134,6 +135,7 @@ ConnectivityPlan build_connectivity(const Scenario& scenario,
         const auto chain =
             graph::steinerize_segment(plan.positions[child_node],
                                       plan.positions[parent_node], subtree_req[i]);
+        SAG_OBS_COUNT_ADD("ucra.relays_placed", chain.size());
         std::size_t prev = parent_node;  // build from the parent end down
         for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
             plan.positions.push_back(*it);
@@ -153,6 +155,7 @@ ConnectivityPlan build_connectivity(const Scenario& scenario,
 }  // namespace
 
 ConnectivityPlan solve_mbmc(const Scenario& scenario, const CoveragePlan& coverage) {
+    SAG_OBS_SPAN("ucra.mbmc");
     std::vector<std::size_t> all_bs(scenario.base_stations.size());
     for (std::size_t b = 0; b < all_bs.size(); ++b) all_bs[b] = b;
     return build_connectivity(scenario, coverage, all_bs);
@@ -160,6 +163,7 @@ ConnectivityPlan solve_mbmc(const Scenario& scenario, const CoveragePlan& covera
 
 ConnectivityPlan solve_must(const Scenario& scenario, const CoveragePlan& coverage,
                             std::size_t bs_index) {
+    SAG_OBS_SPAN("ucra.must");
     if (bs_index >= scenario.base_stations.size())
         throw std::out_of_range("bs_index out of range");
     const std::size_t one[] = {bs_index};
@@ -168,6 +172,7 @@ ConnectivityPlan solve_must(const Scenario& scenario, const CoveragePlan& covera
 
 void allocate_power_ucpo(const Scenario& scenario, const CoveragePlan& coverage,
                          ConnectivityPlan& plan) {
+    SAG_OBS_SPAN("ucra.ucpo");
     const std::size_t bs_count = scenario.base_stations.size();
     const std::size_t cov_count = coverage.rs_count();
     for (std::size_t v = 0; v < plan.node_count(); ++v) {
@@ -191,12 +196,14 @@ void allocate_power_ucpo(const Scenario& scenario, const CoveragePlan& coverage,
             cur = plan.parent[cur];
         }
         if (chain.empty()) continue;  // single-hop edge: no connectivity RS
+        SAG_OBS_COUNT("ucra.ucpo.chains");
         const double edge_len =
             geom::distance(plan.positions[bs_count + i], plan.positions[cur]);
         const std::size_t sections = chain.size() + 1;  // N_i segments
         const double seg = edge_len / static_cast<double>(sections);
-        const double p = std::min(
-            wireless::tx_power_for(scenario.radio, p_rs, seg), scenario.radio.max_power);
+        const double p_need = wireless::tx_power_for(scenario.radio, p_rs, seg);
+        if (p_need > scenario.radio.max_power) SAG_OBS_COUNT("ucra.ucpo.clamped");
+        const double p = std::min(p_need, scenario.radio.max_power);
         for (const std::size_t v : chain) plan.powers[v] = p;
     }
 }
@@ -204,6 +211,7 @@ void allocate_power_ucpo(const Scenario& scenario, const CoveragePlan& coverage,
 void allocate_power_ucpo_aggregated(const Scenario& scenario,
                                     const CoveragePlan& coverage,
                                     ConnectivityPlan& plan) {
+    SAG_OBS_SPAN("ucra.ucpo_aggregated");
     const std::size_t bs_count = scenario.base_stations.size();
     const std::size_t cov_count = coverage.rs_count();
     for (std::size_t v = 0; v < plan.node_count(); ++v) {

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <string>
+
+#include "sag/io/json.h"
+#include "sag/obs/obs.h"
+
+namespace sag::io {
+
+/// Serialize an obs::RunReport to the stable JSON schema documented in
+/// docs/OBSERVABILITY.md:
+///   { "format": 1,
+///     "counters": { "<name>": <uint>, ... },
+///     "gauges":   { "<name>": <double>, ... },
+///     "trace":    [ { "name": ..., "seconds": ..., "count": ...,
+///                     "children": [...] }, ... ] }
+/// Counter/gauge keys are sorted (Json objects are std::map) and trace
+/// children keep recording order, so output is deterministic for a
+/// deterministic run.
+Json run_report_to_json(const obs::RunReport& report);
+
+/// run_report_to_json + pretty-print + write to `path`.
+/// Throws std::runtime_error when the file cannot be written.
+void write_run_report(const obs::RunReport& report, const std::string& path);
+
+}  // namespace sag::io

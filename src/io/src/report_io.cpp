@@ -1,0 +1,50 @@
+#include "sag/io/report_io.h"
+
+#include "sag/io/scenario_io.h"
+
+namespace sag::io {
+
+namespace {
+
+Json trace_node_to_json(const obs::TraceNode& node) {
+    Json::Array children;
+    children.reserve(node.children.size());
+    for (const obs::TraceNode& c : node.children) {
+        children.push_back(trace_node_to_json(c));
+    }
+    Json::Object obj;
+    obj["name"] = node.name;
+    obj["seconds"] = node.seconds;
+    obj["count"] = node.count;
+    obj["children"] = std::move(children);
+    return Json(std::move(obj));
+}
+
+}  // namespace
+
+Json run_report_to_json(const obs::RunReport& report) {
+    Json::Object counters;
+    for (const auto& [name, value] : report.counters) {
+        counters[name] = static_cast<double>(value);
+    }
+    Json::Object gauges;
+    for (const auto& [name, value] : report.gauges) gauges[name] = value;
+    Json::Array trace;
+    trace.reserve(report.trace.size());
+    for (const obs::TraceNode& root : report.trace) {
+        trace.push_back(trace_node_to_json(root));
+    }
+
+    Json::Object out;
+    out["format"] = 1;
+    out["counters"] = Json(std::move(counters));
+    out["gauges"] = Json(std::move(gauges));
+    out["trace"] = Json(std::move(trace));
+    return Json(std::move(out));
+}
+
+void write_run_report(const obs::RunReport& report, const std::string& path) {
+    write_text_file(path, run_report_to_json(report).dump(2) + "\n");
+}
+
+}  // namespace sag::io

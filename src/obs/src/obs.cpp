@@ -1,0 +1,160 @@
+#include "sag/obs/obs.h"
+
+#include <chrono>
+
+namespace sag::obs {
+
+namespace detail {
+std::atomic<Recorder*> g_current{nullptr};
+}  // namespace detail
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t next_recorder_id() {
+    static std::atomic<std::uint64_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+/// Fold `node` into `siblings`, aggregating with an existing same-name
+/// sibling (children merged recursively) or appending a copy.
+void merge_node(std::vector<TraceNode>& siblings, const TraceNode& node) {
+    for (TraceNode& s : siblings) {
+        if (s.name == node.name) {
+            s.seconds += node.seconds;
+            s.count += node.count;
+            for (const TraceNode& c : node.children) merge_node(s.children, c);
+            return;
+        }
+    }
+    siblings.push_back(node);
+}
+
+}  // namespace
+
+/// Per-thread recording state. Counter/gauge cells live in deques so
+/// their addresses stay stable while the owning thread appends; the
+/// values are atomics so snapshot() can read them concurrently with the
+/// owner's relaxed increments. The span structures are only touched
+/// under `m` (spans are phase-grained, the lock is uncontended).
+struct Recorder::ThreadBuffer {
+    struct CounterCell {
+        const char* name;
+        std::atomic<std::uint64_t> value;
+        CounterCell(const char* n, std::uint64_t v) : name(n), value(v) {}
+    };
+    struct GaugeCell {
+        const char* name;
+        std::atomic<double> value;
+        GaugeCell(const char* n, double v) : name(n), value(v) {}
+    };
+    struct OpenSpan {
+        const char* name;
+        Clock::time_point start;
+        std::vector<TraceNode> children;
+    };
+
+    std::mutex m;  // guards structure growth, spans, and snapshot reads
+    std::deque<CounterCell> counters;
+    std::deque<GaugeCell> gauges;
+    std::vector<OpenSpan> open;
+    std::vector<TraceNode> roots;
+};
+
+Recorder::Recorder() : id_(next_recorder_id()) {}
+
+Recorder::~Recorder() { uninstall(); }
+
+void Recorder::install() {
+    detail::g_current.store(this, std::memory_order_release);
+}
+
+void Recorder::uninstall() {
+    Recorder* self = this;
+    detail::g_current.compare_exchange_strong(self, nullptr,
+                                              std::memory_order_acq_rel);
+}
+
+Recorder::ThreadBuffer& Recorder::local() {
+    // Cache keyed by (recorder address, recorder id): the id defeats
+    // stale hits when a destroyed recorder's address is reused.
+    struct Tls {
+        const Recorder* owner = nullptr;
+        std::uint64_t id = 0;
+        ThreadBuffer* buffer = nullptr;
+    };
+    static thread_local Tls tls;
+    if (tls.owner != this || tls.id != id_) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        buffers_.push_back(std::make_unique<ThreadBuffer>());
+        tls = {this, id_, buffers_.back().get()};
+    }
+    return *tls.buffer;
+}
+
+void Recorder::add_count(const char* name, std::uint64_t delta) {
+    ThreadBuffer& buf = local();
+    // Pointer-compare scan: names are literals, the per-thread cell list
+    // is short, and only this thread appends — no lock on the hit path.
+    for (ThreadBuffer::CounterCell& cell : buf.counters) {
+        if (cell.name == name) {
+            cell.value.fetch_add(delta, std::memory_order_relaxed);
+            return;
+        }
+    }
+    const std::lock_guard<std::mutex> lock(buf.m);
+    buf.counters.emplace_back(name, delta);
+}
+
+void Recorder::set_gauge(const char* name, double value) {
+    ThreadBuffer& buf = local();
+    for (ThreadBuffer::GaugeCell& cell : buf.gauges) {
+        if (cell.name == name) {
+            cell.value.store(value, std::memory_order_relaxed);
+            return;
+        }
+    }
+    const std::lock_guard<std::mutex> lock(buf.m);
+    buf.gauges.emplace_back(name, value);
+}
+
+void Recorder::begin_span(const char* name) {
+    ThreadBuffer& buf = local();
+    const std::lock_guard<std::mutex> lock(buf.m);
+    buf.open.push_back({name, Clock::now(), {}});
+}
+
+void Recorder::end_span() {
+    ThreadBuffer& buf = local();
+    const std::lock_guard<std::mutex> lock(buf.m);
+    if (buf.open.empty()) return;  // unmatched end: drop defensively
+    ThreadBuffer::OpenSpan span = std::move(buf.open.back());
+    buf.open.pop_back();
+    TraceNode node{span.name,
+                   std::chrono::duration<double>(Clock::now() - span.start).count(),
+                   1,
+                   std::move(span.children)};
+    std::vector<TraceNode>& siblings =
+        buf.open.empty() ? buf.roots : buf.open.back().children;
+    merge_node(siblings, node);
+}
+
+RunReport Recorder::snapshot() {
+    RunReport report;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const std::unique_ptr<ThreadBuffer>& buf : buffers_) {
+        const std::lock_guard<std::mutex> buf_lock(buf->m);
+        for (const ThreadBuffer::CounterCell& cell : buf->counters) {
+            report.counters[cell.name] +=
+                cell.value.load(std::memory_order_relaxed);
+        }
+        for (const ThreadBuffer::GaugeCell& cell : buf->gauges) {
+            report.gauges[cell.name] = cell.value.load(std::memory_order_relaxed);
+        }
+        for (const TraceNode& root : buf->roots) merge_node(report.trace, root);
+    }
+    return report;
+}
+
+}  // namespace sag::obs

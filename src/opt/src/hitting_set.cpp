@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdint>
 
+#include "sag/obs/obs.h"
 #include "sag/opt/set_cover.h"
 
 namespace sag::opt {
@@ -66,8 +67,10 @@ std::vector<geom::Vec2> disk_hitting_candidates(std::span<const geom::Circle> di
 
 std::vector<geom::Vec2> geometric_hitting_set(std::span<const geom::Circle> disks,
                                               const HittingSetOptions& options) {
+    SAG_OBS_SPAN("opt.hitting_set");
     if (disks.empty()) return {};
     const std::vector<geom::Vec2> candidates = disk_hitting_candidates(disks);
+    SAG_OBS_COUNT_ADD("opt.hitting_set.candidates", candidates.size());
     const auto sets = hit_sets(disks, candidates);
 
     SetCoverInstance inst{disks.size(), sets};
@@ -84,6 +87,7 @@ std::vector<geom::Vec2> geometric_hitting_set(std::span<const geom::Circle> disk
             if (hits_all(disks, chosen, sets, chosen[i], SIZE_MAX, SIZE_MAX)) {
                 chosen.erase(chosen.begin() + static_cast<std::ptrdiff_t>(i));
                 improved = true;
+                SAG_OBS_COUNT("opt.hitting_set.swaps");
             } else {
                 ++i;
             }
@@ -100,6 +104,7 @@ std::vector<geom::Vec2> geometric_hitting_set(std::span<const geom::Circle> disk
                             chosen.erase(chosen.begin() + static_cast<std::ptrdiff_t>(i));
                             chosen.push_back(keep);
                             improved = true;
+                            SAG_OBS_COUNT("opt.hitting_set.swaps");
                             break;
                         }
                     }
@@ -146,6 +151,7 @@ std::vector<geom::Vec2> geometric_hitting_set(std::span<const geom::Circle> disk
                                     next.push_back(b);
                                     chosen = std::move(next);
                                     improved = true;
+                                    SAG_OBS_COUNT("opt.hitting_set.swaps");
                                     break;
                                 }
                             }

@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "sag/obs/obs.h"
+
 namespace sag::opt {
 
 std::vector<std::vector<std::size_t>> SetCoverInstance::covering_sets() const {
@@ -242,6 +244,7 @@ struct Search {
 SetCoverBnBResult solve_set_cover_bnb(const SetCoverInstance& inst,
                                       const CoverOracle& oracle,
                                       const SetCoverBnBOptions& options) {
+    SAG_OBS_SPAN("opt.set_cover.bnb");
     SetCoverBnBResult result;
     if (!inst.coverable()) return result;
     if (inst.element_count == 0) {

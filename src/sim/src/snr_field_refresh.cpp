@@ -2,9 +2,12 @@
 
 #include <algorithm>
 
+#include "sag/obs/obs.h"
+
 namespace sag::sim {
 
 void refresh_snr_field(core::SnrField& field, ThreadPool& pool) {
+    SAG_OBS_SPAN("sim.refresh_snr_field");
     const std::size_t count = field.tracked_count();
     if (count == 0) return;
     // A few chunks per worker amortizes queue overhead while still
@@ -13,8 +16,13 @@ void refresh_snr_field(core::SnrField& field, ThreadPool& pool) {
         std::min(count, std::max<std::size_t>(1, pool.thread_count() * 4));
     const std::size_t per_chunk = (count + chunks - 1) / chunks;
     parallel_for_index(pool, chunks, [&](std::size_t c) {
-        const std::size_t begin = c * per_chunk;
+        // Clamp both ends: ceil-division can leave trailing chunks fully
+        // past `count`, which must contribute an empty [begin, end).
+        const std::size_t begin = std::min(count, c * per_chunk);
         const std::size_t end = std::min(count, begin + per_chunk);
+        // Per-chunk (worker-thread) count: merged across thread buffers
+        // at snapshot, so the report sees the full recompute total.
+        SAG_OBS_COUNT_ADD("snr_field.parallel_recomputes", end - begin);
         for (std::size_t k = begin; k < end; ++k) field.recompute_subscriber(k);
     });
 }

@@ -3,6 +3,7 @@
 // not drift silently, or archived experiments stop replaying.
 #include <gtest/gtest.h>
 
+#include "sag/io/report_io.h"
 #include "sag/io/scenario_io.h"
 
 namespace sag::io {
@@ -36,6 +37,36 @@ TEST(GoldenFormatTest, GoldenTextLoads) {
     EXPECT_EQ(s.subscribers[0].pos, (geom::Vec2{-10.0, 20.0}));
     EXPECT_DOUBLE_EQ(s.subscribers[1].distance_request, 30.0);
     EXPECT_DOUBLE_EQ(s.radio.snr_ambient_noise, 0.065);
+}
+
+// The run-report schema ("format": 1) is the contract downstream tooling
+// parses (docs/OBSERVABILITY.md); its serialized shape is golden too.
+TEST(GoldenFormatTest, RunReportSerializationIsStable) {
+    obs::RunReport report;
+    report.counters["samc.sliding.probes"] = 7;
+    report.counters["ilpqc.bnb.nodes"] = 1234;
+    report.gauges["sag.total_power"] = 42.5;
+    report.trace = {{"sag.solve",
+                     0.5,
+                     1,
+                     {{"sag.coverage", 0.25, 1, {}}, {"sag.pipeline", 0.125, 2, {}}}}};
+
+    constexpr const char* kGoldenReport =
+        R"({"counters":{"ilpqc.bnb.nodes":1234,"samc.sliding.probes":7},)"
+        R"("format":1,"gauges":{"sag.total_power":42.5},)"
+        R"("trace":[{"children":[)"
+        R"({"children":[],"count":1,"name":"sag.coverage","seconds":0.25},)"
+        R"({"children":[],"count":2,"name":"sag.pipeline","seconds":0.125}],)"
+        R"("count":1,"name":"sag.solve","seconds":0.5}]})";
+    EXPECT_EQ(run_report_to_json(report).dump(), kGoldenReport);
+}
+
+TEST(GoldenFormatTest, RunReportGoldenTextParses) {
+    const Json j = run_report_to_json(obs::RunReport{});
+    EXPECT_EQ(j.at("format").as_number(), 1.0);
+    EXPECT_TRUE(j.at("counters").is_object());
+    EXPECT_TRUE(j.at("gauges").is_object());
+    EXPECT_TRUE(j.at("trace").is_array());
 }
 
 TEST(GoldenFormatTest, MissingRadioFieldsFallBackToDefaults) {

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Documentation consistency checks, run by the CI `docs` job.
+#
+#  1. Every relative markdown link in the repo's docs resolves to a file.
+#  2. The sag::obs metrics contract is bidirectionally complete:
+#     every metric name emitted by a SAG_OBS_* macro in src/ or tools/
+#     appears in docs/OBSERVABILITY.md, and every dotted metric name the
+#     registry documents exists in the source tree (no stale rows).
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+err() { echo "check_docs: $*" >&2; fail=1; }
+
+# --- 1. relative markdown links -------------------------------------------
+docs=$(git ls-files '*.md' 2>/dev/null || find . -name '*.md' -not -path './build*')
+for doc in $docs; do
+    # Extract ](target) links; keep relative paths only (skip URLs/anchors).
+    links=$(grep -oE '\]\([^)#]+' "$doc" | sed 's/^](//') || true
+    for link in $links; do
+        case "$link" in
+            http://*|https://*|mailto:*) continue ;;
+        esac
+        target="$(dirname "$doc")/$link"
+        [ -e "$target" ] || err "$doc: broken relative link -> $link"
+    done
+done
+
+# --- 2. metric registry <-> source ----------------------------------------
+registry=docs/OBSERVABILITY.md
+[ -f "$registry" ] || { err "missing $registry"; exit 1; }
+
+emitted=$(grep -rhoE 'SAG_OBS_(SPAN|COUNT|COUNT_ADD|GAUGE)\("[^"]+"' src tools \
+          | sed 's/.*("//; s/"$//' | sort -u)
+[ -n "$emitted" ] || err "found no SAG_OBS_* emission sites in src/ or tools/"
+
+for name in $emitted; do
+    grep -qF "\`$name\`" "$registry" || \
+        err "metric \`$name\` is emitted in source but missing from $registry"
+done
+
+# Documented names: backticked dotted identifiers in the registry tables.
+# Only check names whose first segment is an emitting module prefix, so
+# prose mentions of file paths or options are not misread as metrics.
+documented=$(grep -oE '`(sag|samc|pro|ilpqc|ucra|opt|dual_coverage|snr_field|sim)\.[a-z0-9_.]+`' \
+             "$registry" | tr -d '\`' | sort -u)
+for name in $documented; do
+    echo "$emitted" | grep -qxF "$name" || \
+        err "metric \`$name\` is documented in $registry but not emitted anywhere in src/ or tools/"
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "check_docs: FAILED" >&2
+    exit 1
+fi
+echo "check_docs: OK ($(echo "$emitted" | wc -l) metrics, docs links clean)"

@@ -5,8 +5,10 @@
 //       Generate a random scenario and write it as JSON.
 //
 //   sag_cli solve --scenario scenario.json [--out result.json] [--csv tree.csv]
-//                 [--coverage samc|iac|gac] [--grid SIZE]
+//                 [--coverage samc|iac|gac] [--grid SIZE] [--trace-json FILE]
 //       Run the SAG pipeline (coverage + PRO + MBMC + UCPO) and report.
+//       --trace-json writes the obs::RunReport (per-phase spans + solver
+//       counters; schema in docs/OBSERVABILITY.md).
 //
 //   sag_cli verify --scenario scenario.json --result result.json
 //       Re-check a previously produced deployment against its scenario.
@@ -21,7 +23,9 @@
 #include "sag/core/feasibility.h"
 #include "sag/core/ilpqc.h"
 #include "sag/core/sag.h"
+#include "sag/io/report_io.h"
 #include "sag/io/scenario_io.h"
+#include "sag/obs/obs.h"
 #include "sag/sim/scenario_gen.h"
 
 namespace {
@@ -65,7 +69,7 @@ int usage() {
                  "  sag_cli generate --out FILE [--users N] [--bs N] [--field S]"
                  " [--snr DB] [--seed K] [--bs-layout uniform|corners|center]\n"
                  "  sag_cli solve --scenario FILE [--out FILE] [--csv FILE]"
-                 " [--coverage samc|iac|gac] [--grid SIZE]\n"
+                 " [--coverage samc|iac|gac] [--grid SIZE] [--trace-json FILE]\n"
                  "  sag_cli verify --scenario FILE --result FILE\n");
     return 2;
 }
@@ -94,27 +98,40 @@ int cmd_solve(const Args& args) {
     const auto scenario_path = args.get("scenario");
     if (!scenario_path) return usage();
     const core::Scenario scenario = io::load_scenario(*scenario_path);
+    const auto trace_path = args.get("trace-json");
+
+    // Install the sink only when a trace was requested: without it the
+    // instrumentation stays on its no-sink (one branch) path.
+    std::optional<obs::ScopedRecorder> recorder;
+    if (trace_path) recorder.emplace();
 
     const std::string method = args.get_or("coverage", "samc");
     core::CoveragePlan coverage;
-    if (method == "samc") {
-        coverage = core::solve_samc(scenario).plan;
-    } else if (method == "iac" || method == "gac") {
-        core::IlpqcOptions opts;
-        opts.time_budget_seconds = 10.0;
-        const auto candidates =
-            method == "iac"
-                ? core::iac_candidates(scenario)
-                : core::prune_useless_candidates(
-                      scenario,
-                      core::gac_candidates(scenario, args.num_or("grid", 15.0)));
-        coverage = core::solve_ilpqc_coverage(scenario, candidates, opts);
-    } else {
-        std::fprintf(stderr, "unknown coverage method '%s'\n", method.c_str());
-        return usage();
+    {
+        SAG_OBS_SPAN("sag.coverage");
+        if (method == "samc") {
+            coverage = core::solve_samc(scenario).plan;
+        } else if (method == "iac" || method == "gac") {
+            core::IlpqcOptions opts;
+            opts.time_budget_seconds = 10.0;
+            const auto candidates =
+                method == "iac"
+                    ? core::iac_candidates(scenario)
+                    : core::prune_useless_candidates(
+                          scenario,
+                          core::gac_candidates(scenario, args.num_or("grid", 15.0)));
+            coverage = core::solve_ilpqc_coverage(scenario, candidates, opts);
+        } else {
+            std::fprintf(stderr, "unknown coverage method '%s'\n", method.c_str());
+            return usage();
+        }
     }
 
     const core::SagResult result = core::green_pipeline(scenario, std::move(coverage));
+    if (trace_path) {
+        io::write_run_report(recorder->snapshot(), *trace_path);
+        std::printf("wrote %s\n", trace_path->c_str());
+    }
     std::printf("coverage method : %s\n", method.c_str());
     std::printf("feasible        : %s\n", result.feasible ? "yes" : "no");
     if (result.feasible) {
