@@ -28,12 +28,13 @@ int main(int argc, char** argv) {
             cfg.field_side = 500.0;
             cfg.subscriber_count = 30;
             cfg.base_station_count = 4;
-            cfg.snr_threshold_db = -15.0;
+            cfg.snr_threshold_db = units::Decibel{-15.0};
             cfg.radio.alpha = alpha;
             // The default ambient noise is calibrated for alpha = 3; keep
             // the noise-only SNR at the 40 m boundary constant across the
             // sweep so the comparison isolates the interference geometry.
-            cfg.radio.snr_ambient_noise *= std::pow(40.0, 3.0 - alpha);
+            cfg.radio.snr_ambient_noise =
+                cfg.radio.snr_ambient_noise * std::pow(40.0, 3.0 - alpha);
             const auto s = sim::generate_scenario(cfg, 9500 + seed);
             const auto plan = core::solve_samc(s).plan;
             if (!plan.feasible) {

@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
             sim::GeneratorConfig cfg;
             cfg.field_side = 500.0;
             cfg.subscriber_count = 35;
-            cfg.snr_threshold_db = -15.0;
+            cfg.snr_threshold_db = units::Decibel{-15.0};
             const auto s = sim::generate_scenario(cfg, 9100 + seed);
             const auto cands =
                 core::prune_useless_candidates(s, core::gac_candidates(s, 15.0));

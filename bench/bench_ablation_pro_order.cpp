@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
             sim::GeneratorConfig cfg;
             cfg.field_side = 500.0;
             cfg.subscriber_count = users;
-            cfg.snr_threshold_db = -11.5;
+            cfg.snr_threshold_db = units::Decibel{-11.5};
             const auto s = sim::generate_scenario(cfg, 9200 + seed);
             const auto plan = core::solve_samc(s).plan;
             if (!plan.feasible) {

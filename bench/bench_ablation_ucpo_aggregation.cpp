@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
             cfg.field_side = 800.0;
             cfg.subscriber_count = users;
             cfg.base_station_count = 4;
-            cfg.snr_threshold_db = -15.0;
+            cfg.snr_threshold_db = units::Decibel{-15.0};
             const auto s = sim::generate_scenario(cfg, 9400 + seed);
             const auto cov = core::solve_samc(s).plan;
             if (!cov.feasible) {

@@ -25,8 +25,8 @@ int main(int argc, char** argv) {
             sim::GeneratorConfig cfg;
             cfg.field_side = 1500.0;
             cfg.subscriber_count = 60;
-            cfg.snr_threshold_db = -15.0;
-            cfg.radio.ignorable_noise = nmax;
+            cfg.snr_threshold_db = units::Decibel{-15.0};
+            cfg.radio.ignorable_noise = units::Watt{nmax};
             const auto s = sim::generate_scenario(cfg, 9300 + seed);
             dmax_stat.add(core::zone_partition_dmax(s));
             sim::Stopwatch sw;

@@ -64,7 +64,7 @@ sim::GeneratorConfig base_config(double side, std::size_t users, double snr_db) 
     cfg.field_side = side;
     cfg.subscriber_count = users;
     cfg.base_station_count = 4;
-    cfg.snr_threshold_db = snr_db;
+    cfg.snr_threshold_db = units::Decibel{snr_db};
     return cfg;
 }
 

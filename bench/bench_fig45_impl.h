@@ -30,7 +30,7 @@ inline void run_field_suite(const char* figure, double side,
     sim::GeneratorConfig cfg;
     cfg.field_side = side;
     cfg.base_station_count = 4;
-    cfg.snr_threshold_db = -15.0;
+    cfg.snr_threshold_db = units::Decibel{-15.0};
 
     sim::Table power_low({"users", "baseline", "PRO", "optimal"});
     sim::Table runtimes(

@@ -70,7 +70,7 @@ int main(int argc, char** argv) {
     cfg.subscriber_count = 30;
     cfg.base_station_count = 4;
     cfg.bs_layout = sim::BsLayout::Corners;
-    cfg.snr_threshold_db = -15.0;
+    cfg.snr_threshold_db = units::Decibel{-15.0};
     const auto s = sim::generate_scenario(cfg, 4242);
 
     core::IlpqcOptions iopts;

@@ -35,7 +35,7 @@ void field_sweep(const char* figure, double side,
     sim::GeneratorConfig cfg;
     cfg.field_side = side;
     cfg.base_station_count = 4;
-    cfg.snr_threshold_db = -15.0;
+    cfg.snr_threshold_db = units::Decibel{-15.0};
 
     sim::ThreadPool pool(static_cast<std::size_t>(bc.threads));
     for (const std::size_t users : user_counts) {

@@ -23,7 +23,7 @@ core::Scenario make_scenario(std::size_t users, double side = 500.0) {
     cfg.field_side = side;
     cfg.subscriber_count = users;
     cfg.base_station_count = 4;
-    cfg.snr_threshold_db = -15.0;
+    cfg.snr_threshold_db = units::Decibel{-15.0};
     return sim::generate_scenario(cfg, 97);
 }
 
@@ -99,7 +99,7 @@ struct DeltaBenchFixture {
         for (std::size_t j = 0; j < users; j += 8) {
             rs.push_back(scenario.subscribers[j].pos);
         }
-        powers.assign(rs.size(), scenario.radio.max_power);
+        powers.assign(rs.size(), scenario.radio.max_power.watts());
         serving.resize(users);
         for (std::size_t j = 0; j < users; ++j) serving[j] = j % rs.size();
         home = rs[0];

@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
             cfg.field_side = 500.0;
             cfg.subscriber_count = 30;
             cfg.base_station_count = n_bs;
-            cfg.snr_threshold_db = -15.0;
+            cfg.snr_threshold_db = units::Decibel{-15.0};
             const auto s = sim::generate_scenario(cfg, 8000 + seed);
             const auto cov = core::solve_samc(s).plan;
             if (!cov.feasible) {

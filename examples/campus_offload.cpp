@@ -12,7 +12,7 @@
 #include "sag/core/feasibility.h"
 #include "sag/core/sag.h"
 #include "sag/core/zone_partition.h"
-#include "sag/wireless/units.h"
+#include "sag/units/units.h"
 
 namespace {
 
@@ -23,7 +23,7 @@ using namespace sag;
 core::Scenario build_campus() {
     core::Scenario s;
     s.field = geom::Rect::centered_square(1200.0);
-    s.snr_threshold_db = -15.0;
+    s.snr_threshold_db = units::Decibel{-15.0};
 
     std::mt19937_64 rng(2024);
     std::uniform_real_distribution<double> jitter(-60.0, 60.0);
@@ -70,7 +70,7 @@ int main() {
                 plan.total_power());
     const double all_max =
         static_cast<double>(plan.coverage_rs_count() + plan.connectivity_rs_count()) *
-        campus.radio.max_power;
+        campus.radio.max_power.watts();
     std::printf("  vs all-at-Pmax   : %.1f (green saves %.0f%%)\n\n", all_max,
                 100.0 * (1.0 - plan.total_power() / all_max));
 
@@ -90,6 +90,6 @@ int main() {
     std::printf("Tightest link: store %zu, %.1f m from its RS, SNR %.1f dB "
                 "(threshold %.1f dB)\n",
                 worst, report.subscribers[worst].access_distance, worst_snr,
-                campus.snr_threshold_db);
+                campus.snr_threshold_db.db());
     return report.feasible ? 0 : 1;
 }

@@ -19,7 +19,7 @@ int main() {
     cfg.field_side = 4000.0;
     cfg.subscriber_count = 300;
     cfg.base_station_count = 9;
-    cfg.snr_threshold_db = -15.0;
+    cfg.snr_threshold_db = units::Decibel{-15.0};
     const core::Scenario city = sim::generate_scenario(cfg, 20'26);
 
     sim::Stopwatch sw;
@@ -49,7 +49,7 @@ int main() {
                 plan.total_power(),
                 static_cast<double>(plan.coverage_rs_count() +
                                     plan.connectivity_rs_count()) *
-                    city.radio.max_power);
+                    city.radio.max_power.watts());
 
     sw.reset();
     const auto cov_ok =

@@ -24,7 +24,7 @@ struct Row {
     int feasible = 0;
 };
 
-Row study_point(double snr_db, std::size_t users, int seeds) {
+Row study_point(units::Decibel snr_threshold, std::size_t users, int seeds) {
     sim::RunningStat saving, gap;
     int feasible = 0;
     for (int seed = 0; seed < seeds; ++seed) {
@@ -32,7 +32,7 @@ Row study_point(double snr_db, std::size_t users, int seeds) {
         cfg.field_side = 600.0;
         cfg.subscriber_count = users;
         cfg.base_station_count = 3;
-        cfg.snr_threshold_db = snr_db;
+        cfg.snr_threshold_db = snr_threshold;
         const auto s = sim::generate_scenario(cfg, 42 + seed);
 
         const auto cov = core::solve_samc(s).plan;
@@ -67,7 +67,7 @@ int main() {
     std::printf("------------------------------------------------------------\n");
     for (const double snr : {-25.0, -20.0, -15.0, -12.5}) {
         for (const std::size_t users : {15ul, 30ul, 45ul}) {
-            const Row r = study_point(snr, users, kSeeds);
+            const Row r = study_point(units::Decibel{snr}, users, kSeeds);
             if (r.feasible == 0) {
                 std::printf("%-10.1f %-8zu %-14s %-14s %d/%d\n", snr, users, "n/a",
                             "n/a", r.feasible, kSeeds);

@@ -5,7 +5,7 @@
 #include "sag/core/feasibility.h"
 #include "sag/core/sag.h"
 #include "sag/sim/scenario_gen.h"
-#include "sag/wireless/units.h"
+#include "sag/units/units.h"
 
 int main() {
     // 1. Describe the world: a 500x500 field, 20 subscriber stations with
@@ -14,7 +14,7 @@ int main() {
     config.field_side = 500.0;
     config.subscriber_count = 20;
     config.base_station_count = 4;
-    config.snr_threshold_db = -15.0;
+    config.snr_threshold_db = sag::units::Decibel{-15.0};
     const sag::core::Scenario scenario = sag::sim::generate_scenario(config, /*seed=*/7);
 
     // 2. Run the whole paper pipeline: SAMC coverage, PRO power reduction,
@@ -31,7 +31,7 @@ int main() {
                 result.total_power(),
                 static_cast<double>(result.coverage_rs_count() +
                                     result.connectivity_rs_count()) *
-                    scenario.radio.max_power);
+                    scenario.radio.max_power.watts());
 
     // 3. Verify the deployment independently of the solvers.
     const auto coverage_report = sag::core::verify_coverage(

@@ -19,7 +19,7 @@ int main() {
     cfg.subscriber_count = 25;
     cfg.base_station_count = 4;
     cfg.bs_layout = sim::BsLayout::Corners;
-    cfg.snr_threshold_db = -15.0;
+    cfg.snr_threshold_db = units::Decibel{-15.0};
     const core::Scenario scenario = sim::generate_scenario(cfg, 77);
 
     // 1. Archive the input; load_scenario(path) replays it bit-exactly.

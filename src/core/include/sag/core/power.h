@@ -5,27 +5,29 @@
 
 #include "sag/core/deployment.h"
 #include "sag/core/scenario.h"
+#include "sag/units/units.h"
 
 namespace sag::core {
 
 /// A lower-tier transmit-power assignment for the coverage RSs of a plan.
 struct PowerAllocation {
-    std::vector<double> powers;  ///< one per coverage RS
+    std::vector<double> powers;  ///< one per coverage RS, linear watts
     bool feasible = false;
-    double total = 0.0;          ///< P_L, sum of the powers
+    double total = 0.0;          ///< P_L, sum of the powers (watts)
     int iterations = 0;          ///< solver-specific effort counter
 };
 
 /// Coverage power P_c for RS `rs` (paper §III-A2): the minimum transmit
 /// power delivering every served subscriber's required received power
 /// P^j_ss over its access link — interference-free data-rate floor.
-double coverage_power_floor(const Scenario& scenario, const CoveragePlan& plan,
-                            std::size_t rs);
+units::Watt coverage_power_floor(const Scenario& scenario, const CoveragePlan& plan,
+                                 std::size_t rs);
 
-/// SNR power P_snr for RS `rs` given everyone else's current powers: the
-/// minimum transmit power that lifts each served subscriber's SNR to beta.
-double snr_power_floor(const Scenario& scenario, const CoveragePlan& plan,
-                       std::size_t rs, std::span<const double> powers);
+/// SNR power P_snr for RS `rs` given everyone else's current powers (in
+/// watts, one per RS): the minimum transmit power that lifts each served
+/// subscriber's SNR to beta.
+units::Watt snr_power_floor(const Scenario& scenario, const CoveragePlan& plan,
+                            std::size_t rs, std::span<const double> powers);
 
 /// Tuning for PRO; the paper's Algorithm 6 Step 11 picks the stuck RS
 /// with the smallest P_snr - P_c premium. FirstIndex replaces that rule

@@ -5,6 +5,7 @@
 
 #include "sag/geometry/circle.h"
 #include "sag/geometry/vec2.h"
+#include "sag/units/units.h"
 #include "sag/wireless/radio_params.h"
 
 namespace sag::core {
@@ -31,12 +32,16 @@ struct Scenario {
     std::vector<Subscriber> subscribers;
     std::vector<BaseStation> base_stations;
     wireless::RadioParams radio;
-    double snr_threshold_db = -15.0;
+    units::Decibel snr_threshold_db{-15.0};
 
     std::size_t subscriber_count() const { return subscribers.size(); }
 
-    /// β as a linear power ratio.
-    double snr_threshold_linear() const;
+    /// β as a typed linear power ratio.
+    units::SnrRatio snr_threshold() const;
+
+    /// β as a bare linear ratio — convenience for the solvers' dense
+    /// inner-loop arithmetic over double buffers.
+    double snr_threshold_linear() const { return snr_threshold().ratio(); }
 
     /// Feasible coverage circle c_j of subscriber j: center s_j, radius d_j.
     geom::Circle feasible_circle(std::size_t j) const;
@@ -45,7 +50,7 @@ struct Scenario {
     /// Minimum received power P^j_ss that satisfies subscriber j's data
     /// rate: the power received at exactly distance d_j from a max-power
     /// transmitter (this is what makes distance & rate requests equivalent).
-    double min_rx_power(std::size_t j) const;
+    units::Watt min_rx_power(std::size_t j) const;
 
     /// Smallest distance request over all subscribers (d_min of MBMC).
     double min_distance_request() const;

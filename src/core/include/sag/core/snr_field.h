@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "sag/core/scenario.h"
+#include "sag/units/units.h"
 
 namespace sag::core {
 
@@ -34,7 +35,8 @@ class SnrField {
 public:
     /// Field over a subset of subscribers (`subs` holds indices into
     /// `scenario.subscribers`; kept by copy). `rs_positions` and `powers`
-    /// must be the same length.
+    /// must be the same length; `powers` entries are linear watts (the
+    /// bulk-buffer boundary of the sag::units conventions).
     SnrField(const Scenario& scenario, std::span<const geom::Vec2> rs_positions,
              std::span<const double> powers, std::span<const std::size_t> subs);
 
@@ -53,8 +55,9 @@ public:
 
     std::size_t rs_count() const { return rs_pos_.size(); }
     const geom::Vec2& rs_position(std::size_t i) const { return rs_pos_[i]; }
-    double rs_power(std::size_t i) const { return rs_power_[i]; }
+    units::Watt rs_power(std::size_t i) const { return units::Watt{rs_power_[i]}; }
     std::span<const geom::Vec2> rs_positions() const { return rs_pos_; }
+    /// Raw per-RS transmit powers in watts (bulk-buffer boundary).
     std::span<const double> rs_powers() const { return rs_power_; }
 
     std::size_t tracked_count() const { return sub_ids_.size(); }
@@ -66,9 +69,9 @@ public:
     /// Relocate RS i.
     void move_rs(std::size_t i, const geom::Vec2& to);
     /// Change RS i's transmit power.
-    void set_power(std::size_t i, double power);
+    void set_power(std::size_t i, units::Watt power);
     /// Append an RS; returns its index (== old rs_count()).
-    std::size_t add_rs(const geom::Vec2& pos, double power);
+    std::size_t add_rs(const geom::Vec2& pos, units::Watt power);
     /// Erase RS i; RSs after i shift down by one index.
     void remove_rs(std::size_t i);
 
@@ -134,15 +137,15 @@ private:
     struct UndoRecord {
         enum class Kind { Move, Power, Add, Remove } kind;
         std::size_t index;
-        geom::Vec2 pos;    // Move: old position; Remove: erased position
-        double power = 0;  // Power: old power;   Remove: erased power
+        geom::Vec2 pos;          // Move: old position; Remove: erased position
+        units::Watt power{0.0};  // Power: old power;   Remove: erased power
     };
 
-    /// Neumaier-compensated `total_[k] += term`.
+    /// Neumaier-compensated `total_[k] += term` (term is watts).
     void accumulate(std::size_t k, double term);
     /// Subtract/add RS (pos, power)'s contribution at every tracked sub.
-    void apply_rs_contribution(const geom::Vec2& pos, double power, double sign);
-    void insert_rs(std::size_t i, const geom::Vec2& pos, double power);
+    void apply_rs_contribution(const geom::Vec2& pos, units::Watt power, double sign);
+    void insert_rs(std::size_t i, const geom::Vec2& pos, units::Watt power);
     void journal(UndoRecord rec);
     void rollback_to(std::size_t mark);
     void after_mutation();

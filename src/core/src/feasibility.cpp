@@ -5,9 +5,9 @@
 #include <sstream>
 
 #include "sag/core/snr_field.h"
+#include "sag/units/units.h"
 #include "sag/wireless/link.h"
 #include "sag/wireless/two_ray.h"
-#include "sag/wireless/units.h"
 
 namespace sag::core {
 
@@ -41,13 +41,14 @@ CoverageReport verify_coverage(const Scenario& scenario, const CoveragePlan& pla
         const geom::Vec2& rs = plan.rs_positions[check.serving_rs];
         check.access_distance = geom::distance(rs, s.pos);
         check.distance_ok = check.access_distance <= s.distance_request + 1e-6;
-        const double rx = wireless::received_power(
-            scenario.radio, powers[check.serving_rs], check.access_distance);
+        const units::Watt rx = wireless::received_power(
+            scenario.radio, units::Watt{powers[check.serving_rs]},
+            units::Meters{check.access_distance});
         check.rate_ok = rx >= scenario.min_rx_power(j) * (1.0 - 1e-9);
         const double snr = field.snr_of(j, check.serving_rs);
         check.snr_ok = snr >= beta * (1.0 - 1e-9);
         check.snr_db = std::isfinite(snr)
-                           ? wireless::linear_to_db(snr)
+                           ? units::to_db(units::SnrRatio{snr}).db()
                            : std::numeric_limits<double>::infinity();
         if (!check.distance_ok || !check.rate_ok || !check.snr_ok) ++report.violations;
     }
@@ -57,7 +58,8 @@ CoverageReport verify_coverage(const Scenario& scenario, const CoveragePlan& pla
 
 CoverageReport verify_coverage_max_power(const Scenario& scenario,
                                          const CoveragePlan& plan) {
-    const std::vector<double> powers(plan.rs_count(), scenario.radio.max_power);
+    const std::vector<double> powers(plan.rs_count(),
+                                     scenario.radio.max_power.watts());
     return verify_coverage(scenario, plan, powers);
 }
 

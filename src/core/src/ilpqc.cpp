@@ -21,9 +21,10 @@ namespace {
 /// (the Fig. 3d regime).
 double noise_only_service_radius(const Scenario& scenario) {
     const auto& r = scenario.radio;
-    const double floor = scenario.snr_threshold_linear() * r.snr_ambient_noise;
-    if (floor <= 0.0) return std::numeric_limits<double>::infinity();
-    return std::pow(r.max_power * r.combined_gain() / floor, 1.0 / r.alpha);
+    const units::Watt floor = scenario.snr_threshold() * r.snr_ambient_noise;
+    if (floor <= units::Watt{0.0}) return std::numeric_limits<double>::infinity();
+    return std::pow(r.max_power.watts() * r.combined_gain() / floor.watts(),
+                    1.0 / r.alpha);
 }
 
 }  // namespace

@@ -94,8 +94,10 @@ opt::MilpProblem build_ilpqc_milp(const Scenario& scenario,
     for (std::size_t k = 0; k < layout.m; ++k) {
         for (std::size_t j = 0; j < scenario.subscriber_count(); ++j) {
             g[k][j] = wireless::received_power(
-                scenario.radio, scenario.radio.max_power,
-                geom::distance(candidates[k], scenario.subscribers[j].pos));
+                          scenario.radio, scenario.radio.max_power,
+                          units::Meters{geom::distance(
+                              candidates[k], scenario.subscribers[j].pos)})
+                          .watts();
         }
     }
     // Worst-case interference per link (every candidate transmitting) from
@@ -104,8 +106,8 @@ opt::MilpProblem build_ilpqc_milp(const Scenario& scenario,
     const SnrField cand_field = SnrField::at_max_power(scenario, candidates);
     for (std::size_t l = 0; l < layout.links.size(); ++l) {
         const auto [i, j] = layout.links[l];
-        const double worst_interference =
-            cand_field.total_rx(j) - g[i][j] + scenario.radio.snr_ambient_noise;
+        const double worst_interference = cand_field.total_rx(j) - g[i][j] +
+                                          scenario.radio.snr_ambient_noise.watts();
         const double big_m = beta * worst_interference;  // tight M
         std::vector<double> row(nv, 0.0);
         for (std::size_t k = 0; k < layout.m; ++k) {
@@ -114,7 +116,7 @@ opt::MilpProblem build_ilpqc_milp(const Scenario& scenario,
         row[layout.link_var(l)] = big_m;
         problem.lp.add_constraint(
             std::move(row), Rel::LessEq,
-            big_m + g[i][j] - beta * scenario.radio.snr_ambient_noise);
+            big_m + g[i][j] - beta * scenario.radio.snr_ambient_noise.watts());
     }
 
     return problem;

@@ -24,22 +24,23 @@ std::vector<std::vector<double>> gain_matrix(const Scenario& scenario,
         for (std::size_t j = 0; j < scenario.subscriber_count(); ++j) {
             g[i][j] = wireless::path_gain(
                 scenario.radio,
-                geom::distance(plan.rs_positions[i], scenario.subscribers[j].pos));
+                units::Meters{geom::distance(plan.rs_positions[i],
+                                             scenario.subscribers[j].pos)});
         }
     }
     return g;
 }
 
-double snr_floor_from_gains(const Scenario& scenario, const CoveragePlan& plan,
-                            const std::vector<std::vector<double>>& g,
-                            std::size_t rs, std::span<const double> powers) {
-    const double beta = scenario.snr_threshold_linear();
-    double need = 0.0;
+units::Watt snr_floor_from_gains(const Scenario& scenario, const CoveragePlan& plan,
+                                 const std::vector<std::vector<double>>& g,
+                                 std::size_t rs, std::span<const double> powers) {
+    const units::SnrRatio beta = scenario.snr_threshold();
+    units::Watt need{0.0};
     for (std::size_t j = 0; j < scenario.subscriber_count(); ++j) {
         if (plan.assignment[j] != rs) continue;
-        double interference = scenario.radio.snr_ambient_noise;
+        units::Watt interference = scenario.radio.snr_ambient_noise;
         for (std::size_t k = 0; k < plan.rs_count(); ++k) {
-            if (k != rs) interference += powers[k] * g[k][j];
+            if (k != rs) interference += units::Watt{powers[k] * g[k][j]};
         }
         need = std::max(need, beta * interference / g[rs][j]);
     }
@@ -53,9 +54,10 @@ bool allocation_feasible(const Scenario& scenario, const CoveragePlan& plan,
     const double beta = scenario.snr_threshold_linear();
     for (std::size_t j = 0; j < scenario.subscriber_count(); ++j) {
         const std::size_t i = plan.assignment[j];
-        const double rx = wireless::received_power(
-            scenario.radio, powers[i],
-            geom::distance(plan.rs_positions[i], scenario.subscribers[j].pos));
+        const units::Watt rx = wireless::received_power(
+            scenario.radio, units::Watt{powers[i]},
+            units::Meters{geom::distance(plan.rs_positions[i],
+                                         scenario.subscribers[j].pos)});
         if (rx < scenario.min_rx_power(j) * (1.0 - 1e-9)) return false;
         if (snrs[j] < beta * (1.0 - 1e-9)) return false;
     }
@@ -64,22 +66,21 @@ bool allocation_feasible(const Scenario& scenario, const CoveragePlan& plan,
 
 }  // namespace
 
-double coverage_power_floor(const Scenario& scenario, const CoveragePlan& plan,
-                            std::size_t rs) {
-    double floor = 0.0;
+units::Watt coverage_power_floor(const Scenario& scenario, const CoveragePlan& plan,
+                                 std::size_t rs) {
+    units::Watt floor{0.0};
     for (std::size_t j = 0; j < scenario.subscriber_count(); ++j) {
         if (plan.assignment[j] != rs) continue;
-        const double d =
-            geom::distance(plan.rs_positions[rs], scenario.subscribers[j].pos);
-        floor = std::max(floor,
-                         wireless::tx_power_for(scenario.radio,
-                                                scenario.min_rx_power(j), d));
+        const units::Meters d{
+            geom::distance(plan.rs_positions[rs], scenario.subscribers[j].pos)};
+        floor = std::max(floor, wireless::tx_power_for(scenario.radio,
+                                                       scenario.min_rx_power(j), d));
     }
     return floor;
 }
 
-double snr_power_floor(const Scenario& scenario, const CoveragePlan& plan,
-                       std::size_t rs, std::span<const double> powers) {
+units::Watt snr_power_floor(const Scenario& scenario, const CoveragePlan& plan,
+                            std::size_t rs, std::span<const double> powers) {
     const auto g = gain_matrix(scenario, plan);
     return snr_floor_from_gains(scenario, plan, g, rs, powers);
 }
@@ -89,10 +90,10 @@ PowerAllocation allocate_power_pro(const Scenario& scenario, const CoveragePlan&
     SAG_OBS_SPAN("pro.allocate");
     PowerAllocation out;
     const std::size_t n = plan.rs_count();
-    const double pmax = scenario.radio.max_power;
+    const units::Watt pmax = scenario.radio.max_power;
     const double beta = scenario.snr_threshold_linear();
 
-    std::vector<double> p_min(n);
+    std::vector<units::Watt> p_min(n);
     for (std::size_t i = 0; i < n; ++i) p_min[i] = coverage_power_floor(scenario, plan, i);
 
     // Per-RS served lists: each probe only needs to re-check the SNR of
@@ -106,9 +107,9 @@ PowerAllocation allocate_power_pro(const Scenario& scenario, const CoveragePlan&
     // (Step 9 re-syncs them to the committed Ptmp each round), committed[i]
     // marks removal from K. Each tentative drop is a rolled-back power
     // delta instead of an O(|served| x RS) interference rebuild.
-    std::vector<double> start(n, pmax);
+    const std::vector<double> start(n, pmax.watts());
     SnrField field(scenario, plan.rs_positions, start);
-    std::vector<double> p_tmp(n, pmax);
+    std::vector<units::Watt> p_tmp(n, pmax);
     std::vector<bool> committed(n, false);
     std::size_t remaining = n;
 
@@ -125,16 +126,16 @@ PowerAllocation allocate_power_pro(const Scenario& scenario, const CoveragePlan&
     // Smallest power letting every subscriber of RS i clear beta against
     // the field's current interference (the paper's P_snr).
     const auto snr_floor = [&](std::size_t i) {
-        double need = 0.0;
+        units::Watt need{0.0};
         for (const std::size_t j : served[i]) {
-            const double d =
-                geom::distance(plan.rs_positions[i], scenario.subscribers[j].pos);
-            const double own =
+            const units::Meters d{
+                geom::distance(plan.rs_positions[i], scenario.subscribers[j].pos)};
+            const units::Watt own =
                 wireless::received_power(scenario.radio, field.rs_power(i), d);
-            const double interference =
-                field.total_rx(j) - own + scenario.radio.snr_ambient_noise;
-            need = std::max(need,
-                            beta * interference / wireless::path_gain(scenario.radio, d));
+            const units::Watt interference =
+                units::Watt{field.total_rx(j)} - own + scenario.radio.snr_ambient_noise;
+            need = std::max(need, scenario.snr_threshold() * interference /
+                                      wireless::path_gain(scenario.radio, d));
         }
         return need;
     };
@@ -166,12 +167,12 @@ PowerAllocation allocate_power_pro(const Scenario& scenario, const CoveragePlan&
             // Steps 10-13: no RS could reach its coverage power; pay the
             // smallest SNR premium Psnr - Pc instead.
             std::size_t arg = n;
-            double best_delta = std::numeric_limits<double>::infinity();
-            double best_power = pmax;
+            units::Watt best_delta{std::numeric_limits<double>::infinity()};
+            units::Watt best_power = pmax;
             for (std::size_t i = 0; i < n; ++i) {
                 if (committed[i]) continue;
-                const double p_snr = std::max(p_min[i], snr_floor(i));
-                const double delta = p_snr - p_min[i];
+                const units::Watt p_snr = std::max(p_min[i], snr_floor(i));
+                const units::Watt delta = p_snr - p_min[i];
                 if (delta < best_delta) {
                     best_delta = delta;
                     best_power = p_snr;
@@ -191,7 +192,8 @@ PowerAllocation allocate_power_pro(const Scenario& scenario, const CoveragePlan&
     }
     SAG_OBS_COUNT_ADD("pro.rounds", out.iterations);
 
-    out.powers = p_tmp;
+    out.powers.reserve(n);
+    for (const units::Watt p : p_tmp) out.powers.push_back(p.watts());
     out.total = std::accumulate(out.powers.begin(), out.powers.end(), 0.0);
     out.feasible = allocation_feasible(scenario, plan, out.powers);
     return out;
@@ -203,13 +205,15 @@ PowerAllocation allocate_power_optimal(const Scenario& scenario,
     const std::size_t n = plan.rs_count();
     const auto g = gain_matrix(scenario, plan);
 
-    std::vector<double> floors(n), caps(n, scenario.radio.max_power);
-    for (std::size_t i = 0; i < n; ++i) floors[i] = coverage_power_floor(scenario, plan, i);
+    std::vector<double> floors(n), caps(n, scenario.radio.max_power.watts());
+    for (std::size_t i = 0; i < n; ++i) {
+        floors[i] = coverage_power_floor(scenario, plan, i).watts();
+    }
 
     const auto result = opt::fixed_point_power_control(
         floors, caps,
         [&](std::size_t i, std::span<const double> powers) {
-            return snr_floor_from_gains(scenario, plan, g, i, powers);
+            return snr_floor_from_gains(scenario, plan, g, i, powers).watts();
         });
 
     out.powers = result.powers;
@@ -227,7 +231,7 @@ PowerAllocation allocate_power_optimal_lp(const Scenario& scenario,
 
     opt::LinearProgram lp;
     lp.objective.assign(n, 1.0);
-    lp.upper_bounds.assign(n, scenario.radio.max_power);
+    lp.upper_bounds.assign(n, scenario.radio.max_power.watts());
     const double beta = scenario.snr_threshold_linear();
     for (std::size_t j = 0; j < scenario.subscriber_count(); ++j) {
         const std::size_t i = plan.assignment[j];
@@ -235,14 +239,14 @@ PowerAllocation allocate_power_optimal_lp(const Scenario& scenario,
         std::vector<double> rate(n, 0.0);
         rate[i] = g[i][j];
         lp.add_constraint(std::move(rate), opt::LinearProgram::Relation::GreaterEq,
-                          scenario.min_rx_power(j));
+                          scenario.min_rx_power(j).watts());
         // (3.9) SNR, linearized with the ambient-noise term:
         // Pi*g_ij - beta * sum_{k != i} Pk*g_kj >= beta * N_amb
         std::vector<double> snr(n, 0.0);
         for (std::size_t k = 0; k < n; ++k) snr[k] = -beta * g[k][j];
         snr[i] = g[i][j];
         lp.add_constraint(std::move(snr), opt::LinearProgram::Relation::GreaterEq,
-                          beta * scenario.radio.snr_ambient_noise);
+                          beta * scenario.radio.snr_ambient_noise.watts());
     }
 
     const auto result = opt::solve_lp(lp);
@@ -251,8 +255,8 @@ PowerAllocation allocate_power_optimal_lp(const Scenario& scenario,
         out.total = result.objective;
         out.feasible = true;
     } else {
-        out.powers.assign(n, scenario.radio.max_power);
-        out.total = static_cast<double>(n) * scenario.radio.max_power;
+        out.powers.assign(n, scenario.radio.max_power.watts());
+        out.total = static_cast<double>(n) * scenario.radio.max_power.watts();
     }
     return out;
 }
@@ -260,8 +264,9 @@ PowerAllocation allocate_power_optimal_lp(const Scenario& scenario,
 PowerAllocation allocate_power_baseline(const Scenario& scenario,
                                         const CoveragePlan& plan) {
     PowerAllocation out;
-    out.powers.assign(plan.rs_count(), scenario.radio.max_power);
-    out.total = static_cast<double>(plan.rs_count()) * scenario.radio.max_power;
+    out.powers.assign(plan.rs_count(), scenario.radio.max_power.watts());
+    out.total =
+        static_cast<double>(plan.rs_count()) * scenario.radio.max_power.watts();
     out.feasible = allocation_feasible(scenario, plan, out.powers);
     out.iterations = 0;
     return out;

@@ -98,8 +98,10 @@ double interference_at(const ZoneState& st, std::size_t k, std::size_t skip) {
     const geom::Vec2& rx = st.scenario.subscribers[st.subs[k]].pos;
     const double skipped =
         wireless::received_power(st.scenario.radio, st.scenario.radio.max_power,
-                                 geom::distance(st.point(skip), rx));
-    return st.field.total_rx(k) - skipped + st.scenario.radio.snr_ambient_noise;
+                                 units::Meters{geom::distance(st.point(skip), rx)})
+            .watts();
+    return st.field.total_rx(k) - skipped +
+           st.scenario.radio.snr_ambient_noise.watts();
 }
 
 /// Algorithm 5 Step 2 for one RS: the region where it (a) still covers all
@@ -120,7 +122,7 @@ std::optional<geom::Vec2> relocation_target(const ZoneState& st, std::size_t p,
                 // SNR >= beta  <=>  Pmax*G*d^-alpha >= beta*I
                 // <=>  d <= (Pmax*G / (beta*I))^(1/alpha)
                 const double r_snr =
-                    std::pow(radio.max_power * radio.combined_gain() /
+                    std::pow(radio.max_power.watts() * radio.combined_gain() /
                                  (beta * interference),
                              1.0 / radio.alpha);
                 radius = std::min(radius, r_snr);

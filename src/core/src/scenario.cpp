@@ -5,12 +5,11 @@
 #include <stdexcept>
 
 #include "sag/wireless/two_ray.h"
-#include "sag/wireless/units.h"
 
 namespace sag::core {
 
-double Scenario::snr_threshold_linear() const {
-    return wireless::db_to_linear(snr_threshold_db);
+units::SnrRatio Scenario::snr_threshold() const {
+    return units::from_db(snr_threshold_db);
 }
 
 geom::Circle Scenario::feasible_circle(std::size_t j) const {
@@ -27,9 +26,9 @@ std::vector<geom::Circle> Scenario::feasible_circles() const {
     return circles;
 }
 
-double Scenario::min_rx_power(std::size_t j) const {
+units::Watt Scenario::min_rx_power(std::size_t j) const {
     return wireless::received_power(radio, radio.max_power,
-                                    subscribers.at(j).distance_request);
+                                    units::Meters{subscribers.at(j).distance_request});
 }
 
 double Scenario::min_distance_request() const {

@@ -47,14 +47,16 @@ SnrField::SnrField(const Scenario& scenario, std::span<const geom::Vec2> rs_posi
 
 SnrField SnrField::at_max_power(const Scenario& scenario,
                                 std::span<const geom::Vec2> rs_positions) {
-    const std::vector<double> powers(rs_positions.size(), scenario.radio.max_power);
+    const std::vector<double> powers(rs_positions.size(),
+                                     scenario.radio.max_power.watts());
     return SnrField(scenario, rs_positions, powers);
 }
 
 SnrField SnrField::at_max_power(const Scenario& scenario,
                                 std::span<const geom::Vec2> rs_positions,
                                 std::span<const std::size_t> subs) {
-    const std::vector<double> powers(rs_positions.size(), scenario.radio.max_power);
+    const std::vector<double> powers(rs_positions.size(),
+                                     scenario.radio.max_power.watts());
     return SnrField(scenario, rs_positions, powers, subs);
 }
 
@@ -71,49 +73,49 @@ void SnrField::accumulate(std::size_t k, double term) {
     total_[k] = sum;
 }
 
-void SnrField::apply_rs_contribution(const geom::Vec2& pos, double power,
+void SnrField::apply_rs_contribution(const geom::Vec2& pos, units::Watt power,
                                      double sign) {
     const auto& radio = scenario_->radio;
     for (std::size_t k = 0; k < sub_pos_.size(); ++k) {
-        const double term =
-            wireless::received_power(radio, power, geom::distance(pos, sub_pos_[k]));
-        accumulate(k, sign * term);
+        const units::Watt term = wireless::received_power(
+            radio, power, units::Meters{geom::distance(pos, sub_pos_[k])});
+        accumulate(k, sign * term.watts());
     }
 }
 
 void SnrField::move_rs(std::size_t i, const geom::Vec2& to) {
     assert(i < rs_pos_.size());
     if (rs_pos_[i] == to) return;
-    journal({UndoRecord::Kind::Move, i, rs_pos_[i], 0.0});
-    apply_rs_contribution(rs_pos_[i], rs_power_[i], -1.0);
+    journal({UndoRecord::Kind::Move, i, rs_pos_[i], units::Watt{0.0}});
+    apply_rs_contribution(rs_pos_[i], rs_power(i), -1.0);
     rs_pos_[i] = to;
-    apply_rs_contribution(rs_pos_[i], rs_power_[i], +1.0);
+    apply_rs_contribution(rs_pos_[i], rs_power(i), +1.0);
     after_mutation();
 }
 
-void SnrField::set_power(std::size_t i, double power) {
+void SnrField::set_power(std::size_t i, units::Watt power) {
     assert(i < rs_power_.size());
-    if (rs_power_[i] == power) return;
-    journal({UndoRecord::Kind::Power, i, {}, rs_power_[i]});
+    if (rs_power_[i] == power.watts()) return;
+    journal({UndoRecord::Kind::Power, i, {}, rs_power(i)});
     // Subtract the old term and add the new one per subscriber (rather
     // than adding a fused difference) so both are the exact doubles a
     // from-scratch evaluation would produce.
     const auto& radio = scenario_->radio;
-    const double old_power = rs_power_[i];
+    const units::Watt old_power = rs_power(i);
     for (std::size_t k = 0; k < sub_pos_.size(); ++k) {
-        const double d = geom::distance(rs_pos_[i], sub_pos_[k]);
-        accumulate(k, -wireless::received_power(radio, old_power, d));
-        accumulate(k, wireless::received_power(radio, power, d));
+        const units::Meters d{geom::distance(rs_pos_[i], sub_pos_[k])};
+        accumulate(k, -wireless::received_power(radio, old_power, d).watts());
+        accumulate(k, wireless::received_power(radio, power, d).watts());
     }
-    rs_power_[i] = power;
+    rs_power_[i] = power.watts();
     after_mutation();
 }
 
-std::size_t SnrField::add_rs(const geom::Vec2& pos, double power) {
+std::size_t SnrField::add_rs(const geom::Vec2& pos, units::Watt power) {
     const std::size_t i = rs_pos_.size();
-    journal({UndoRecord::Kind::Add, i, {}, 0.0});
+    journal({UndoRecord::Kind::Add, i, {}, units::Watt{0.0}});
     rs_pos_.push_back(pos);
-    rs_power_.push_back(power);
+    rs_power_.push_back(power.watts());
     apply_rs_contribution(pos, power, +1.0);
     after_mutation();
     return i;
@@ -121,31 +123,33 @@ std::size_t SnrField::add_rs(const geom::Vec2& pos, double power) {
 
 void SnrField::remove_rs(std::size_t i) {
     assert(i < rs_pos_.size());
-    journal({UndoRecord::Kind::Remove, i, rs_pos_[i], rs_power_[i]});
-    apply_rs_contribution(rs_pos_[i], rs_power_[i], -1.0);
+    journal({UndoRecord::Kind::Remove, i, rs_pos_[i], rs_power(i)});
+    apply_rs_contribution(rs_pos_[i], rs_power(i), -1.0);
     rs_pos_.erase(rs_pos_.begin() + static_cast<std::ptrdiff_t>(i));
     rs_power_.erase(rs_power_.begin() + static_cast<std::ptrdiff_t>(i));
     after_mutation();
 }
 
-void SnrField::insert_rs(std::size_t i, const geom::Vec2& pos, double power) {
+void SnrField::insert_rs(std::size_t i, const geom::Vec2& pos, units::Watt power) {
     assert(i <= rs_pos_.size());
     rs_pos_.insert(rs_pos_.begin() + static_cast<std::ptrdiff_t>(i), pos);
-    rs_power_.insert(rs_power_.begin() + static_cast<std::ptrdiff_t>(i), power);
+    rs_power_.insert(rs_power_.begin() + static_cast<std::ptrdiff_t>(i),
+                     power.watts());
     apply_rs_contribution(pos, power, +1.0);
     after_mutation();
 }
 
 double SnrField::snr_of(std::size_t k, std::size_t serving) const {
     assert(k < sub_pos_.size() && serving < rs_pos_.size());
-    const double signal =
-        wireless::received_power(scenario_->radio, rs_power_[serving],
-                                 geom::distance(rs_pos_[serving], sub_pos_[k]));
-    if (signal <= 0.0) return 0.0;  // a silent server delivers no SNR
-    const double interference =
-        total_rx(k) - signal + scenario_->radio.snr_ambient_noise;
-    return interference > 0.0 ? signal / interference
-                              : std::numeric_limits<double>::infinity();
+    const units::Watt signal = wireless::received_power(
+        scenario_->radio, rs_power(serving),
+        units::Meters{geom::distance(rs_pos_[serving], sub_pos_[k])});
+    if (signal <= units::Watt{0.0}) return 0.0;  // a silent server delivers no SNR
+    const units::Watt interference =
+        units::Watt{total_rx(k)} - signal + scenario_->radio.snr_ambient_noise;
+    return interference > units::Watt{0.0}
+               ? (signal / interference).ratio()
+               : std::numeric_limits<double>::infinity();
 }
 
 bool SnrField::meets_threshold(std::size_t k, std::size_t serving,
@@ -182,8 +186,11 @@ void SnrField::recompute_subscriber(std::size_t k) {
     const auto& radio = scenario_->radio;
     double sum = 0.0, comp = 0.0;
     for (std::size_t i = 0; i < rs_pos_.size(); ++i) {
-        const double term = wireless::received_power(
-            radio, rs_power_[i], geom::distance(rs_pos_[i], sub_pos_[k]));
+        const double term =
+            wireless::received_power(
+                radio, rs_power(i),
+                units::Meters{geom::distance(rs_pos_[i], sub_pos_[k])})
+                .watts();
         const double next = sum + term;
         if (std::abs(sum) >= std::abs(term)) {
             comp += (sum - next) + term;
@@ -207,7 +214,9 @@ double SnrField::verify_against_scratch() const {
         double scratch = 0.0;
         for (std::size_t i = 0; i < rs_pos_.size(); ++i) {
             scratch += wireless::received_power(
-                radio, rs_power_[i], geom::distance(rs_pos_[i], sub_pos_[k]));
+                           radio, rs_power(i),
+                           units::Meters{geom::distance(rs_pos_[i], sub_pos_[k])})
+                           .watts();
         }
         const double scale =
             std::max({std::abs(scratch), std::abs(total_rx(k)), 1e-300});

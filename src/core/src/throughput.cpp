@@ -63,11 +63,12 @@ ThroughputReport analyze_throughput(const Scenario& scenario,
             const std::size_t cov_index = v - bs_count;
             tx_power = cov_index < coverage_powers.size()
                            ? coverage_powers[cov_index]
-                           : scenario.radio.max_power;
+                           : scenario.radio.max_power.watts();
         }
         link.capacity_bps = wireless::shannon_capacity(
             scenario.radio,
-            wireless::received_power(scenario.radio, tx_power, link.length));
+            wireless::received_power(scenario.radio, units::Watt{tx_power},
+                                     units::Meters{link.length}));
         link.utilization = link.capacity_bps > 0.0
                                ? link.offered_bps / link.capacity_bps
                                : (link.offered_bps > 0.0

@@ -181,7 +181,7 @@ void allocate_power_ucpo(const Scenario& scenario, const CoveragePlan& coverage,
 
     for (std::size_t i = 0; i < cov_count; ++i) {
         // P^i_rs: strictest received-power requirement among i's subscribers.
-        double p_rs = 0.0;
+        units::Watt p_rs{0.0};
         for (std::size_t j = 0; j < scenario.subscriber_count(); ++j) {
             if (coverage.assignment[j] == i) {
                 p_rs = std::max(p_rs, scenario.min_rx_power(j));
@@ -200,11 +200,11 @@ void allocate_power_ucpo(const Scenario& scenario, const CoveragePlan& coverage,
         const double edge_len =
             geom::distance(plan.positions[bs_count + i], plan.positions[cur]);
         const std::size_t sections = chain.size() + 1;  // N_i segments
-        const double seg = edge_len / static_cast<double>(sections);
-        const double p_need = wireless::tx_power_for(scenario.radio, p_rs, seg);
+        const units::Meters seg{edge_len / static_cast<double>(sections)};
+        const units::Watt p_need = wireless::tx_power_for(scenario.radio, p_rs, seg);
         if (p_need > scenario.radio.max_power) SAG_OBS_COUNT("ucra.ucpo.clamped");
-        const double p = std::min(p_need, scenario.radio.max_power);
-        for (const std::size_t v : chain) plan.powers[v] = p;
+        const units::Watt p = std::min(p_need, scenario.radio.max_power);
+        for (const std::size_t v : chain) plan.powers[v] = p.watts();
     }
 }
 
@@ -268,19 +268,20 @@ void allocate_power_ucpo_aggregated(const Scenario& scenario,
         if (chain.empty()) continue;
         const double edge_len =
             geom::distance(plan.positions[bs_count + i], plan.positions[cur]);
-        const double seg = edge_len / static_cast<double>(chain.size() + 1);
-        const double p_req =
+        const units::Meters seg{edge_len / static_cast<double>(chain.size() + 1)};
+        const units::Watt p_req =
             wireless::min_rx_power_for_rate(scenario.radio, subtree_rate[i]);
-        const double p = std::min(wireless::tx_power_for(scenario.radio, p_req, seg),
-                                  scenario.radio.max_power);
-        for (const std::size_t v : chain) plan.powers[v] = p;
+        const units::Watt p =
+            std::min(wireless::tx_power_for(scenario.radio, p_req, seg),
+                     scenario.radio.max_power);
+        for (const std::size_t v : chain) plan.powers[v] = p.watts();
     }
 }
 
 void allocate_power_max(const Scenario& scenario, ConnectivityPlan& plan) {
     for (std::size_t v = 0; v < plan.node_count(); ++v) {
         if (plan.kinds[v] == NodeKind::ConnectivityRs) {
-            plan.powers[v] = scenario.radio.max_power;
+            plan.powers[v] = scenario.radio.max_power.watts();
         }
     }
 }

@@ -9,7 +9,7 @@
 namespace sag::core {
 
 double zone_partition_dmax(const Scenario& scenario) {
-    return wireless::ignorable_noise_distance(scenario.radio);
+    return wireless::ignorable_noise_distance(scenario.radio).meters();
 }
 
 std::vector<std::vector<std::size_t>> zone_partition(const Scenario& scenario) {

@@ -33,20 +33,23 @@ Json scenario_to_json(const core::Scenario& s) {
     j["format"] = Json(1);
     j["field"] = Json(Json::Object{{"min", vec2_to_json(s.field.min)},
                                    {"max", vec2_to_json(s.field.max)}});
-    j["snr_threshold_db"] = Json(s.snr_threshold_db);
+    j["snr_threshold_db"] = Json(s.snr_threshold_db.db());
 
+    // Serialized as raw numbers in the canonical units of each field
+    // (meters, watts, dB) — the format predates sag::units and must not
+    // change shape under it.
     Json::Object radio;
     radio["tx_gain"] = Json(s.radio.tx_gain);
     radio["rx_gain"] = Json(s.radio.rx_gain);
-    radio["tx_height"] = Json(s.radio.tx_height);
-    radio["rx_height"] = Json(s.radio.rx_height);
+    radio["tx_height"] = Json(s.radio.tx_height.meters());
+    radio["rx_height"] = Json(s.radio.rx_height.meters());
     radio["alpha"] = Json(s.radio.alpha);
-    radio["max_power"] = Json(s.radio.max_power);
-    radio["noise_floor"] = Json(s.radio.noise_floor);
+    radio["max_power"] = Json(s.radio.max_power.watts());
+    radio["noise_floor"] = Json(s.radio.noise_floor.watts());
     radio["bandwidth_hz"] = Json(s.radio.bandwidth_hz);
-    radio["reference_distance"] = Json(s.radio.reference_distance);
-    radio["ignorable_noise"] = Json(s.radio.ignorable_noise);
-    radio["snr_ambient_noise"] = Json(s.radio.snr_ambient_noise);
+    radio["reference_distance"] = Json(s.radio.reference_distance.meters());
+    radio["ignorable_noise"] = Json(s.radio.ignorable_noise.watts());
+    radio["snr_ambient_noise"] = Json(s.radio.snr_ambient_noise.watts());
     j["radio"] = Json(std::move(radio));
 
     Json::Array subs;
@@ -70,23 +73,27 @@ core::Scenario scenario_from_json(const Json& j) {
     core::Scenario s;
     const Json& field = j.at("field");
     s.field = {vec2_from_json(field.at("min")), vec2_from_json(field.at("max"))};
-    s.snr_threshold_db = j.at("snr_threshold_db").as_number();
+    s.snr_threshold_db = units::Decibel{j.at("snr_threshold_db").as_number()};
 
     const Json& radio = j.at("radio");
     s.radio.tx_gain = radio.get_number("tx_gain", s.radio.tx_gain);
     s.radio.rx_gain = radio.get_number("rx_gain", s.radio.rx_gain);
-    s.radio.tx_height = radio.get_number("tx_height", s.radio.tx_height);
-    s.radio.rx_height = radio.get_number("rx_height", s.radio.rx_height);
+    s.radio.tx_height =
+        units::Meters{radio.get_number("tx_height", s.radio.tx_height.meters())};
+    s.radio.rx_height =
+        units::Meters{radio.get_number("rx_height", s.radio.rx_height.meters())};
     s.radio.alpha = radio.get_number("alpha", s.radio.alpha);
-    s.radio.max_power = radio.get_number("max_power", s.radio.max_power);
-    s.radio.noise_floor = radio.get_number("noise_floor", s.radio.noise_floor);
+    s.radio.max_power =
+        units::Watt{radio.get_number("max_power", s.radio.max_power.watts())};
+    s.radio.noise_floor =
+        units::Watt{radio.get_number("noise_floor", s.radio.noise_floor.watts())};
     s.radio.bandwidth_hz = radio.get_number("bandwidth_hz", s.radio.bandwidth_hz);
-    s.radio.reference_distance =
-        radio.get_number("reference_distance", s.radio.reference_distance);
-    s.radio.ignorable_noise =
-        radio.get_number("ignorable_noise", s.radio.ignorable_noise);
-    s.radio.snr_ambient_noise =
-        radio.get_number("snr_ambient_noise", s.radio.snr_ambient_noise);
+    s.radio.reference_distance = units::Meters{
+        radio.get_number("reference_distance", s.radio.reference_distance.meters())};
+    s.radio.ignorable_noise = units::Watt{
+        radio.get_number("ignorable_noise", s.radio.ignorable_noise.watts())};
+    s.radio.snr_ambient_noise = units::Watt{
+        radio.get_number("snr_ambient_noise", s.radio.snr_ambient_noise.watts())};
 
     for (const Json& sub : j.at("subscribers").as_array()) {
         s.subscribers.push_back(

@@ -26,7 +26,7 @@ GeneratorConfig field800_relaxed(std::size_t users);
 GeneratorConfig field300(std::size_t users);
 
 /// Fig. 3(d)/(e): 500x500, 30 users, custom SNR threshold.
-GeneratorConfig snr_sweep_point(double snr_db);
+GeneratorConfig snr_sweep_point(units::Decibel snr_threshold);
 
 /// Fig. 6: 600x600 (plot axes +-300), 30 users, 4 corner BSs.
 GeneratorConfig topology_showcase();

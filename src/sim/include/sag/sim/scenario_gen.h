@@ -22,7 +22,7 @@ struct GeneratorConfig {
     std::size_t base_station_count = 4;
     double min_distance_request = 30.0;
     double max_distance_request = 40.0;
-    double snr_threshold_db = -15.0;
+    units::Decibel snr_threshold_db{-15.0};
     BsLayout bs_layout = BsLayout::Uniform;
     wireless::RadioParams radio{};
 };

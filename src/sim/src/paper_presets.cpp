@@ -9,7 +9,7 @@ GeneratorConfig evaluation_base() {
     cfg.base_station_count = 4;
     cfg.min_distance_request = 30.0;
     cfg.max_distance_request = 40.0;
-    cfg.snr_threshold_db = -15.0;
+    cfg.snr_threshold_db = units::Decibel{-15.0};
     cfg.bs_layout = BsLayout::Uniform;
     return cfg;
 }
@@ -29,7 +29,7 @@ GeneratorConfig field800(std::size_t users) {
 
 GeneratorConfig field800_relaxed(std::size_t users) {
     GeneratorConfig cfg = field800(users);
-    cfg.snr_threshold_db = -40.0;
+    cfg.snr_threshold_db = units::Decibel{-40.0};
     return cfg;
 }
 
@@ -40,9 +40,9 @@ GeneratorConfig field300(std::size_t users) {
     return cfg;
 }
 
-GeneratorConfig snr_sweep_point(double snr_db) {
+GeneratorConfig snr_sweep_point(units::Decibel snr_threshold) {
     GeneratorConfig cfg = evaluation_base();
-    cfg.snr_threshold_db = snr_db;
+    cfg.snr_threshold_db = snr_threshold;
     return cfg;
 }
 

@@ -1,27 +1,31 @@
 #pragma once
 
-#include "sag/geometry/vec2.h"
+#include "sag/units/units.h"
 #include "sag/wireless/radio_params.h"
 
 namespace sag::wireless {
 
 /// Two-ray ground path-loss model (paper Eq. 2.1):
 /// Pr = Pt * G * d^-alpha, with d clamped to params.reference_distance.
-double received_power(const RadioParams& params, double tx_power, double dist);
+units::Watt received_power(const RadioParams& params, units::Watt tx_power,
+                           units::Meters dist);
 
-/// Path gain G * d^-alpha alone (received power per unit transmit power).
-double path_gain(const RadioParams& params, double dist);
+/// Path gain G * d^-alpha alone (received power per unit transmit power,
+/// a dimensionless linear attenuation in this scale-free model).
+double path_gain(const RadioParams& params, units::Meters dist);
 
 /// Minimum transmit power such that the receiver at distance `dist` sees at
 /// least `target_rx_power`. Inverse of received_power in Pt.
-double tx_power_for(const RadioParams& params, double target_rx_power, double dist);
+units::Watt tx_power_for(const RadioParams& params, units::Watt target_rx_power,
+                         units::Meters dist);
 
 /// Largest distance at which a transmitter at `tx_power` still delivers
 /// `target_rx_power`: d = (Pt * G / Pr)^(1/alpha).
-double range_for(const RadioParams& params, double tx_power, double target_rx_power);
+units::Meters range_for(const RadioParams& params, units::Watt tx_power,
+                        units::Watt target_rx_power);
 
 /// d_max of Algorithm 2: the distance beyond which a max-power transmitter's
 /// signal drops below the ignorable-noise level N_max.
-double ignorable_noise_distance(const RadioParams& params);
+units::Meters ignorable_noise_distance(const RadioParams& params);
 
 }  // namespace sag::wireless

@@ -7,37 +7,43 @@
 
 namespace sag::wireless {
 
-double shannon_capacity(const RadioParams& params, double rx_power) {
-    return params.bandwidth_hz * std::log2(1.0 + rx_power / params.noise_floor);
+double shannon_capacity(const RadioParams& params, units::Watt rx_power) {
+    const units::SnrRatio snr = rx_power / params.noise_floor;
+    return params.bandwidth_hz * std::log2(1.0 + snr.ratio());
 }
 
-double min_rx_power_for_rate(const RadioParams& params, double rate_bps) {
+units::Watt min_rx_power_for_rate(const RadioParams& params, double rate_bps) {
     return params.noise_floor * (std::exp2(rate_bps / params.bandwidth_hz) - 1.0);
 }
 
-double rate_over_distance(const RadioParams& params, double tx_power, double dist) {
+double rate_over_distance(const RadioParams& params, units::Watt tx_power,
+                          units::Meters dist) {
     return shannon_capacity(params, received_power(params, tx_power, dist));
 }
 
-double total_received_power(const RadioParams& params,
-                            std::span<const Transmitter> transmitters,
-                            const geom::Vec2& rx) {
-    double total = 0.0;
+units::Watt total_received_power(const RadioParams& params,
+                                 std::span<const Transmitter> transmitters,
+                                 const geom::Vec2& rx) {
+    units::Watt total{0.0};
     for (const Transmitter& t : transmitters) {
-        total += received_power(params, t.power, geom::distance(t.pos, rx));
+        total += received_power(params, t.power,
+                                units::Meters{geom::distance(t.pos, rx)});
     }
     return total;
 }
 
-double interference_snr(const RadioParams& params,
-                        std::span<const Transmitter> transmitters,
-                        std::size_t serving, const geom::Vec2& rx,
-                        double extra_noise) {
+units::SnrRatio interference_snr(const RadioParams& params,
+                                 std::span<const Transmitter> transmitters,
+                                 std::size_t serving, const geom::Vec2& rx,
+                                 units::Watt extra_noise) {
     const Transmitter& s = transmitters[serving];
-    const double signal = received_power(params, s.power, geom::distance(s.pos, rx));
-    const double interference =
+    const units::Watt signal = received_power(
+        params, s.power, units::Meters{geom::distance(s.pos, rx)});
+    const units::Watt interference =
         total_received_power(params, transmitters, rx) - signal + extra_noise;
-    if (interference <= 0.0) return std::numeric_limits<double>::infinity();
+    if (interference <= units::Watt{0.0}) {
+        return units::SnrRatio{std::numeric_limits<double>::infinity()};
+    }
     return signal / interference;
 }
 

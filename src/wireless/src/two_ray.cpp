@@ -5,25 +5,29 @@
 
 namespace sag::wireless {
 
-double path_gain(const RadioParams& params, double dist) {
-    const double d = std::max(dist, params.reference_distance);
+double path_gain(const RadioParams& params, units::Meters dist) {
+    const double d = std::max(dist.meters(), params.reference_distance.meters());
     return params.combined_gain() * std::pow(d, -params.alpha);
 }
 
-double received_power(const RadioParams& params, double tx_power, double dist) {
+units::Watt received_power(const RadioParams& params, units::Watt tx_power,
+                           units::Meters dist) {
     return tx_power * path_gain(params, dist);
 }
 
-double tx_power_for(const RadioParams& params, double target_rx_power, double dist) {
+units::Watt tx_power_for(const RadioParams& params, units::Watt target_rx_power,
+                         units::Meters dist) {
     return target_rx_power / path_gain(params, dist);
 }
 
-double range_for(const RadioParams& params, double tx_power, double target_rx_power) {
-    return std::pow(tx_power * params.combined_gain() / target_rx_power,
-                    1.0 / params.alpha);
+units::Meters range_for(const RadioParams& params, units::Watt tx_power,
+                        units::Watt target_rx_power) {
+    const units::SnrRatio headroom =
+        tx_power * params.combined_gain() / target_rx_power;
+    return units::Meters{std::pow(headroom.ratio(), 1.0 / params.alpha)};
 }
 
-double ignorable_noise_distance(const RadioParams& params) {
+units::Meters ignorable_noise_distance(const RadioParams& params) {
     return range_for(params, params.max_power, params.ignorable_noise);
 }
 

@@ -11,7 +11,7 @@ Scenario base_scenario() {
     Scenario s;
     s.field = geom::Rect::centered_square(500.0);
     s.base_stations = {{{0.0, 0.0}}};
-    s.snr_threshold_db = -15.0;
+    s.snr_threshold_db = units::Decibel{-15.0};
     return s;
 }
 

@@ -14,7 +14,7 @@ core::Scenario fixed_scenario() {
     s.field = geom::Rect::centered_square(100.0);
     s.subscribers = {{{-10.0, 20.0}, 35.0}, {{15.0, -5.0}, 30.0}};
     s.base_stations = {{{0.0, 0.0}}};
-    s.snr_threshold_db = -15.0;
+    s.snr_threshold_db = units::Decibel{-15.0};
     return s;
 }
 
@@ -36,7 +36,7 @@ TEST(GoldenFormatTest, GoldenTextLoads) {
     EXPECT_EQ(s.subscriber_count(), 2u);
     EXPECT_EQ(s.subscribers[0].pos, (geom::Vec2{-10.0, 20.0}));
     EXPECT_DOUBLE_EQ(s.subscribers[1].distance_request, 30.0);
-    EXPECT_DOUBLE_EQ(s.radio.snr_ambient_noise, 0.065);
+    EXPECT_DOUBLE_EQ(s.radio.snr_ambient_noise.watts(), 0.065);
 }
 
 // The run-report schema ("format": 1) is the contract downstream tooling
@@ -75,8 +75,8 @@ TEST(GoldenFormatTest, MissingRadioFieldsFallBackToDefaults) {
     Json j = scenario_to_json(fixed_scenario());
     j["radio"].as_object().erase("snr_ambient_noise");
     const core::Scenario s = scenario_from_json(j);
-    EXPECT_DOUBLE_EQ(s.radio.snr_ambient_noise,
-                     wireless::RadioParams{}.snr_ambient_noise);
+    EXPECT_DOUBLE_EQ(s.radio.snr_ambient_noise.watts(),
+                     wireless::RadioParams{}.snr_ambient_noise.watts());
 }
 
 }  // namespace

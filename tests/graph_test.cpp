@@ -144,7 +144,7 @@ TEST(PrimDenseTest, RejectsBadInput) {
 
 TEST(RootedTreeTest, StructureAccessors) {
     //      0
-    //     / \
+    //     / \.
     //    1   2
     //    |
     //    3
@@ -165,7 +165,9 @@ TEST(RootedTreeTest, TopologicalOrderParentsFirst) {
     std::vector<std::size_t> position(5);
     for (std::size_t i = 0; i < topo.size(); ++i) position[topo[i]] = i;
     for (std::size_t v = 0; v < 5; ++v) {
-        if (!t.is_root(v)) EXPECT_LT(position[t.parent(v)], position[v]);
+        if (!t.is_root(v)) {
+            EXPECT_LT(position[t.parent(v)], position[v]);
+        }
     }
 }
 

@@ -19,7 +19,7 @@ Scenario small_scenario(int seed, std::size_t users = 6) {
     cfg.field_side = 300.0;
     cfg.subscriber_count = users;
     cfg.base_station_count = 1;
-    cfg.snr_threshold_db = -15.0;
+    cfg.snr_threshold_db = units::Decibel{-15.0};
     return sim::generate_scenario(cfg, seed);
 }
 
@@ -57,7 +57,7 @@ TEST(IlpqcMilpTest, BuildProducesExpectedDimensions) {
 TEST(IlpqcMilpTest, ImpossibleSnrInfeasible) {
     Scenario s = small_scenario(3);
     s.subscribers = {{{-45.0, 0.0}, 35.0}, {{45.0, 0.0}, 35.0}};
-    s.snr_threshold_db = 60.0;
+    s.snr_threshold_db = units::Decibel{60.0};
     const auto plan = solve_ilpqc_milp(s, iac_candidates(s));
     EXPECT_FALSE(plan.feasible);
 }
@@ -92,7 +92,9 @@ TEST(IlpqcCrossValidationGac, AgreeOnGridCandidatesToo) {
     opts.node_limit = 500'000;
     const auto slow = solve_ilpqc_milp(s, cands, opts);
     ASSERT_EQ(fast.feasible, slow.feasible);
-    if (fast.feasible) EXPECT_EQ(fast.rs_count(), slow.rs_count());
+    if (fast.feasible) {
+        EXPECT_EQ(fast.rs_count(), slow.rs_count());
+    }
 }
 
 }  // namespace

@@ -59,7 +59,7 @@ TEST(IlpqcTest, ImpossibleSnrReportsInfeasible) {
     s.field = geom::Rect::centered_square(300.0);
     s.subscribers = {{{-45.0, 0.0}, 35.0}, {{45.0, 0.0}, 35.0}};
     s.base_stations = {{{0.0, 0.0}}};
-    s.snr_threshold_db = 60.0;  // absurd on purpose
+    s.snr_threshold_db = units::Decibel{60.0};  // absurd on purpose
     const auto plan = solve_ilpqc_coverage(s, iac_candidates(s));
     EXPECT_FALSE(plan.feasible);
 }

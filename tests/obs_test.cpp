@@ -157,7 +157,7 @@ core::Scenario small_scenario() {
     cfg.field_side = 400.0;
     cfg.subscriber_count = 30;
     cfg.base_station_count = 2;
-    cfg.snr_threshold_db = -15.0;
+    cfg.snr_threshold_db = units::Decibel{-15.0};
     return sim::generate_scenario(cfg, 11);
 }
 
@@ -187,7 +187,7 @@ TEST(ObsIntegrationTest, TransactionRollbackCountsRevertedDeltas) {
     {
         core::SnrField::Transaction tx(field);
         field.move_rs(0, {10.0, 10.0});
-        field.set_power(1, 1.0);
+        field.set_power(1, units::Watt{1.0});
         // tx rolls back: two reverting deltas replay.
     }
     const RunReport report = rec.snapshot();

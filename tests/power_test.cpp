@@ -15,10 +15,10 @@ Scenario base_scenario() {
     Scenario s;
     s.field = geom::Rect::centered_square(500.0);
     s.base_stations = {{{0.0, 0.0}}};
-    s.snr_threshold_db = -15.0;
+    s.snr_threshold_db = units::Decibel{-15.0};
     // Hand-computed floor tests use the pure interference-limited model;
     // generator-based tests keep the default ambient noise.
-    s.radio.snr_ambient_noise = 0.0;
+    s.radio.snr_ambient_noise = units::Watt{0.0};
     return s;
 }
 
@@ -36,8 +36,9 @@ TEST(CoveragePowerFloorTest, MatchesHandComputation) {
     const auto plan = plan_of({{0.0, 0.0}}, {0});
     // Required received power defined at 35 m; access link is 30 m, so the
     // floor is Pmax * (30/35)^alpha.
-    const double expect = s.radio.max_power * std::pow(30.0 / 35.0, s.radio.alpha);
-    EXPECT_NEAR(coverage_power_floor(s, plan, 0), expect, 1e-9);
+    const units::Watt expect =
+        s.radio.max_power * std::pow(30.0 / 35.0, s.radio.alpha);
+    EXPECT_NEAR(coverage_power_floor(s, plan, 0).watts(), expect.watts(), 1e-9);
 }
 
 TEST(CoveragePowerFloorTest, TakesMaxOverServedSubscribers) {
@@ -45,15 +46,16 @@ TEST(CoveragePowerFloorTest, TakesMaxOverServedSubscribers) {
     s.subscribers = {{{30.0, 0.0}, 35.0}, {{-10.0, 0.0}, 35.0}};
     const auto plan = plan_of({{0.0, 0.0}}, {0, 0});
     // The 30 m subscriber dominates the 10 m one.
-    const double expect = s.radio.max_power * std::pow(30.0 / 35.0, s.radio.alpha);
-    EXPECT_NEAR(coverage_power_floor(s, plan, 0), expect, 1e-9);
+    const units::Watt expect =
+        s.radio.max_power * std::pow(30.0 / 35.0, s.radio.alpha);
+    EXPECT_NEAR(coverage_power_floor(s, plan, 0).watts(), expect.watts(), 1e-9);
 }
 
 TEST(CoveragePowerFloorTest, UnusedRsHasZeroFloor) {
     Scenario s = base_scenario();
     s.subscribers = {{{30.0, 0.0}, 35.0}};
     const auto plan = plan_of({{0.0, 0.0}, {200.0, 0.0}}, {0});
-    EXPECT_DOUBLE_EQ(coverage_power_floor(s, plan, 1), 0.0);
+    EXPECT_DOUBLE_EQ(coverage_power_floor(s, plan, 1).watts(), 0.0);
 }
 
 TEST(SnrPowerFloorTest, ZeroWithoutInterferers) {
@@ -61,7 +63,7 @@ TEST(SnrPowerFloorTest, ZeroWithoutInterferers) {
     s.subscribers = {{{30.0, 0.0}, 35.0}};
     const auto plan = plan_of({{0.0, 0.0}}, {0});
     const double powers[] = {50.0};
-    EXPECT_DOUBLE_EQ(snr_power_floor(s, plan, 0, powers), 0.0);
+    EXPECT_DOUBLE_EQ(snr_power_floor(s, plan, 0, powers).watts(), 0.0);
 }
 
 TEST(SnrPowerFloorTest, ScalesWithInterferencePower) {
@@ -72,8 +74,8 @@ TEST(SnrPowerFloorTest, ScalesWithInterferencePower) {
     const double weak[] = {50.0, 5.0};
     // RS0's requirement is driven by RS1's interference at sub 0;
     // reducing RS1's power by 10x reduces the floor by 10x.
-    EXPECT_NEAR(snr_power_floor(s, plan, 0, strong),
-                10.0 * snr_power_floor(s, plan, 0, weak), 1e-9);
+    EXPECT_NEAR(snr_power_floor(s, plan, 0, strong).watts(),
+                10.0 * snr_power_floor(s, plan, 0, weak).watts(), 1e-9);
 }
 
 TEST(ProTest, SettlesAtCoverageFloorsWhenNoConflict) {
@@ -83,8 +85,8 @@ TEST(ProTest, SettlesAtCoverageFloorsWhenNoConflict) {
     const auto pro = allocate_power_pro(s, plan);
     ASSERT_TRUE(pro.feasible);
     // RSs sit on their subscribers: tiny coverage floor, SNR trivial.
-    EXPECT_NEAR(pro.powers[0], coverage_power_floor(s, plan, 0), 1e-9);
-    EXPECT_NEAR(pro.powers[1], coverage_power_floor(s, plan, 1), 1e-9);
+    EXPECT_NEAR(pro.powers[0], coverage_power_floor(s, plan, 0).watts(), 1e-9);
+    EXPECT_NEAR(pro.powers[1], coverage_power_floor(s, plan, 1).watts(), 1e-9);
 }
 
 TEST(ProTest, NeverBelowOptimalNorAboveBaseline) {
@@ -146,8 +148,8 @@ TEST(OptimalPowerTest, OptimalIsComponentWiseMinimal) {
         if (opt.powers[i] < 1e-12) continue;
         auto shaved = opt.powers;
         shaved[i] *= 0.99;
-        const double floor_i = coverage_power_floor(s, plan, i);
-        const double snr_i = snr_power_floor(s, plan, i, shaved);
+        const double floor_i = coverage_power_floor(s, plan, i).watts();
+        const double snr_i = snr_power_floor(s, plan, i, shaved).watts();
         EXPECT_LT(shaved[i], std::max(floor_i, snr_i) + 1e-9) << "rs " << i;
     }
 }

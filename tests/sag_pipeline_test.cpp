@@ -46,9 +46,9 @@ TEST(SagPipelineTest, DarpUsesMaxPowerEverywhere) {
     ASSERT_TRUE(cov.feasible);
     const auto darp = solve_darp_baseline(s, cov, 0);
     EXPECT_NEAR(darp.lower_tier_power(),
-                static_cast<double>(cov.rs_count()) * s.radio.max_power, 1e-9);
+                static_cast<double>(cov.rs_count()) * s.radio.max_power.watts(), 1e-9);
     EXPECT_NEAR(darp.upper_tier_power(),
-                static_cast<double>(darp.connectivity_rs_count()) * s.radio.max_power,
+                static_cast<double>(darp.connectivity_rs_count()) * s.radio.max_power.watts(),
                 1e-9);
 }
 
@@ -57,7 +57,7 @@ TEST(SagPipelineTest, InfeasibleCoveragePropagates) {
     s.field = geom::Rect::centered_square(300.0);
     s.subscribers = {{{-45.0, 0.0}, 35.0}, {{45.0, 0.0}, 35.0}};
     s.base_stations = {{{0.0, 100.0}}};
-    s.snr_threshold_db = 60.0;  // impossible
+    s.snr_threshold_db = units::Decibel{60.0};  // impossible
     const auto result = solve_sag(s);
     EXPECT_FALSE(result.feasible);
     EXPECT_FALSE(result.coverage.feasible);
@@ -115,7 +115,7 @@ TEST_P(SagSweep, FeasibleVerifiableAndGreen) {
     const double baseline =
         static_cast<double>(result.coverage_rs_count() +
                             result.connectivity_rs_count()) *
-        s.radio.max_power;
+        s.radio.max_power.watts();
     EXPECT_LE(result.total_power(), baseline + 1e-9);
 }
 

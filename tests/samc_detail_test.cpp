@@ -24,8 +24,8 @@ Scenario base(double side = 500.0) {
     Scenario s;
     s.field = geom::Rect::centered_square(side);
     s.base_stations = {{{0.0, 0.0}}};
-    s.snr_threshold_db = -15.0;
-    s.radio.snr_ambient_noise = 0.0;
+    s.snr_threshold_db = units::Decibel{-15.0};
+    s.radio.snr_ambient_noise = units::Watt{0.0};
     return s;
 }
 
@@ -77,7 +77,7 @@ TEST(CoverageLinkEscapeDetail, DeterministicOnTies) {
 
 TEST(SlidingMovementDetail, FixedOneOnOneRsDoesNotMoveAgain) {
     Scenario s = base();
-    s.snr_threshold_db = 10.0;  // strict enough to trigger repair rounds
+    s.snr_threshold_db = units::Decibel{10.0};  // strict enough to trigger repair rounds
     s.subscribers = {{{-80.0, 0.0}, 35.0}, {{60.0, 0.0}, 35.0}, {{120.0, 0.0}, 35.0}};
     const std::size_t subs[] = {0, 1, 2};
     ZoneAssignment za;
@@ -109,7 +109,7 @@ TEST(SlidingMovementDetail, ReassignmentRescuesMisassignedSubscriber) {
     // empty because the far RS must keep covering its own subscriber);
     // the reassignment repair trivially can.
     Scenario s = base();
-    s.snr_threshold_db = 14.0;
+    s.snr_threshold_db = units::Decibel{14.0};
     s.subscribers = {{{0.0, 0.0}, 35.0}, {{40.0, 0.0}, 35.0}};
     const std::size_t subs[] = {0, 1};
     ZoneAssignment za;
@@ -133,7 +133,7 @@ TEST(SlidingMovementDetail, DeterministicAcrossRuns) {
     sim::GeneratorConfig cfg;
     cfg.field_side = 500.0;
     cfg.subscriber_count = 20;
-    cfg.snr_threshold_db = -12.0;
+    cfg.snr_threshold_db = units::Decibel{-12.0};
     const auto s = sim::generate_scenario(cfg, 31);
     const auto a = solve_samc(s);
     const auto b = solve_samc(s);

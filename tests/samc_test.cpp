@@ -19,10 +19,10 @@ Scenario base_scenario(double side = 500.0) {
     Scenario s;
     s.field = geom::Rect::centered_square(side);
     s.base_stations = {{{0.0, 0.0}}};
-    s.snr_threshold_db = -15.0;
+    s.snr_threshold_db = units::Decibel{-15.0};
     // Hand-constructed cases reason about pure interference geometry;
     // generator-based integration tests below keep the default noise.
-    s.radio.snr_ambient_noise = 0.0;
+    s.radio.snr_ambient_noise = units::Watt{0.0};
     return s;
 }
 
@@ -87,7 +87,7 @@ TEST(SlidingMovementTest, MultiCoverRsStaysWhenSnrHolds) {
 
 TEST(SlidingMovementTest, RepairsSnrViolationByRelocation) {
     Scenario s = base_scenario();
-    s.snr_threshold_db = 20.0;  // strict: forces separation
+    s.snr_threshold_db = units::Decibel{20.0};  // strict: forces separation
     // Sub 0 one-on-one (RS slides onto it); subs 1,2 share an RS placed
     // badly close to sub 0's RS -> sub 0's SNR initially violated.
     s.subscribers = {{{-80.0, 0.0}, 35.0}, {{40.0, 0.0}, 35.0}, {{100.0, 0.0}, 35.0}};
@@ -104,7 +104,7 @@ TEST(SlidingMovementTest, RepairsSnrViolationByRelocation) {
 
 TEST(SlidingMovementTest, ImpossibleSnrReportsInfeasible) {
     Scenario s = base_scenario();
-    s.snr_threshold_db = 60.0;  // cannot hold with two radiators nearby
+    s.snr_threshold_db = units::Decibel{60.0};  // cannot hold with two radiators nearby
     s.subscribers = {{{-45.0, 0.0}, 35.0}, {{45.0, 0.0}, 35.0}};
     const std::size_t subs[] = {0, 1};
     samc_detail::ZoneAssignment za;

@@ -16,7 +16,7 @@ core::Scenario sample_scenario() {
     cfg.field_side = 500.0;
     cfg.subscriber_count = 12;
     cfg.base_station_count = 2;
-    cfg.snr_threshold_db = -17.5;
+    cfg.snr_threshold_db = units::Decibel{-17.5};
     cfg.radio.alpha = 2.5;  // non-default to prove it round-trips
     return sim::generate_scenario(cfg, 5);
 }

@@ -7,8 +7,8 @@
 #include "sag/core/scenario.h"
 #include "sag/core/zone_partition.h"
 #include "sag/sim/scenario_gen.h"
+#include "sag/units/units.h"
 #include "sag/wireless/two_ray.h"
-#include "sag/wireless/units.h"
 
 namespace sag::core {
 namespace {
@@ -18,13 +18,14 @@ Scenario tiny_scenario() {
     s.field = geom::Rect::centered_square(500.0);
     s.subscribers = {{{0.0, 0.0}, 30.0}, {{100.0, 0.0}, 40.0}};
     s.base_stations = {{{-200.0, -200.0}}};
-    s.snr_threshold_db = -15.0;
+    s.snr_threshold_db = units::Decibel{-15.0};
     return s;
 }
 
 TEST(ScenarioTest, SnrThresholdConversion) {
     Scenario s = tiny_scenario();
-    EXPECT_NEAR(s.snr_threshold_linear(), wireless::db_to_linear(-15.0), 1e-15);
+    EXPECT_NEAR(s.snr_threshold_linear(),
+                units::from_db(units::Decibel{-15.0}).ratio(), 1e-15);
 }
 
 TEST(ScenarioTest, FeasibleCircleMatchesSubscriber) {
@@ -37,9 +38,9 @@ TEST(ScenarioTest, FeasibleCircleMatchesSubscriber) {
 
 TEST(ScenarioTest, MinRxPowerIsPowerAtDistanceRequest) {
     Scenario s = tiny_scenario();
-    const double expect =
-        wireless::received_power(s.radio, s.radio.max_power, 30.0);
-    EXPECT_NEAR(s.min_rx_power(0), expect, 1e-15);
+    const units::Watt expect =
+        wireless::received_power(s.radio, s.radio.max_power, units::Meters{30.0});
+    EXPECT_NEAR(s.min_rx_power(0).watts(), expect.watts(), 1e-15);
     // Larger distance request -> weaker demanded power.
     EXPECT_LT(s.min_rx_power(1), s.min_rx_power(0));
 }
@@ -73,8 +74,10 @@ TEST(ScenarioTest, ValidateRejectsBadInstances) {
 TEST(ZonePartitionTest, DmaxMatchesNmaxDefinition) {
     Scenario s = tiny_scenario();
     const double dmax = zone_partition_dmax(s);
-    EXPECT_NEAR(wireless::received_power(s.radio, s.radio.max_power, dmax),
-                s.radio.ignorable_noise, 1e-12);
+    EXPECT_NEAR(wireless::received_power(s.radio, s.radio.max_power,
+                                         units::Meters{dmax})
+                    .watts(),
+                s.radio.ignorable_noise.watts(), 1e-12);
 }
 
 TEST(ZonePartitionTest, NearbySubscribersShareAZone) {
@@ -193,11 +196,11 @@ TEST(GeneratorTest, RespectsConfig) {
     cfg.field_side = 800.0;
     cfg.subscriber_count = 25;
     cfg.base_station_count = 3;
-    cfg.snr_threshold_db = -20.0;
+    cfg.snr_threshold_db = units::Decibel{-20.0};
     const Scenario s = sim::generate_scenario(cfg, 1);
     EXPECT_EQ(s.subscriber_count(), 25u);
     EXPECT_EQ(s.base_stations.size(), 3u);
-    EXPECT_DOUBLE_EQ(s.snr_threshold_db, -20.0);
+    EXPECT_DOUBLE_EQ(s.snr_threshold_db.db(), -20.0);
     EXPECT_DOUBLE_EQ(s.field.width(), 800.0);
     for (const auto& sub : s.subscribers) {
         EXPECT_GE(sub.distance_request, 30.0);

@@ -5,8 +5,8 @@
 #include "sag/core/feasibility.h"
 #include "sag/core/snr.h"
 #include "sag/sim/scenario_gen.h"
+#include "sag/units/units.h"
 #include "sag/wireless/two_ray.h"
-#include "sag/wireless/units.h"
 
 namespace sag::core {
 namespace {
@@ -16,10 +16,10 @@ Scenario two_sub_scenario() {
     s.field = geom::Rect::centered_square(500.0);
     s.subscribers = {{{-50.0, 0.0}, 35.0}, {{50.0, 0.0}, 35.0}};
     s.base_stations = {{{0.0, 200.0}}};
-    s.snr_threshold_db = -15.0;
+    s.snr_threshold_db = units::Decibel{-15.0};
     // These tests verify the pure interference-limited Definition 2 math;
     // ambient-noise behaviour is covered by the AmbientNoise tests below.
-    s.radio.snr_ambient_noise = 0.0;
+    s.radio.snr_ambient_noise = units::Watt{0.0};
     return s;
 }
 
@@ -41,9 +41,11 @@ TEST(SnrTest, TwoRsMatchHandComputedRatio) {
     const auto snrs = coverage_snrs(s, rs, powers, assignment);
     // Subscriber 0: signal from RS0 at clamped distance 1, interference
     // from RS1 at distance 100.
-    const double signal = wireless::received_power(s.radio, 50.0, 1.0);
-    const double interference = wireless::received_power(s.radio, 50.0, 100.0);
-    const double expected = signal / interference;
+    const units::Watt signal =
+        wireless::received_power(s.radio, units::Watt{50.0}, units::Meters{1.0});
+    const units::Watt interference =
+        wireless::received_power(s.radio, units::Watt{50.0}, units::Meters{100.0});
+    const double expected = (signal / interference).ratio();
     EXPECT_NEAR(snrs[0], expected, 1e-9 * expected);
     EXPECT_NEAR(snrs[0], snrs[1], 1e-9 * expected);  // symmetric layout
 }
@@ -103,7 +105,7 @@ TEST(SnrTest, FeasibleAtMaxPowerEndToEnd) {
 
 TEST(SnrTest, HighThresholdMakesCrossNoiseFatal) {
     Scenario s = two_sub_scenario();
-    s.snr_threshold_db = 35.0;  // brutally strict
+    s.snr_threshold_db = units::Decibel{35.0};  // brutally strict
     const std::size_t subs[] = {0, 1};
     const geom::Vec2 rs[] = {{-50.0, 0.0}, {50.0, 0.0}};
     // signal at d=1 vs interference at d=100 gives ~60 dB -> passes 35 dB;
@@ -163,10 +165,12 @@ TEST(VerifyCoverageTest, SnrDbReportedInDb) {
     plan.rs_positions = {{-50.0, 0.0}, {50.0, 0.0}};
     plan.assignment = {0, 1};
     const auto report = verify_coverage_max_power(s, plan);
-    const double signal = wireless::received_power(s.radio, 50.0, 1.0);
-    const double interference = wireless::received_power(s.radio, 50.0, 100.0);
+    const units::Watt signal =
+        wireless::received_power(s.radio, units::Watt{50.0}, units::Meters{1.0});
+    const units::Watt interference =
+        wireless::received_power(s.radio, units::Watt{50.0}, units::Meters{100.0});
     EXPECT_NEAR(report.subscribers[0].snr_db,
-                wireless::linear_to_db(signal / interference), 1e-6);
+                units::to_db(signal / interference).db(), 1e-6);
 }
 
 TEST(VerifyConnectivityTest, SingleHopTreeAccepted) {
@@ -219,21 +223,22 @@ TEST(AmbientNoiseTest, LowersEverySnr) {
     const double powers[] = {50.0, 50.0};
     const std::size_t assignment[] = {0, 1};
     const auto clean = coverage_snrs(s, rs, powers, assignment);
-    s.radio.snr_ambient_noise = 0.065;
+    s.radio.snr_ambient_noise = units::Watt{0.065};
     const auto noisy = coverage_snrs(s, rs, powers, assignment);
     for (std::size_t j = 0; j < 2; ++j) EXPECT_LT(noisy[j], clean[j]);
 }
 
 TEST(AmbientNoiseTest, MakesSingleRsSnrFinite) {
     Scenario s = two_sub_scenario();
-    s.radio.snr_ambient_noise = 0.065;
+    s.radio.snr_ambient_noise = units::Watt{0.065};
     const geom::Vec2 rs[] = {{-50.0, 0.0}};
     const double powers[] = {50.0};
     const std::size_t subs[] = {0};
     const std::size_t assignment[] = {0};
     const auto snrs = coverage_snrs(s, rs, powers, subs, assignment);
-    const double signal = wireless::received_power(s.radio, 50.0, 1.0);
-    EXPECT_NEAR(snrs[0], signal / 0.065, 1e-9 * snrs[0]);
+    const units::Watt signal =
+        wireless::received_power(s.radio, units::Watt{50.0}, units::Meters{1.0});
+    EXPECT_NEAR(snrs[0], signal.watts() / 0.065, 1e-9 * snrs[0]);
 }
 
 TEST(AmbientNoiseTest, BoundaryServiceFailsWhereInteriorSurvives) {
@@ -241,8 +246,8 @@ TEST(AmbientNoiseTest, BoundaryServiceFailsWhereInteriorSurvives) {
     // subscriber from exactly its distance request (an IAC intersection
     // point) fails thresholds that an interior position still clears.
     Scenario s = two_sub_scenario();
-    s.radio.snr_ambient_noise = 0.065;
-    s.snr_threshold_db = -11.5;
+    s.radio.snr_ambient_noise = units::Watt{0.065};
+    s.snr_threshold_db = units::Decibel{-11.5};
     s.subscribers = {{{0.0, 0.0}, 40.0}};
     const std::size_t subs[] = {0};
     const geom::Vec2 boundary_rs[] = {{40.0, 0.0}};

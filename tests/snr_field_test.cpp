@@ -21,7 +21,7 @@ Scenario random_scenario(std::size_t users, double side, unsigned seed) {
     cfg.field_side = side;
     cfg.subscriber_count = users;
     cfg.base_station_count = 2;
-    cfg.snr_threshold_db = -15.0;
+    cfg.snr_threshold_db = units::Decibel{-15.0};
     return sim::generate_scenario(cfg, seed);
 }
 
@@ -46,7 +46,8 @@ TEST(SnrFieldTest, OneShotMatchesCoverageSnrs) {
     std::vector<double> powers;
     for (std::size_t i = 0; i < 8; ++i) {
         rs.push_back(s.subscribers[i * 5].pos);
-        powers.push_back(s.radio.max_power * (0.25 + 0.1 * static_cast<double>(i)));
+        powers.push_back(
+            (s.radio.max_power * (0.25 + 0.1 * static_cast<double>(i))).watts());
     }
     const auto serving = round_robin_serving(s.subscriber_count(), rs.size());
     const SnrField field(s, rs, powers);
@@ -63,7 +64,7 @@ TEST(SnrFieldTest, ThousandMixedDeltasMatchScratchTo1e12) {
     const Scenario s = random_scenario(60, 500.0, 23);
     std::mt19937 rng(1234);
     std::uniform_real_distribution<double> coord(-250.0, 250.0);
-    std::uniform_real_distribution<double> power(0.0, s.radio.max_power);
+    std::uniform_real_distribution<double> power(0.0, s.radio.max_power.watts());
     std::uniform_int_distribution<int> op(0, 3);
 
     std::vector<geom::Vec2> rs;
@@ -82,16 +83,16 @@ TEST(SnrFieldTest, ThousandMixedDeltasMatchScratchTo1e12) {
                 field.move_rs(pick(rng), {coord(rng), coord(rng)});
                 break;
             case 1:
-                field.set_power(pick(rng), power(rng));
+                field.set_power(pick(rng), units::Watt{power(rng)});
                 break;
             case 2:
-                field.add_rs({coord(rng), coord(rng)}, power(rng));
+                field.add_rs({coord(rng), coord(rng)}, units::Watt{power(rng)});
                 break;
             default:
                 if (field.rs_count() > 2) {
                     field.remove_rs(pick(rng));
                 } else {
-                    field.add_rs({coord(rng), coord(rng)}, power(rng));
+                    field.add_rs({coord(rng), coord(rng)}, units::Watt{power(rng)});
                 }
                 break;
         }
@@ -121,8 +122,8 @@ TEST(SnrFieldTest, TransactionRollsBackEveryDeltaKind) {
     {
         SnrField::Transaction tx(field);
         field.move_rs(0, {33.0, 44.0});
-        field.set_power(1, 1.5);
-        field.add_rs({-40.0, -40.0}, 20.0);
+        field.set_power(1, units::Watt{1.5});
+        field.add_rs({-40.0, -40.0}, units::Watt{20.0});
         field.remove_rs(2);
         field.move_rs(0, {-5.0, -5.0});  // second touch of the same RS
         // no commit -> rollback
@@ -144,13 +145,13 @@ TEST(SnrFieldTest, NestedTransactionsCommitAndRollbackIndependently) {
 
     {
         SnrField::Transaction outer(field);
-        field.set_power(0, 10.0);
+        field.set_power(0, units::Watt{10.0});
         {
             SnrField::Transaction inner(field);
-            field.set_power(1, 20.0);
+            field.set_power(1, units::Watt{20.0});
             inner.commit();  // survives the inner scope...
         }
-        EXPECT_EQ(field.rs_power(1), 20.0);
+        EXPECT_EQ(field.rs_power(1), units::Watt{20.0});
         // ...but dies with the outer rollback.
     }
     EXPECT_EQ(field.rs_power(0), s.radio.max_power);
@@ -173,7 +174,7 @@ TEST(SnrFieldTest, ViolatedMatchesManualAudit) {
     const auto serving = round_robin_serving(s.subscriber_count(), rs.size());
 
     const auto bad = field.violated(serving);
-    const std::vector<double> powers(rs.size(), s.radio.max_power);
+    const std::vector<double> powers(rs.size(), s.radio.max_power.watts());
     const auto snrs = coverage_snrs(s, rs, powers, serving);
     const double beta = s.snr_threshold_linear();
     std::vector<std::size_t> expected;
@@ -193,7 +194,7 @@ TEST(SnrFieldTest, TrackedSubsetOnlySeesItsSubscribers) {
     std::vector<geom::Vec2> rs = {{0.0, 0.0}, {80.0, 80.0}};
     const SnrField field = SnrField::at_max_power(s, rs, subset);
     ASSERT_EQ(field.tracked_count(), subset.size());
-    const std::vector<double> powers(rs.size(), s.radio.max_power);
+    const std::vector<double> powers(rs.size(), s.radio.max_power.watts());
     const std::vector<std::size_t> serving = {0, 1, 0, 1};
     const auto scratch = coverage_snrs(s, rs, powers, subset, serving);
     for (std::size_t k = 0; k < subset.size(); ++k) {

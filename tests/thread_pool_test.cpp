@@ -77,15 +77,15 @@ TEST(PaperPresetsTest, MatchSectionFourSettings) {
     const auto base = presets::evaluation_base();
     EXPECT_DOUBLE_EQ(base.min_distance_request, 30.0);
     EXPECT_DOUBLE_EQ(base.max_distance_request, 40.0);
-    EXPECT_DOUBLE_EQ(base.snr_threshold_db, -15.0);
+    EXPECT_DOUBLE_EQ(base.snr_threshold_db.db(), -15.0);
     EXPECT_EQ(base.base_station_count, 4u);
 
     EXPECT_DOUBLE_EQ(presets::field500(20).field_side, 500.0);
     EXPECT_EQ(presets::field500(20).subscriber_count, 20u);
     EXPECT_DOUBLE_EQ(presets::field800(70).field_side, 800.0);
-    EXPECT_DOUBLE_EQ(presets::field800_relaxed(50).snr_threshold_db, -40.0);
+    EXPECT_DOUBLE_EQ(presets::field800_relaxed(50).snr_threshold_db.db(), -40.0);
     EXPECT_DOUBLE_EQ(presets::field300(10).field_side, 300.0);
-    EXPECT_DOUBLE_EQ(presets::snr_sweep_point(-11.55).snr_threshold_db, -11.55);
+    EXPECT_DOUBLE_EQ(presets::snr_sweep_point(units::Decibel{-11.55}).snr_threshold_db.db(), -11.55);
     EXPECT_EQ(presets::topology_showcase().bs_layout, BsLayout::Corners);
 }
 

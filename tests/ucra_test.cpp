@@ -24,7 +24,7 @@ Scenario linear_scenario() {
     s.field = geom::Rect::centered_square(500.0);
     s.subscribers = {{{200.0, 0.0}, 40.0}};
     s.base_stations = {{{-200.0, 0.0}}};
-    s.snr_threshold_db = -15.0;
+    s.snr_threshold_db = units::Decibel{-15.0};
     return s;
 }
 
@@ -127,8 +127,8 @@ TEST(UcpoTest, SingleChainPowerMatchesHandComputation) {
     // power at its 40 m distance request -> each relay transmits at
     // exactly P_max * (40/40)^alpha = P_max... but over a 40 m segment
     // delivering P^0_ss = Pmax*G*40^-a needs Pmax again.
-    const double pss = s.min_rx_power(0);
-    const double expect = wireless::tx_power_for(s.radio, pss, 40.0);
+    const units::Watt pss = s.min_rx_power(0);
+    const double expect = wireless::tx_power_for(s.radio, pss, units::Meters{40.0}).watts();
     for (std::size_t v = 0; v < plan.node_count(); ++v) {
         if (plan.kinds[v] == NodeKind::ConnectivityRs) {
             EXPECT_NEAR(plan.powers[v], expect, 1e-9);
@@ -155,7 +155,7 @@ TEST(UcpoTest, NeverExceedsBaseline) {
         // Power never negative, never above Pmax.
         for (std::size_t v = 0; v < ucpo_plan.node_count(); ++v) {
             EXPECT_GE(ucpo_plan.powers[v], 0.0);
-            EXPECT_LE(ucpo_plan.powers[v], s.radio.max_power + 1e-12);
+            EXPECT_LE(ucpo_plan.powers[v], s.radio.max_power.watts() + 1e-12);
         }
     }
 }
@@ -184,8 +184,8 @@ TEST(UcpoTest, ShorterSegmentsNeedLessPower) {
     // p20 serves a stricter rate (P_ss at 20 m is 8x higher) over 20 m
     // segments: tx power identical in this symmetric case, so compare
     // totals instead: more relays, each at most Pmax.
-    EXPECT_LE(p20, s.radio.max_power + 1e-12);
-    EXPECT_LE(p40, s.radio.max_power + 1e-12);
+    EXPECT_LE(p20, s.radio.max_power.watts() + 1e-12);
+    EXPECT_LE(p40, s.radio.max_power.watts() + 1e-12);
 }
 
 /// Property: MBMC trees verify structurally across random instances.

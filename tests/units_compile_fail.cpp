@@ -1,0 +1,62 @@
+// Negative compile test: each guarded block below must FAIL to compile.
+// tests/CMakeLists.txt runs this file through the compiler once per
+// SAG_CF_* macro with WILL_FAIL set, so a unit-safety hole that makes any
+// of these expressions legal turns into a test failure. A final
+// no-macro pass must succeed, proving the harness itself compiles.
+//
+// Keep each block to ONE ill-formed expression so a failure pinpoints
+// exactly which operation regressed.
+
+#include "sag/units/units.h"
+
+namespace {
+
+using sag::units::Decibel;
+using sag::units::DecibelMilliwatt;
+using sag::units::Meters;
+using sag::units::SnrRatio;
+using sag::units::Watt;
+
+void must_not_compile() {
+#if defined(SAG_CF_WATT_PLUS_DB)
+    // Linear power plus a log-domain ratio is dimensionally meaningless.
+    const auto bad = Watt{1.0} + Decibel{3.0};
+    (void)bad;
+#elif defined(SAG_CF_WATT_FROM_DOUBLE)
+    // No implicit double -> Watt: a bare scalar must name its unit.
+    const Watt bad = 50.0;
+    (void)bad;
+#elif defined(SAG_CF_WATT_TO_DOUBLE)
+    // No implicit Watt -> double: leaving the type system is explicit.
+    const double bad = Watt{50.0};
+    (void)bad;
+#elif defined(SAG_CF_WATT_PLUS_MILLIWATT)
+    // Same dimension, different scale: convert explicitly first.
+    const auto bad = Watt{1.0} + sag::units::Milliwatt{1.0};
+    (void)bad;
+#elif defined(SAG_CF_DB_PLUS_DBM)
+    // dBm + dBm would multiply two absolute powers: nonsense.
+    const auto bad = DecibelMilliwatt{10.0} + DecibelMilliwatt{10.0};
+    (void)bad;
+#elif defined(SAG_CF_METERS_TIMES_WATT)
+    // There is no meter-watt quantity in this codebase.
+    const auto bad = Meters{40.0} * Watt{50.0};
+    (void)bad;
+#elif defined(SAG_CF_CROSS_TYPE_COMPARE)
+    // Comparing a distance against a power must not compile.
+    const bool bad = Meters{40.0} < Watt{50.0};
+    (void)bad;
+#else
+    // Positive control: with no SAG_CF_* macro the file is well-formed,
+    // so a broken include path can't masquerade as "all negatives pass".
+    const Watt ok = Watt{1.0} + SnrRatio{2.0} * Watt{3.0};
+    (void)ok;
+#endif
+}
+
+}  // namespace
+
+int main() {
+    must_not_compile();
+    return 0;
+}

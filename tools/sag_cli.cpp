@@ -81,7 +81,7 @@ int cmd_generate(const Args& args) {
     cfg.field_side = args.num_or("field", 500.0);
     cfg.subscriber_count = static_cast<std::size_t>(args.num_or("users", 30));
     cfg.base_station_count = static_cast<std::size_t>(args.num_or("bs", 4));
-    cfg.snr_threshold_db = args.num_or("snr", -15.0);
+    cfg.snr_threshold_db = sag::units::Decibel{args.num_or("snr", -15.0)};
     const std::string layout = args.get_or("bs-layout", "uniform");
     cfg.bs_layout = layout == "corners"  ? sim::BsLayout::Corners
                     : layout == "center" ? sim::BsLayout::Center
