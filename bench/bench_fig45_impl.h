@@ -92,7 +92,7 @@ inline void run_field_suite(const char* figure, double side,
             // (c) connectivity counts.
             for (std::size_t b = 0; b < 4; ++b) {
                 must_rs[b].add(static_cast<double>(
-                    core::solve_must(s, samc.plan, b).connectivity_rs_count()));
+                    core::solve_must(s, samc.plan, sag::ids::BsId{b}).connectivity_rs_count()));
             }
             auto mbmc = core::solve_mbmc(s, samc.plan);
             mbmc_rs.add(static_cast<double>(mbmc.connectivity_rs_count()));

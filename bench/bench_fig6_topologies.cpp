@@ -5,6 +5,7 @@
 // exact figure. The headline comparison (paper §IV-C): MUST hauls all
 // traffic to one corner BS with far more connectivity RSs than MBMC's
 // nearest-BS forest.
+#include <filesystem>
 #include <fstream>
 
 #include "bench_common.h"
@@ -20,13 +21,14 @@ namespace {
 
 using namespace sag;
 
-void dump(const char* name, const core::Scenario& s, const core::CoveragePlan& cov,
+void dump(const std::filesystem::path& out_dir, const char* name,
+          const core::Scenario& s, const core::CoveragePlan& cov,
           const core::ConnectivityPlan& plan) {
     std::printf("--- %s ---\n", name);
     std::printf("  coverage RSs: %zu, connectivity RSs: %zu, nodes: %zu\n",
                 cov.rs_count(), plan.connectivity_rs_count(), plan.node_count());
 
-    const std::string path = std::string("fig6_") + name + ".csv";
+    const std::string path = (out_dir / (std::string("fig6_") + name + ".csv")).string();
     std::ofstream csv(path);
     csv << "kind,x,y,parent_x,parent_y\n";
     // Subscribers first (no parent).
@@ -50,7 +52,7 @@ void dump(const char* name, const core::Scenario& s, const core::CoveragePlan& c
 
     io::SvgOptions svg_opts;
     svg_opts.title = name;
-    const std::string svg_path = std::string("fig6_") + name + ".svg";
+    const std::string svg_path = (out_dir / (std::string("fig6_") + name + ".svg")).string();
     std::ofstream svg(svg_path);
     svg << io::render_deployment_svg(s, cov, plan, svg_opts);
     std::printf("  wrote %s\n", svg_path.c_str());
@@ -62,6 +64,14 @@ int main(int argc, char** argv) {
     const auto bc = bench::BenchConfig::parse(argc, argv);
     const bench::ReportScope report_scope(bc);
     (void)bc;
+    // Plot artifacts go under results/ (gitignored) by default so reruns
+    // never litter the repo root; --out-dir=DIR overrides.
+    std::filesystem::path out_dir = "results";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--out-dir=", 0) == 0) out_dir = arg.substr(10);
+    }
+    std::filesystem::create_directories(out_dir);
     bench::print_header("Fig 6", "tree topologies, 300x300 (plot axes +-300), "
                                  "30 users, 4 corner BSs, SNR=-15dB");
 
@@ -79,7 +89,7 @@ int main(int argc, char** argv) {
 
     const auto iac_plan = core::solve_ilpqc_coverage(s, core::iac_candidates(s), iopts);
     if (iac_plan.feasible) {
-        dump("IAC+MBMC", s, iac_plan, core::solve_mbmc(s, iac_plan));
+        dump(out_dir, "IAC+MBMC", s, iac_plan, core::solve_mbmc(s, iac_plan));
     } else {
         std::printf("--- IAC+MBMC ---\n  IAC infeasible on this instance\n");
     }
@@ -87,16 +97,16 @@ int main(int argc, char** argv) {
     const auto gac_plan = core::solve_ilpqc_coverage(
         s, core::prune_useless_candidates(s, core::gac_candidates(s, 15.0)), iopts);
     if (gac_plan.feasible) {
-        dump("GAC+MBMC", s, gac_plan, core::solve_mbmc(s, gac_plan));
+        dump(out_dir, "GAC+MBMC", s, gac_plan, core::solve_mbmc(s, gac_plan));
     } else {
         std::printf("--- GAC+MBMC ---\n  GAC infeasible on this instance\n");
     }
 
     const auto samc = core::solve_samc(s);
     if (samc.plan.feasible) {
-        dump("SAMC+MBMC", s, samc.plan, core::solve_mbmc(s, samc.plan));
+        dump(out_dir, "SAMC+MBMC", s, samc.plan, core::solve_mbmc(s, samc.plan));
         // Fig. 6(d): everything drags to the single corner BS 0.
-        dump("SAMC+MUST", s, samc.plan, core::solve_must(s, samc.plan, 0));
+        dump(out_dir, "SAMC+MUST", s, samc.plan, core::solve_must(s, samc.plan, sag::ids::BsId{0}));
     } else {
         std::printf("--- SAMC ---\n  infeasible on this instance\n");
     }

@@ -20,7 +20,7 @@ using bench::SeedAverage;
 
 double darp_total(const core::Scenario& s, const core::CoveragePlan& plan) {
     if (!plan.feasible) return kInfeasible;
-    const auto darp = core::solve_darp_baseline(s, plan, 0);
+    const auto darp = core::solve_darp_baseline(s, plan, sag::ids::BsId{0});
     return darp.feasible ? darp.total_power() : kInfeasible;
 }
 

@@ -10,6 +10,7 @@
 #include "sag/core/snr.h"
 #include "sag/core/snr_field.h"
 #include "sag/core/ucra.h"
+#include "sag/ids/ids.h"
 #include "sag/obs/obs.h"
 #include "sag/opt/hitting_set.h"
 #include "sag/sim/scenario_gen.h"
@@ -91,7 +92,7 @@ struct DeltaBenchFixture {
     core::Scenario scenario;
     std::vector<geom::Vec2> rs;
     std::vector<double> powers;
-    std::vector<std::size_t> serving;
+    ids::IdVec<ids::SsId, ids::RsId> serving;
     geom::Vec2 home, away;
 
     explicit DeltaBenchFixture(std::size_t users)
@@ -100,8 +101,10 @@ struct DeltaBenchFixture {
             rs.push_back(scenario.subscribers[j].pos);
         }
         powers.assign(rs.size(), scenario.radio.max_power.watts());
-        serving.resize(users);
-        for (std::size_t j = 0; j < users; ++j) serving[j] = j % rs.size();
+        serving.reserve(users);
+        for (std::size_t j = 0; j < users; ++j) {
+            serving.push_back(ids::RsId{j % rs.size()});
+        }
         home = rs[0];
         away = home + geom::Vec2{15.0, -10.0};
     }
@@ -126,10 +129,10 @@ void BM_SnrFieldDeltaIncremental(benchmark::State& state) {
     std::vector<double> snrs(f.serving.size());
     bool flip = false;
     for (auto _ : state) {
-        field.move_rs(0, flip ? f.away : f.home);
+        field.move_rs(ids::RsId{0}, flip ? f.away : f.home);
         flip = !flip;
-        for (std::size_t k = 0; k < f.serving.size(); ++k) {
-            snrs[k] = field.snr_of(k, f.serving[k]);
+        for (const ids::SsId k : f.serving.ids()) {
+            snrs[k.index()] = field.snr_of(k, f.serving[k]);
         }
         benchmark::DoNotOptimize(snrs);
     }
@@ -151,10 +154,10 @@ void BM_SnrFieldDeltaWithRecorder(benchmark::State& state) {
     std::vector<double> snrs(f.serving.size());
     bool flip = false;
     for (auto _ : state) {
-        field.move_rs(0, flip ? f.away : f.home);
+        field.move_rs(ids::RsId{0}, flip ? f.away : f.home);
         flip = !flip;
-        for (std::size_t k = 0; k < f.serving.size(); ++k) {
-            snrs[k] = field.snr_of(k, f.serving[k]);
+        for (const ids::SsId k : f.serving.ids()) {
+            snrs[k.index()] = field.snr_of(k, f.serving[k]);
         }
         benchmark::DoNotOptimize(snrs);
     }

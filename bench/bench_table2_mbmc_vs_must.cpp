@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
             }
             for (std::size_t b = 0; b < 4; ++b) {
                 must[b].add(b < n_bs
-                                ? static_cast<double>(core::solve_must(s, cov, b)
+                                ? static_cast<double>(core::solve_must(s, cov, sag::ids::BsId{b})
                                                           .connectivity_rs_count())
                                 : bench::kInfeasible);
             }

@@ -13,6 +13,7 @@
 #include "sag/core/sag.h"
 #include "sag/core/zone_partition.h"
 #include "sag/units/units.h"
+#include "sag/ids/ids.h"
 
 namespace {
 
@@ -78,8 +79,8 @@ int main() {
     const auto report =
         core::verify_coverage(campus, plan.coverage, plan.lower_power.powers);
     double worst_snr = 1e18;
-    std::size_t worst = 0;
-    for (std::size_t j = 0; j < report.subscribers.size(); ++j) {
+    sag::ids::SsId worst{0};
+    for (const sag::ids::SsId j : report.subscribers.ids()) {
         if (report.subscribers[j].snr_db < worst_snr) {
             worst_snr = report.subscribers[j].snr_db;
             worst = j;
@@ -89,7 +90,8 @@ int main() {
                 report.feasible ? "OK" : "VIOLATIONS");
     std::printf("Tightest link: store %zu, %.1f m from its RS, SNR %.1f dB "
                 "(threshold %.1f dB)\n",
-                worst, report.subscribers[worst].access_distance, worst_snr,
+                worst.index(), report.subscribers[worst].access_distance,
+                worst_snr,
                 campus.snr_threshold_db.db());
     return report.feasible ? 0 : 1;
 }

@@ -47,7 +47,7 @@ int main() {
     if (!coverage_report.subscribers.empty()) {
         const auto& check = coverage_report.subscribers.front();
         std::printf("  subscriber 0: served by RS %zu at %.1f m, SNR %.2f dB\n",
-                    check.serving_rs, check.access_distance, check.snr_db);
+                    check.serving_rs.index(), check.access_distance, check.snr_db);
     }
     return coverage_report.feasible && connectivity_report.feasible ? 0 : 1;
 }

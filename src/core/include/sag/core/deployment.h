@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "sag/geometry/vec2.h"
+#include "sag/ids/ids.h"
 
 namespace sag::core {
 
@@ -12,9 +13,11 @@ namespace sag::core {
 /// SAMC; consumed by PRO/LPQC power allocation and by the upper tier.
 struct CoveragePlan {
     std::vector<geom::Vec2> rs_positions;
-    /// Per subscriber: index into rs_positions of its serving RS
-    /// (constraint (3.3): exactly one access link per SS).
-    std::vector<std::size_t> assignment;
+    /// Per subscriber (SsId-indexed): the serving RS (constraint (3.3):
+    /// exactly one access link per SS). The typed container makes
+    /// `assignment[rs_id]` — the classic swapped-index corruption — a
+    /// compile error.
+    ids::IdVec<ids::SsId, ids::RsId> assignment;
     bool feasible = false;
     /// True when the producing solver proved minimality (ILPQC within its
     /// node budget); heuristics leave it false.
@@ -23,8 +26,14 @@ struct CoveragePlan {
     std::size_t search_nodes = 0;
 
     std::size_t rs_count() const { return rs_positions.size(); }
+    const geom::Vec2& rs_position(ids::RsId i) const {
+        return rs_positions[i.index()];
+    }
+    ids::IdRange<ids::RsId> rs_ids() const {
+        return ids::first_ids<ids::RsId>(rs_positions.size());
+    }
     /// Subscribers served by RS `rs` (inverse of `assignment`).
-    std::vector<std::size_t> served_by(std::size_t rs) const;
+    std::vector<ids::SsId> served_by(ids::RsId rs) const;
 };
 
 /// Node classes of the upper-tier relay tree.

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "sag/core/scenario.h"
+#include "sag/ids/ids.h"
 
 namespace sag::core {
 
@@ -15,10 +16,10 @@ namespace sag::core {
 /// max power.
 struct DualCoveragePlan {
     std::vector<geom::Vec2> rs_positions;
-    /// Per subscriber: index of the serving (nearest in-range) RS.
-    std::vector<std::size_t> primary;
-    /// Per subscriber: index of the backup (second-nearest in-range) RS.
-    std::vector<std::size_t> secondary;
+    /// Per subscriber: the serving (nearest in-range) RS.
+    ids::IdVec<ids::SsId, ids::RsId> primary;
+    /// Per subscriber: the backup (second-nearest in-range) RS.
+    ids::IdVec<ids::SsId, ids::RsId> secondary;
     bool feasible = false;
 
     std::size_t rs_count() const { return rs_positions.size(); }

@@ -6,12 +6,13 @@
 
 #include "sag/core/deployment.h"
 #include "sag/core/scenario.h"
+#include "sag/ids/ids.h"
 
 namespace sag::core {
 
 /// Per-subscriber verdicts from the coverage verifier.
 struct SubscriberCheck {
-    std::size_t serving_rs = 0;
+    ids::RsId serving_rs = ids::RsId::invalid();
     double access_distance = 0.0;
     bool distance_ok = false;   ///< d(s_j, rs) <= d_j
     bool rate_ok = false;       ///< received power >= P^j_ss
@@ -21,7 +22,7 @@ struct SubscriberCheck {
 
 struct CoverageReport {
     bool feasible = false;
-    std::vector<SubscriberCheck> subscribers;
+    ids::IdVec<ids::SsId, SubscriberCheck> subscribers;
     std::size_t violations = 0;
 };
 

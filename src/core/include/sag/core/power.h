@@ -5,6 +5,7 @@
 
 #include "sag/core/deployment.h"
 #include "sag/core/scenario.h"
+#include "sag/ids/ids.h"
 #include "sag/units/units.h"
 
 namespace sag::core {
@@ -21,13 +22,13 @@ struct PowerAllocation {
 /// power delivering every served subscriber's required received power
 /// P^j_ss over its access link — interference-free data-rate floor.
 units::Watt coverage_power_floor(const Scenario& scenario, const CoveragePlan& plan,
-                                 std::size_t rs);
+                                 ids::RsId rs);
 
 /// SNR power P_snr for RS `rs` given everyone else's current powers (in
 /// watts, one per RS): the minimum transmit power that lifts each served
 /// subscriber's SNR to beta.
 units::Watt snr_power_floor(const Scenario& scenario, const CoveragePlan& plan,
-                            std::size_t rs, std::span<const double> powers);
+                            ids::RsId rs, std::span<const double> powers);
 
 /// Tuning for PRO; the paper's Algorithm 6 Step 11 picks the stuck RS
 /// with the smallest P_snr - P_c premium. FirstIndex replaces that rule

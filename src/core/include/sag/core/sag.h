@@ -6,6 +6,7 @@
 #include "sag/core/power.h"
 #include "sag/core/samc.h"
 #include "sag/core/scenario.h"
+#include "sag/ids/ids.h"
 
 namespace sag::core {
 
@@ -37,8 +38,8 @@ SagResult green_pipeline(const Scenario& scenario, CoveragePlan coverage);
 
 /// The DARP deployment of [1] used as the paper's comparator (§IV-D):
 /// same coverage plan, but every RS transmits at P_max and the upper tier
-/// is MUST to the single base station `bs_index`.
+/// is MUST to the single base station `bs`.
 SagResult solve_darp_baseline(const Scenario& scenario, CoveragePlan coverage,
-                              std::size_t bs_index = 0);
+                              ids::BsId bs = ids::BsId{0});
 
 }  // namespace sag::core

@@ -5,6 +5,7 @@
 
 #include "sag/core/deployment.h"
 #include "sag/core/scenario.h"
+#include "sag/ids/ids.h"
 #include "sag/opt/hitting_set.h"
 
 namespace sag::core {
@@ -28,10 +29,11 @@ struct SamcOptions {
     bool allow_reassignment = true;
 };
 
-/// SAMC output: the coverage plan plus the zones it was solved over.
+/// SAMC output: the coverage plan plus the zones it was solved over
+/// (ZoneId-indexed groups of scenario-global SsIds).
 struct SamcResult {
     CoveragePlan plan;
-    std::vector<std::vector<std::size_t>> zones;
+    ids::IdVec<ids::ZoneId, std::vector<ids::SsId>> zones;
 };
 
 /// SNR-Aware Minimum Coverage (paper Algorithm 1): Zone Partition ->
@@ -43,25 +45,32 @@ struct SamcResult {
 SamcResult solve_samc(const Scenario& scenario, const SamcOptions& options = {});
 
 /// Internals exposed for unit testing and for the ablation benches.
+/// ID spaces here are zone-local: SsId is a slot into `subs`, RsId a slot
+/// into the zone's point set — the types guard the entity kind across the
+/// SS<->RS pairing, which is exactly where the old size_t code could swap
+/// the two without a diagnostic.
 namespace samc_detail {
 
 /// The bipartite SS<->RS-point pairing produced by Coverage Link Escape.
 struct ZoneAssignment {
-    std::vector<geom::Vec2> points;      ///< RS positions for this zone
-    std::vector<std::size_t> serving;    ///< per zone-subscriber: point index
+    std::vector<geom::Vec2> points;  ///< RS positions for this zone
+    /// Per zone-subscriber: the serving point, RsId::invalid() while
+    /// unclaimed (never in a returned assignment — the hitting set covers
+    /// every subscriber).
+    ids::IdVec<ids::SsId, ids::RsId> serving;
 };
 
 /// Coverage Link Escape (Algorithm 3): pair every subscriber with exactly
 /// one hitting-set point, greedily letting the highest-degree point claim
 /// its subscribers first; this maximizes later one-on-one coverage.
-/// `subs` are scenario subscriber indices, `points` the hitting set.
+/// `subs` are scenario-global SsIds, `points` the hitting set.
 ZoneAssignment coverage_link_escape(const Scenario& scenario,
-                                    std::span<const std::size_t> subs,
+                                    std::span<const ids::SsId> subs,
                                     std::span<const geom::Vec2> points);
 
 struct SlideResult {
     std::vector<geom::Vec2> points;
-    std::vector<std::size_t> serving;
+    ids::IdVec<ids::SsId, ids::RsId> serving;
     bool feasible = false;
     int rounds = 0;  ///< committed Update-RS-Topology rounds
 };
@@ -73,7 +82,7 @@ struct SlideResult {
 /// infeasible when no relocation combination keeps shrinking the violated
 /// set.
 SlideResult sliding_movement(const Scenario& scenario,
-                             std::span<const std::size_t> subs,
+                             std::span<const ids::SsId> subs,
                              const ZoneAssignment& assignment,
                              const SamcOptions& options);
 

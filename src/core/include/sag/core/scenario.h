@@ -5,6 +5,7 @@
 
 #include "sag/geometry/circle.h"
 #include "sag/geometry/vec2.h"
+#include "sag/ids/ids.h"
 #include "sag/units/units.h"
 #include "sag/wireless/radio_params.h"
 
@@ -35,6 +36,21 @@ struct Scenario {
     units::Decibel snr_threshold_db{-15.0};
 
     std::size_t subscriber_count() const { return subscribers.size(); }
+    std::size_t base_station_count() const { return base_stations.size(); }
+
+    /// Typed accessors: entity identities cross API boundaries as strong
+    /// IDs (sag::ids); the raw vectors above stay public as the bulk
+    /// storage they index.
+    const Subscriber& subscriber(ids::SsId j) const { return subscribers[j.index()]; }
+    const BaseStation& base_station(ids::BsId b) const {
+        return base_stations[b.index()];
+    }
+    ids::IdRange<ids::SsId> ss_ids() const {
+        return ids::first_ids<ids::SsId>(subscribers.size());
+    }
+    ids::IdRange<ids::BsId> bs_ids() const {
+        return ids::first_ids<ids::BsId>(base_stations.size());
+    }
 
     /// β as a typed linear power ratio.
     units::SnrRatio snr_threshold() const;
@@ -44,13 +60,13 @@ struct Scenario {
     double snr_threshold_linear() const { return snr_threshold().ratio(); }
 
     /// Feasible coverage circle c_j of subscriber j: center s_j, radius d_j.
-    geom::Circle feasible_circle(std::size_t j) const;
+    geom::Circle feasible_circle(ids::SsId j) const;
     std::vector<geom::Circle> feasible_circles() const;
 
     /// Minimum received power P^j_ss that satisfies subscriber j's data
     /// rate: the power received at exactly distance d_j from a max-power
     /// transmitter (this is what makes distance & rate requests equivalent).
-    units::Watt min_rx_power(std::size_t j) const;
+    units::Watt min_rx_power(ids::SsId j) const;
 
     /// Smallest distance request over all subscribers (d_min of MBMC).
     double min_distance_request() const;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "sag/core/scenario.h"
+#include "sag/ids/ids.h"
 #include "sag/units/units.h"
 
 namespace sag::core {
@@ -28,17 +29,23 @@ namespace sag::core {
 /// many deltas were applied. A debug-only full-recompute assert
 /// (`set_check_interval`) makes that equivalence checkable on every path.
 ///
-/// Zone-local solvers construct the field over a subscriber subset; all
-/// indices into subscribers passed to/returned from this class are then
-/// *tracked-local* (position within that subset).
+/// ID spaces: RSs are addressed by RsId (position within this field's RS
+/// array — `remove_rs` shifts later IDs down by one, exactly like the
+/// vector it wraps). Zone-local solvers construct the field over a
+/// subscriber subset; SsId values passed to/returned from per-subscriber
+/// queries are then *tracked-local* (slot within that subset), and
+/// `tracked_subscriber` maps a local SsId to the scenario-global one. The
+/// strong types guard the entity kind — handing an RsId to a subscriber
+/// query is a compile error; local-vs-global SsId remains a documented
+/// contract per method.
 class SnrField {
 public:
-    /// Field over a subset of subscribers (`subs` holds indices into
-    /// `scenario.subscribers`; kept by copy). `rs_positions` and `powers`
-    /// must be the same length; `powers` entries are linear watts (the
+    /// Field over a subset of subscribers (`subs` holds scenario-global
+    /// subscriber IDs; kept by copy). `rs_positions` and `powers` must be
+    /// the same length; `powers` entries are linear watts (the
     /// bulk-buffer boundary of the sag::units conventions).
     SnrField(const Scenario& scenario, std::span<const geom::Vec2> rs_positions,
-             std::span<const double> powers, std::span<const std::size_t> subs);
+             std::span<const double> powers, std::span<const ids::SsId> subs);
 
     /// Field over every subscriber of the scenario.
     SnrField(const Scenario& scenario, std::span<const geom::Vec2> rs_positions,
@@ -49,62 +56,73 @@ public:
                                  std::span<const geom::Vec2> rs_positions);
     static SnrField at_max_power(const Scenario& scenario,
                                  std::span<const geom::Vec2> rs_positions,
-                                 std::span<const std::size_t> subs);
+                                 std::span<const ids::SsId> subs);
 
     const Scenario& scenario() const { return *scenario_; }
 
     std::size_t rs_count() const { return rs_pos_.size(); }
-    const geom::Vec2& rs_position(std::size_t i) const { return rs_pos_[i]; }
-    units::Watt rs_power(std::size_t i) const { return units::Watt{rs_power_[i]}; }
+    ids::IdRange<ids::RsId> rs_ids() const {
+        return ids::first_ids<ids::RsId>(rs_pos_.size());
+    }
+    const geom::Vec2& rs_position(ids::RsId i) const { return rs_pos_[i.index()]; }
+    units::Watt rs_power(ids::RsId i) const {
+        return units::Watt{rs_power_[i.index()]};
+    }
     std::span<const geom::Vec2> rs_positions() const { return rs_pos_; }
     /// Raw per-RS transmit powers in watts (bulk-buffer boundary).
     std::span<const double> rs_powers() const { return rs_power_; }
 
     std::size_t tracked_count() const { return sub_ids_.size(); }
-    /// Global subscriber index of tracked slot k.
-    std::size_t tracked_subscriber(std::size_t k) const { return sub_ids_[k]; }
+    ids::IdRange<ids::SsId> tracked_ids() const {
+        return ids::first_ids<ids::SsId>(sub_ids_.size());
+    }
+    /// Scenario-global subscriber ID of tracked-local slot k.
+    ids::SsId tracked_subscriber(ids::SsId k) const { return sub_ids_[k]; }
 
     // --- Deltas: each O(tracked_count), journaled when a Transaction is open.
 
     /// Relocate RS i.
-    void move_rs(std::size_t i, const geom::Vec2& to);
+    void move_rs(ids::RsId i, const geom::Vec2& to);
     /// Change RS i's transmit power.
-    void set_power(std::size_t i, units::Watt power);
-    /// Append an RS; returns its index (== old rs_count()).
-    std::size_t add_rs(const geom::Vec2& pos, units::Watt power);
-    /// Erase RS i; RSs after i shift down by one index.
-    void remove_rs(std::size_t i);
+    void set_power(ids::RsId i, units::Watt power);
+    /// Append an RS; returns its ID (== old rs_count()).
+    ids::RsId add_rs(const geom::Vec2& pos, units::Watt power);
+    /// Erase RS i; RSs after i shift down by one ID.
+    void remove_rs(ids::RsId i);
 
     // --- Reads: O(1) after the cached totals.
 
     /// Total received power at tracked subscriber k from the whole RS set.
-    double total_rx(std::size_t k) const { return total_[k] + comp_[k]; }
+    double total_rx(ids::SsId k) const {
+        return total_[k.index()] + comp_[k.index()];
+    }
 
     /// Definition-2 SNR of tracked subscriber k when served by RS
     /// `serving`: signal / (total - signal + N_amb). Zero signal reports
     /// 0 (never infinity); zero denominator with positive signal reports
     /// infinity.
-    double snr_of(std::size_t k, std::size_t serving) const;
+    double snr_of(ids::SsId k, ids::RsId serving) const;
 
     /// True when snr_of(k, serving) clears beta with relative slack.
-    bool meets_threshold(std::size_t k, std::size_t serving,
+    bool meets_threshold(ids::SsId k, ids::RsId serving,
                          double rel_slack = 1e-12) const;
 
-    /// Tracked-local indices of subscribers failing either their distance
-    /// request against `serving[k]` or the SNR threshold. `serving` is
-    /// tracked-local -> RS index, one entry per tracked subscriber.
-    std::vector<std::size_t> violated(std::span<const std::size_t> serving) const;
+    /// Tracked-local IDs of subscribers failing either their distance
+    /// request against `serving[k]` or the SNR threshold. `serving` maps
+    /// tracked-local subscriber -> RS, one entry per tracked subscriber.
+    std::vector<ids::SsId> violated(
+        ids::IdSpan<ids::SsId, const ids::RsId> serving) const;
 
-    /// True when every tracked subscriber in `subs_local` clears beta under
-    /// `serving` (distance not checked).
-    bool all_meet_threshold(std::span<const std::size_t> serving,
+    /// True when every tracked subscriber clears beta under `serving`
+    /// (distance not checked).
+    bool all_meet_threshold(ids::IdSpan<ids::SsId, const ids::RsId> serving,
                             double rel_slack = 1e-12) const;
 
     // --- Maintenance.
 
     /// Exact from-scratch rebuild of tracked slot k's total. Safe to call
     /// concurrently for distinct k (used by sim::refresh_snr_field).
-    void recompute_subscriber(std::size_t k);
+    void recompute_subscriber(ids::SsId k);
     /// From-scratch rebuild of every tracked total (serial).
     void refresh();
 
@@ -136,7 +154,7 @@ public:
 private:
     struct UndoRecord {
         enum class Kind { Move, Power, Add, Remove } kind;
-        std::size_t index;
+        ids::RsId index;
         geom::Vec2 pos;          // Move: old position; Remove: erased position
         units::Watt power{0.0};  // Power: old power;   Remove: erased power
     };
@@ -145,7 +163,7 @@ private:
     void accumulate(std::size_t k, double term);
     /// Subtract/add RS (pos, power)'s contribution at every tracked sub.
     void apply_rs_contribution(const geom::Vec2& pos, units::Watt power, double sign);
-    void insert_rs(std::size_t i, const geom::Vec2& pos, units::Watt power);
+    void insert_rs(ids::RsId i, const geom::Vec2& pos, units::Watt power);
     void journal(UndoRecord rec);
     void rollback_to(std::size_t mark);
     void after_mutation();
@@ -153,7 +171,7 @@ private:
     const Scenario* scenario_;
     std::vector<geom::Vec2> rs_pos_;
     std::vector<double> rs_power_;
-    std::vector<std::size_t> sub_ids_;   // tracked -> global subscriber index
+    ids::IdVec<ids::SsId, ids::SsId> sub_ids_;  // tracked-local -> global SsId
     std::vector<geom::Vec2> sub_pos_;    // cached subscriber positions
     std::vector<double> sub_reach_;      // cached distance requests
     std::vector<double> total_;          // compensated sums...
@@ -179,16 +197,16 @@ public:
     SnrFeasibilityOracle(const Scenario& scenario,
                          std::span<const geom::Vec2> candidates);
 
-    /// True when the candidate subset `chosen` (indices into the candidate
+    /// True when the candidate subset `chosen` (IDs into the candidate
     /// array, in search order) admits a nearest assignment that clears the
     /// SNR threshold at max power. Equivalent to
     /// `snr_feasible_at_max_power` over the materialized positions.
-    bool feasible(std::span<const std::size_t> chosen);
+    bool feasible(std::span<const ids::CandId> chosen);
 
 private:
     const Scenario* scenario_;
     std::vector<geom::Vec2> candidates_;
-    std::vector<std::size_t> current_;  // chosen prefix mirrored in field_
+    std::vector<ids::CandId> current_;  // chosen prefix mirrored in field_
     SnrField field_;
 };
 

@@ -4,6 +4,7 @@
 
 #include "sag/core/deployment.h"
 #include "sag/core/scenario.h"
+#include "sag/ids/ids.h"
 
 namespace sag::core {
 
@@ -17,9 +18,9 @@ namespace sag::core {
 ConnectivityPlan solve_mbmc(const Scenario& scenario, const CoveragePlan& coverage);
 
 /// MUST baseline (DARP [1]): identical construction restricted to the
-/// single base station `bs_index` — every coverage RS must reach that BS.
+/// single base station `bs` — every coverage RS must reach that BS.
 ConnectivityPlan solve_must(const Scenario& scenario, const CoveragePlan& coverage,
-                            std::size_t bs_index);
+                            ids::BsId bs);
 
 /// UCPO — Upper-tier Connectivity Power Optimization (paper Algorithm 8):
 /// gives every connectivity RS on the edge below coverage RS r_i the power

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "sag/core/scenario.h"
+#include "sag/ids/ids.h"
 
 namespace sag::core {
 
@@ -16,7 +17,8 @@ double zone_partition_dmax(const Scenario& scenario);
 /// subscribers join the same zone when
 ///   d_eff = min(dist(s_i, s_j) - d_i, dist(s_i, s_j) - d_j) <= d_max,
 /// and zones are the connected components of that graph. Returns the
-/// subscriber-index groups (each non-empty; singletons allowed).
-std::vector<std::vector<std::size_t>> zone_partition(const Scenario& scenario);
+/// ZoneId-indexed subscriber groups (each non-empty; singletons allowed).
+ids::IdVec<ids::ZoneId, std::vector<ids::SsId>> zone_partition(
+    const Scenario& scenario);
 
 }  // namespace sag::core

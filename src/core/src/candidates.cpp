@@ -21,10 +21,13 @@ std::vector<geom::Vec2> iac_candidates(const Scenario& scenario) {
         r_top = std::max(r_top, c.radius);
         centers.push_back(c.center);
     }
-    const geom::SpatialGrid index(std::move(centers), std::max(2.0 * r_top, 1.0));
+    // Circles are subscriber-ordered, so the pair query comes back typed.
+    const geom::SpatialGridT<ids::SsId> index(std::move(centers),
+                                              std::max(2.0 * r_top, 1.0));
     for (const auto& [i, j] : index.all_pairs_within(2.0 * r_top)) {
-        const auto pts = geom::circle_intersections(circles[i], circles[j]);
-        if (!pts.empty()) isolated[i] = isolated[j] = false;
+        const auto pts =
+            geom::circle_intersections(circles[i.index()], circles[j.index()]);
+        if (!pts.empty()) isolated[i.index()] = isolated[j.index()] = false;
         candidates.insert(candidates.end(), pts.begin(), pts.end());
     }
     for (std::size_t i = 0; i < circles.size(); ++i) {

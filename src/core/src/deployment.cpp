@@ -4,9 +4,9 @@
 
 namespace sag::core {
 
-std::vector<std::size_t> CoveragePlan::served_by(std::size_t rs) const {
-    std::vector<std::size_t> subs;
-    for (std::size_t j = 0; j < assignment.size(); ++j) {
+std::vector<ids::SsId> CoveragePlan::served_by(ids::RsId rs) const {
+    std::vector<ids::SsId> subs;
+    for (const ids::SsId j : assignment.ids()) {
         if (assignment[j] == rs) subs.push_back(j);
     }
     return subs;

@@ -16,17 +16,17 @@ namespace {
 /// second-nearest in-range RSs per subscriber. Returns false when some
 /// subscriber lacks two in-range RSs.
 bool assign_links(const Scenario& scenario, std::span<const geom::Vec2> rs,
-                  std::vector<std::size_t>& primary,
-                  std::vector<std::size_t>& secondary) {
+                  ids::IdVec<ids::SsId, ids::RsId>& primary,
+                  ids::IdVec<ids::SsId, ids::RsId>& secondary) {
     const std::size_t n = scenario.subscriber_count();
-    primary.assign(n, rs.size());
-    secondary.assign(n, rs.size());
-    for (std::size_t j = 0; j < n; ++j) {
-        const Subscriber& s = scenario.subscribers[j];
+    primary.assign(n, ids::RsId::invalid());
+    secondary.assign(n, ids::RsId::invalid());
+    for (const ids::SsId j : scenario.ss_ids()) {
+        const Subscriber& s = scenario.subscriber(j);
         double best = std::numeric_limits<double>::infinity();
         double second = std::numeric_limits<double>::infinity();
-        for (std::size_t i = 0; i < rs.size(); ++i) {
-            const double d = geom::distance(rs[i], s.pos);
+        for (const ids::RsId i : ids::first_ids<ids::RsId>(rs.size())) {
+            const double d = geom::distance(rs[i.index()], s.pos);
             if (d > s.distance_request + geom::kEps) continue;
             if (d < best) {
                 second = best;
@@ -38,7 +38,7 @@ bool assign_links(const Scenario& scenario, std::span<const geom::Vec2> rs,
                 secondary[j] = i;
             }
         }
-        if (primary[j] == rs.size() || secondary[j] == rs.size()) return false;
+        if (!primary[j].valid() || !secondary[j].valid()) return false;
     }
     return true;
 }
@@ -47,7 +47,7 @@ bool assign_links(const Scenario& scenario, std::span<const geom::Vec2> rs,
 /// plus the primary SNR constraint at max power, read off the cached
 /// interference totals.
 bool field_feasible(const Scenario& scenario, const SnrField& field) {
-    std::vector<std::size_t> primary, secondary;
+    ids::IdVec<ids::SsId, ids::RsId> primary, secondary;
     if (!assign_links(scenario, field.rs_positions(), primary, secondary)) {
         return false;
     }
@@ -66,16 +66,17 @@ DualCoveragePlan solve_dual_coverage(const Scenario& scenario,
         return plan;
     }
 
-    // Demand-2 multicover over the in-range link structure.
+    // Demand-2 multicover over the in-range link structure (entity IDs
+    // cross into the generic set-cover instance as raw indices).
     opt::SetCoverInstance inst;
     inst.element_count = n;
     inst.sets.resize(candidates.size());
     for (std::size_t i = 0; i < candidates.size(); ++i) {
-        for (std::size_t j = 0; j < n; ++j) {
-            const Subscriber& s = scenario.subscribers[j];
+        for (const ids::SsId j : scenario.ss_ids()) {
+            const Subscriber& s = scenario.subscriber(j);
             if (geom::distance(candidates[i], s.pos) <=
                 s.distance_request + geom::kEps) {
-                inst.sets[i].push_back(j);
+                inst.sets[i].push_back(j.index());
             }
         }
     }
@@ -93,7 +94,7 @@ DualCoveragePlan solve_dual_coverage(const Scenario& scenario,
     // (Removing an RS also removes its interference, so pruning can only
     // help the SNR side.) Each trial removal is a rolled-back delta on the
     // field instead of a full copy-and-rebuild of the candidate set.
-    for (std::size_t i = 0; i < field.rs_count();) {
+    for (ids::RsId i{0}; i.index() < field.rs_count();) {
         SAG_OBS_COUNT("dual_coverage.prune_trials");
         SnrField::Transaction trial(field);
         field.remove_rs(i);
@@ -115,13 +116,16 @@ bool verify_dual_coverage(const Scenario& scenario, const DualCoveragePlan& plan
     if (!plan.feasible) return false;
     const std::size_t n = scenario.subscriber_count();
     if (plan.primary.size() != n || plan.secondary.size() != n) return false;
-    for (std::size_t j = 0; j < n; ++j) {
-        const Subscriber& s = scenario.subscribers[j];
-        if (plan.primary[j] == plan.secondary[j]) return false;
-        if (plan.primary[j] >= plan.rs_count() || plan.secondary[j] >= plan.rs_count())
+    for (const ids::SsId j : scenario.ss_ids()) {
+        const Subscriber& s = scenario.subscriber(j);
+        const ids::RsId p = plan.primary[j];
+        const ids::RsId q = plan.secondary[j];
+        if (p == q) return false;
+        if (!p.valid() || !q.valid() || p.index() >= plan.rs_count() ||
+            q.index() >= plan.rs_count())
             return false;
-        const double dp = geom::distance(plan.rs_positions[plan.primary[j]], s.pos);
-        const double ds = geom::distance(plan.rs_positions[plan.secondary[j]], s.pos);
+        const double dp = geom::distance(plan.rs_positions[p.index()], s.pos);
+        const double ds = geom::distance(plan.rs_positions[q.index()], s.pos);
         if (dp > s.distance_request + 1e-6 || ds > s.distance_request + 1e-6)
             return false;
         if (dp > ds + 1e-6) return false;  // primary must be the nearer one

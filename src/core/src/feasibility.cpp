@@ -22,7 +22,9 @@ CoverageReport verify_coverage(const Scenario& scenario, const CoveragePlan& pla
         plan.assignment.size() != scenario.subscriber_count() ||
         powers.size() != plan.rs_count() ||
         std::any_of(plan.assignment.begin(), plan.assignment.end(),
-                    [&](std::size_t a) { return a >= plan.rs_count(); });
+                    [&](ids::RsId a) {
+                        return !a.valid() || a.index() >= plan.rs_count();
+                    });
     if (malformed) {
         report.feasible = false;
         report.violations = scenario.subscriber_count();
@@ -34,15 +36,15 @@ CoverageReport verify_coverage(const Scenario& scenario, const CoveragePlan& pla
     const SnrField field(scenario, plan.rs_positions, powers);
     const double beta = scenario.snr_threshold_linear();
 
-    for (std::size_t j = 0; j < scenario.subscriber_count(); ++j) {
-        const Subscriber& s = scenario.subscribers[j];
+    for (const ids::SsId j : scenario.ss_ids()) {
+        const Subscriber& s = scenario.subscriber(j);
         SubscriberCheck& check = report.subscribers[j];
         check.serving_rs = plan.assignment[j];
-        const geom::Vec2& rs = plan.rs_positions[check.serving_rs];
+        const geom::Vec2& rs = plan.rs_position(check.serving_rs);
         check.access_distance = geom::distance(rs, s.pos);
         check.distance_ok = check.access_distance <= s.distance_request + 1e-6;
         const units::Watt rx = wireless::received_power(
-            scenario.radio, units::Watt{powers[check.serving_rs]},
+            scenario.radio, units::Watt{powers[check.serving_rs.index()]},
             units::Meters{check.access_distance});
         check.rate_ok = rx >= scenario.min_rx_power(j) * (1.0 - 1e-9);
         const double snr = field.snr_of(j, check.serving_rs);
@@ -123,8 +125,8 @@ ConnectivityReport verify_connectivity(const Scenario& scenario,
     for (std::size_t c = 0; c < cov_count; ++c) {
         const std::size_t node = bs_count + c;
         double req = std::numeric_limits<double>::infinity();
-        for (const std::size_t j : coverage.served_by(c)) {
-            req = std::min(req, scenario.subscribers[j].distance_request);
+        for (const ids::SsId j : coverage.served_by(ids::RsId{c})) {
+            req = std::min(req, scenario.subscriber(j).distance_request);
         }
         std::size_t cur = node;
         std::size_t steps = 0;

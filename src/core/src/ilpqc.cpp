@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <vector>
 
 #include "sag/core/snr.h"
 #include "sag/core/snr_field.h"
+#include "sag/ids/ids.h"
 #include "sag/obs/obs.h"
 #include "sag/opt/set_cover.h"
 
@@ -43,16 +45,19 @@ CoveragePlan solve_ilpqc_coverage(const Scenario& scenario,
 
     // Constraint (3.4): candidate i may serve subscriber j only when
     // d_ij <= d_j, further tightened by the noise-only SNR radius (3.5).
+    // The set-cover instance is the generic opt-layer boundary: entity IDs
+    // cross into it as raw element/set indices.
     const double snr_radius = noise_only_service_radius(scenario);
     opt::SetCoverInstance inst;
     inst.element_count = n;
     inst.sets.resize(candidates.size());
-    for (std::size_t i = 0; i < candidates.size(); ++i) {
-        for (std::size_t j = 0; j < n; ++j) {
-            const Subscriber& s = scenario.subscribers[j];
+    for (const ids::CandId i : ids::first_ids<ids::CandId>(candidates.size())) {
+        for (const ids::SsId j : scenario.ss_ids()) {
+            const Subscriber& s = scenario.subscriber(j);
             const double limit = std::min(s.distance_request, snr_radius);
-            if (geom::distance(candidates[i], s.pos) <= limit + geom::kEps) {
-                inst.sets[i].push_back(j);
+            if (geom::distance(candidates[i.index()], s.pos) <=
+                limit + geom::kEps) {
+                inst.sets[i.index()].push_back(j.index());
             }
         }
     }
@@ -62,10 +67,16 @@ CoveragePlan solve_ilpqc_coverage(const Scenario& scenario,
     // The incremental oracle diffs each query against the previous one,
     // so the branch-and-bound's stack-disciplined descent pays one
     // add/remove delta per changed candidate instead of rebuilding the
-    // interference sums from scratch at every node.
+    // interference sums from scratch at every node. Retyping the opt
+    // layer's raw chosen set is O(depth) per query — noise next to the
+    // field deltas.
     SnrFeasibilityOracle snr_oracle(scenario, candidates);
+    std::vector<ids::CandId> chosen_ids;
     const opt::CoverOracle oracle = [&](std::span<const std::size_t> chosen) {
-        return snr_oracle.feasible(chosen);
+        chosen_ids.clear();
+        chosen_ids.reserve(chosen.size());
+        for (const std::size_t c : chosen) chosen_ids.push_back(ids::CandId{c});
+        return snr_oracle.feasible(chosen_ids);
     };
 
     opt::SetCoverBnBOptions bnb;

@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "sag/core/snr_field.h"
+#include "sag/ids/ids.h"
 #include "sag/obs/obs.h"
 #include "sag/wireless/two_ray.h"
 
@@ -16,12 +17,13 @@ namespace {
 using Rel = opt::LinearProgram::Relation;
 
 /// Variable layout: T_i for i in [0, m), then one T_ij per in-range link
-/// in a flat list.
+/// in a flat list. LP variable and link indices are generic solver
+/// indices (size_t); the entities behind each link are typed.
 struct Layout {
-    std::size_t m = 0;                                   // candidates
-    std::vector<std::pair<std::size_t, std::size_t>> links;  // (i, j)
-    std::vector<std::vector<std::size_t>> links_of_sub;  // j -> link ids
-    std::vector<std::vector<std::size_t>> links_of_cand; // i -> link ids
+    std::size_t m = 0;                              // candidates
+    std::vector<std::pair<ids::CandId, ids::SsId>> links;  // (i, j)
+    ids::IdVec<ids::SsId, std::vector<std::size_t>> links_of_sub;
+    ids::IdVec<ids::CandId, std::vector<std::size_t>> links_of_cand;
 
     std::size_t var_count() const { return m + links.size(); }
     std::size_t link_var(std::size_t link) const { return m + link; }
@@ -32,11 +34,11 @@ Layout make_layout(const Scenario& scenario, std::span<const geom::Vec2> candida
     layout.m = candidates.size();
     layout.links_of_sub.resize(scenario.subscriber_count());
     layout.links_of_cand.resize(candidates.size());
-    for (std::size_t i = 0; i < candidates.size(); ++i) {
-        for (std::size_t j = 0; j < scenario.subscriber_count(); ++j) {
-            const Subscriber& s = scenario.subscribers[j];
+    for (const ids::CandId i : ids::first_ids<ids::CandId>(candidates.size())) {
+        for (const ids::SsId j : scenario.ss_ids()) {
+            const Subscriber& s = scenario.subscriber(j);
             // (3.4): assignment variables exist only for in-range pairs.
-            if (geom::distance(candidates[i], s.pos) <=
+            if (geom::distance(candidates[i.index()], s.pos) <=
                 s.distance_request + geom::kEps) {
                 layout.links_of_sub[j].push_back(layout.links.size());
                 layout.links_of_cand[i].push_back(layout.links.size());
@@ -61,7 +63,7 @@ opt::MilpProblem build_ilpqc_milp(const Scenario& scenario,
     problem.binary.assign(nv, true);
 
     // (3.3): every subscriber has exactly one access link.
-    for (std::size_t j = 0; j < scenario.subscriber_count(); ++j) {
+    for (const ids::SsId j : scenario.ss_ids()) {
         std::vector<double> row(nv, 0.0);
         for (const std::size_t l : layout.links_of_sub[j]) {
             row[layout.link_var(l)] = 1.0;
@@ -74,12 +76,12 @@ opt::MilpProblem build_ilpqc_milp(const Scenario& scenario,
     for (std::size_t l = 0; l < layout.links.size(); ++l) {
         std::vector<double> row(nv, 0.0);
         row[layout.link_var(l)] = 1.0;
-        row[layout.links[l].first] = -1.0;
+        row[layout.links[l].first.index()] = -1.0;
         problem.lp.add_constraint(std::move(row), Rel::LessEq, 0.0);
     }
-    for (std::size_t i = 0; i < layout.m; ++i) {
+    for (const ids::CandId i : layout.links_of_cand.ids()) {
         std::vector<double> row(nv, 0.0);
-        row[i] = 1.0;
+        row[i.index()] = 1.0;
         for (const std::size_t l : layout.links_of_cand[i]) {
             row[layout.link_var(l)] = -1.0;
         }
@@ -89,15 +91,16 @@ opt::MilpProblem build_ilpqc_milp(const Scenario& scenario,
     // (3.5), linearized with big-M per link:
     //   beta * (sum_{k != i} g_kj T_k + N) - g_ij <= M (1 - T_ij)
     // where g_kj is the max-power received gain of candidate k at sub j.
+    // g is a bulk gain matrix: raw doubles, indexed via .index().
     std::vector<std::vector<double>> g(layout.m,
                                        std::vector<double>(scenario.subscriber_count()));
     for (std::size_t k = 0; k < layout.m; ++k) {
-        for (std::size_t j = 0; j < scenario.subscriber_count(); ++j) {
-            g[k][j] = wireless::received_power(
-                          scenario.radio, scenario.radio.max_power,
-                          units::Meters{geom::distance(
-                              candidates[k], scenario.subscribers[j].pos)})
-                          .watts();
+        for (const ids::SsId j : scenario.ss_ids()) {
+            g[k][j.index()] = wireless::received_power(
+                                  scenario.radio, scenario.radio.max_power,
+                                  units::Meters{geom::distance(
+                                      candidates[k], scenario.subscriber(j).pos)})
+                                  .watts();
         }
     }
     // Worst-case interference per link (every candidate transmitting) from
@@ -106,17 +109,19 @@ opt::MilpProblem build_ilpqc_milp(const Scenario& scenario,
     const SnrField cand_field = SnrField::at_max_power(scenario, candidates);
     for (std::size_t l = 0; l < layout.links.size(); ++l) {
         const auto [i, j] = layout.links[l];
-        const double worst_interference = cand_field.total_rx(j) - g[i][j] +
-                                          scenario.radio.snr_ambient_noise.watts();
+        const double worst_interference =
+            cand_field.total_rx(j) - g[i.index()][j.index()] +
+            scenario.radio.snr_ambient_noise.watts();
         const double big_m = beta * worst_interference;  // tight M
         std::vector<double> row(nv, 0.0);
         for (std::size_t k = 0; k < layout.m; ++k) {
-            if (k != i) row[k] = beta * g[k][j];
+            if (k != i.index()) row[k] = beta * g[k][j.index()];
         }
         row[layout.link_var(l)] = big_m;
         problem.lp.add_constraint(
             std::move(row), Rel::LessEq,
-            big_m + g[i][j] - beta * scenario.radio.snr_ambient_noise.watts());
+            big_m + g[i.index()][j.index()] -
+                beta * scenario.radio.snr_ambient_noise.watts());
     }
 
     return problem;
@@ -144,14 +149,16 @@ CoveragePlan solve_ilpqc_milp(const Scenario& scenario,
     plan.proven_optimal = true;
 
     // Recover positions (compacted to chosen candidates) and assignment.
-    std::vector<std::size_t> chosen_index(candidates.size(), SIZE_MAX);
-    for (std::size_t i = 0; i < candidates.size(); ++i) {
-        if (result.x[i] > 0.5) {
-            chosen_index[i] = plan.rs_positions.size();
-            plan.rs_positions.push_back(candidates[i]);
+    // chosen_index maps candidate -> plan-local RS, invalid() when unplaced.
+    ids::IdVec<ids::CandId, ids::RsId> chosen_index(candidates.size(),
+                                                    ids::RsId::invalid());
+    for (const ids::CandId i : chosen_index.ids()) {
+        if (result.x[i.index()] > 0.5) {
+            chosen_index[i] = ids::RsId{plan.rs_positions.size()};
+            plan.rs_positions.push_back(candidates[i.index()]);
         }
     }
-    plan.assignment.assign(scenario.subscriber_count(), SIZE_MAX);
+    plan.assignment.assign(scenario.subscriber_count(), ids::RsId::invalid());
     for (std::size_t l = 0; l < layout.links.size(); ++l) {
         if (result.x[layout.m + l] > 0.5) {
             const auto [i, j] = layout.links[l];
@@ -159,7 +166,7 @@ CoveragePlan solve_ilpqc_milp(const Scenario& scenario,
         }
     }
     plan.feasible = std::none_of(plan.assignment.begin(), plan.assignment.end(),
-                                 [](std::size_t a) { return a == SIZE_MAX; });
+                                 [](ids::RsId a) { return !a.valid(); });
     return plan;
 }
 

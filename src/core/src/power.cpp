@@ -16,16 +16,17 @@ namespace sag::core {
 namespace {
 
 /// Path gains g[rs][sub] = G * d^-alpha between every RS and subscriber.
+/// A bulk double matrix: IDs cross into it via .index().
 std::vector<std::vector<double>> gain_matrix(const Scenario& scenario,
                                              const CoveragePlan& plan) {
     std::vector<std::vector<double>> g(plan.rs_count(),
                                        std::vector<double>(scenario.subscriber_count()));
-    for (std::size_t i = 0; i < plan.rs_count(); ++i) {
-        for (std::size_t j = 0; j < scenario.subscriber_count(); ++j) {
-            g[i][j] = wireless::path_gain(
+    for (const ids::RsId i : plan.rs_ids()) {
+        for (const ids::SsId j : scenario.ss_ids()) {
+            g[i.index()][j.index()] = wireless::path_gain(
                 scenario.radio,
-                units::Meters{geom::distance(plan.rs_positions[i],
-                                             scenario.subscribers[j].pos)});
+                units::Meters{geom::distance(plan.rs_position(i),
+                                             scenario.subscriber(j).pos)});
         }
     }
     return g;
@@ -33,16 +34,18 @@ std::vector<std::vector<double>> gain_matrix(const Scenario& scenario,
 
 units::Watt snr_floor_from_gains(const Scenario& scenario, const CoveragePlan& plan,
                                  const std::vector<std::vector<double>>& g,
-                                 std::size_t rs, std::span<const double> powers) {
+                                 ids::RsId rs, std::span<const double> powers) {
     const units::SnrRatio beta = scenario.snr_threshold();
     units::Watt need{0.0};
-    for (std::size_t j = 0; j < scenario.subscriber_count(); ++j) {
+    for (const ids::SsId j : scenario.ss_ids()) {
         if (plan.assignment[j] != rs) continue;
         units::Watt interference = scenario.radio.snr_ambient_noise;
         for (std::size_t k = 0; k < plan.rs_count(); ++k) {
-            if (k != rs) interference += units::Watt{powers[k] * g[k][j]};
+            if (k != rs.index()) {
+                interference += units::Watt{powers[k] * g[k][j.index()]};
+            }
         }
-        need = std::max(need, beta * interference / g[rs][j]);
+        need = std::max(need, beta * interference / g[rs.index()][j.index()]);
     }
     return need;
 }
@@ -52,14 +55,14 @@ bool allocation_feasible(const Scenario& scenario, const CoveragePlan& plan,
     const auto snrs =
         coverage_snrs(scenario, plan.rs_positions, powers, plan.assignment);
     const double beta = scenario.snr_threshold_linear();
-    for (std::size_t j = 0; j < scenario.subscriber_count(); ++j) {
-        const std::size_t i = plan.assignment[j];
+    for (const ids::SsId j : scenario.ss_ids()) {
+        const ids::RsId i = plan.assignment[j];
         const units::Watt rx = wireless::received_power(
-            scenario.radio, units::Watt{powers[i]},
-            units::Meters{geom::distance(plan.rs_positions[i],
-                                         scenario.subscribers[j].pos)});
+            scenario.radio, units::Watt{powers[i.index()]},
+            units::Meters{geom::distance(plan.rs_position(i),
+                                         scenario.subscriber(j).pos)});
         if (rx < scenario.min_rx_power(j) * (1.0 - 1e-9)) return false;
-        if (snrs[j] < beta * (1.0 - 1e-9)) return false;
+        if (snrs[j.index()] < beta * (1.0 - 1e-9)) return false;
     }
     return true;
 }
@@ -67,12 +70,12 @@ bool allocation_feasible(const Scenario& scenario, const CoveragePlan& plan,
 }  // namespace
 
 units::Watt coverage_power_floor(const Scenario& scenario, const CoveragePlan& plan,
-                                 std::size_t rs) {
+                                 ids::RsId rs) {
     units::Watt floor{0.0};
-    for (std::size_t j = 0; j < scenario.subscriber_count(); ++j) {
+    for (const ids::SsId j : scenario.ss_ids()) {
         if (plan.assignment[j] != rs) continue;
         const units::Meters d{
-            geom::distance(plan.rs_positions[rs], scenario.subscribers[j].pos)};
+            geom::distance(plan.rs_position(rs), scenario.subscriber(j).pos)};
         floor = std::max(floor, wireless::tx_power_for(scenario.radio,
                                                        scenario.min_rx_power(j), d));
     }
@@ -80,7 +83,7 @@ units::Watt coverage_power_floor(const Scenario& scenario, const CoveragePlan& p
 }
 
 units::Watt snr_power_floor(const Scenario& scenario, const CoveragePlan& plan,
-                            std::size_t rs, std::span<const double> powers) {
+                            ids::RsId rs, std::span<const double> powers) {
     const auto g = gain_matrix(scenario, plan);
     return snr_floor_from_gains(scenario, plan, g, rs, powers);
 }
@@ -93,28 +96,31 @@ PowerAllocation allocate_power_pro(const Scenario& scenario, const CoveragePlan&
     const units::Watt pmax = scenario.radio.max_power;
     const double beta = scenario.snr_threshold_linear();
 
-    std::vector<units::Watt> p_min(n);
-    for (std::size_t i = 0; i < n; ++i) p_min[i] = coverage_power_floor(scenario, plan, i);
+    ids::IdVec<ids::RsId, units::Watt> p_min(n, units::Watt{0.0});
+    for (const ids::RsId i : plan.rs_ids()) {
+        p_min[i] = coverage_power_floor(scenario, plan, i);
+    }
 
     // Per-RS served lists: each probe only needs to re-check the SNR of
     // the RS's own subscribers, read in O(1) off the field's cached totals.
-    std::vector<std::vector<std::size_t>> served(n);
-    for (std::size_t j = 0; j < scenario.subscriber_count(); ++j) {
+    ids::IdVec<ids::RsId, std::vector<ids::SsId>> served(n);
+    for (const ids::SsId j : scenario.ss_ids()) {
         served[plan.assignment[j]].push_back(j);
     }
 
     // Algorithm 6 state: the field's powers are the working vector p1
     // (Step 9 re-syncs them to the committed Ptmp each round), committed[i]
     // marks removal from K. Each tentative drop is a rolled-back power
-    // delta instead of an O(|served| x RS) interference rebuild.
+    // delta instead of an O(|served| x RS) interference rebuild. The field
+    // spans all subscribers, so tracked-local SsIds coincide with global.
     const std::vector<double> start(n, pmax.watts());
     SnrField field(scenario, plan.rs_positions, start);
-    std::vector<units::Watt> p_tmp(n, pmax);
+    ids::IdVec<ids::RsId, units::Watt> p_tmp(n, pmax);
     std::vector<bool> committed(n, false);
     std::size_t remaining = n;
 
-    const auto served_snr_ok = [&](std::size_t i) {
-        for (const std::size_t j : served[i]) {
+    const auto served_snr_ok = [&](ids::RsId i) {
+        for (const ids::SsId j : served[i]) {
             const double snr = field.snr_of(j, i);
             // Mirror the historic check: an interference-free subscriber
             // passes vacuously (snr_of reports infinity there).
@@ -125,11 +131,11 @@ PowerAllocation allocate_power_pro(const Scenario& scenario, const CoveragePlan&
 
     // Smallest power letting every subscriber of RS i clear beta against
     // the field's current interference (the paper's P_snr).
-    const auto snr_floor = [&](std::size_t i) {
+    const auto snr_floor = [&](ids::RsId i) {
         units::Watt need{0.0};
-        for (const std::size_t j : served[i]) {
+        for (const ids::SsId j : served[i]) {
             const units::Meters d{
-                geom::distance(plan.rs_positions[i], scenario.subscribers[j].pos)};
+                geom::distance(plan.rs_position(i), scenario.subscriber(j).pos)};
             const units::Watt own =
                 wireless::received_power(scenario.radio, field.rs_power(i), d);
             const units::Watt interference =
@@ -147,13 +153,13 @@ PowerAllocation allocate_power_pro(const Scenario& scenario, const CoveragePlan&
         // Steps 5-8: tentatively drop each uncommitted RS to its coverage
         // power, keeping the others at this round's values; commit into
         // Ptmp when its own subscribers' SNR survives.
-        for (std::size_t i = 0; i < n; ++i) {
-            if (committed[i]) continue;
+        for (const ids::RsId i : field.rs_ids()) {
+            if (committed[i.index()]) continue;
             SAG_OBS_COUNT("pro.drop_probes");
             SnrField::Transaction probe(field);
             field.set_power(i, p_min[i]);
             if (served_snr_ok(i)) {
-                committed[i] = true;
+                committed[i.index()] = true;
                 --remaining;
                 p_tmp[i] = p_min[i];
                 SAG_OBS_COUNT("pro.drops_committed");
@@ -161,16 +167,16 @@ PowerAllocation allocate_power_pro(const Scenario& scenario, const CoveragePlan&
             // probe rolls back: later drops in the round still see the
             // round-start powers, exactly as Algorithm 6 prescribes.
         }
-        for (std::size_t i = 0; i < n; ++i) field.set_power(i, p_tmp[i]);  // Step 9
+        for (const ids::RsId i : field.rs_ids()) field.set_power(i, p_tmp[i]);  // Step 9
 
         if (remaining == before && remaining > 0) {
             // Steps 10-13: no RS could reach its coverage power; pay the
             // smallest SNR premium Psnr - Pc instead.
-            std::size_t arg = n;
+            ids::RsId arg = ids::RsId::invalid();
             units::Watt best_delta{std::numeric_limits<double>::infinity()};
             units::Watt best_power = pmax;
-            for (std::size_t i = 0; i < n; ++i) {
-                if (committed[i]) continue;
+            for (const ids::RsId i : field.rs_ids()) {
+                if (committed[i.index()]) continue;
                 const units::Watt p_snr = std::max(p_min[i], snr_floor(i));
                 const units::Watt delta = p_snr - p_min[i];
                 if (delta < best_delta) {
@@ -179,13 +185,13 @@ PowerAllocation allocate_power_pro(const Scenario& scenario, const CoveragePlan&
                     arg = i;
                 }
                 if (options.selection == ProOptions::Selection::FirstIndex &&
-                    arg != n) {
+                    arg.valid()) {
                     break;  // ablation mode: take the first stuck RS
                 }
             }
             p_tmp[arg] = std::min(best_power, pmax);
             field.set_power(arg, p_tmp[arg]);
-            committed[arg] = true;
+            committed[arg.index()] = true;
             --remaining;
             SAG_OBS_COUNT("pro.premium_payments");
         }
@@ -206,14 +212,17 @@ PowerAllocation allocate_power_optimal(const Scenario& scenario,
     const auto g = gain_matrix(scenario, plan);
 
     std::vector<double> floors(n), caps(n, scenario.radio.max_power.watts());
-    for (std::size_t i = 0; i < n; ++i) {
-        floors[i] = coverage_power_floor(scenario, plan, i).watts();
+    for (const ids::RsId i : plan.rs_ids()) {
+        floors[i.index()] = coverage_power_floor(scenario, plan, i).watts();
     }
 
+    // The power-control iterator is entity-agnostic; its raw index comes
+    // back as an RsId at this boundary.
     const auto result = opt::fixed_point_power_control(
         floors, caps,
         [&](std::size_t i, std::span<const double> powers) {
-            return snr_floor_from_gains(scenario, plan, g, i, powers).watts();
+            return snr_floor_from_gains(scenario, plan, g, ids::RsId{i}, powers)
+                .watts();
         });
 
     out.powers = result.powers;
@@ -233,18 +242,18 @@ PowerAllocation allocate_power_optimal_lp(const Scenario& scenario,
     lp.objective.assign(n, 1.0);
     lp.upper_bounds.assign(n, scenario.radio.max_power.watts());
     const double beta = scenario.snr_threshold_linear();
-    for (std::size_t j = 0; j < scenario.subscriber_count(); ++j) {
-        const std::size_t i = plan.assignment[j];
+    for (const ids::SsId j : scenario.ss_ids()) {
+        const ids::RsId i = plan.assignment[j];
         // (3.8) data rate: Pi * g_ij >= P^j_ss
         std::vector<double> rate(n, 0.0);
-        rate[i] = g[i][j];
+        rate[i.index()] = g[i.index()][j.index()];
         lp.add_constraint(std::move(rate), opt::LinearProgram::Relation::GreaterEq,
                           scenario.min_rx_power(j).watts());
         // (3.9) SNR, linearized with the ambient-noise term:
         // Pi*g_ij - beta * sum_{k != i} Pk*g_kj >= beta * N_amb
         std::vector<double> snr(n, 0.0);
-        for (std::size_t k = 0; k < n; ++k) snr[k] = -beta * g[k][j];
-        snr[i] = g[i][j];
+        for (std::size_t k = 0; k < n; ++k) snr[k] = -beta * g[k][j.index()];
+        snr[i.index()] = g[i.index()][j.index()];
         lp.add_constraint(std::move(snr), opt::LinearProgram::Relation::GreaterEq,
                           beta * scenario.radio.snr_ambient_noise.watts());
     }

@@ -39,14 +39,14 @@ SagResult solve_sag(const Scenario& scenario, const SamcOptions& options) {
 }
 
 SagResult solve_darp_baseline(const Scenario& scenario, CoveragePlan coverage,
-                              std::size_t bs_index) {
+                              ids::BsId bs) {
     SAG_OBS_SPAN("sag.darp");
     SagResult result;
     result.coverage = std::move(coverage);
     if (!result.coverage.feasible) return result;
 
     result.lower_power = allocate_power_baseline(scenario, result.coverage);
-    result.connectivity = solve_must(scenario, result.coverage, bs_index);
+    result.connectivity = solve_must(scenario, result.coverage, bs);
     allocate_power_max(scenario, result.connectivity);
     // DARP predates the SNR constraint; its max-power lower tier may
     // violate beta — the comparison in Fig. 7 is about power, so we keep

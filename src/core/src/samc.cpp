@@ -18,21 +18,22 @@ namespace sag::core {
 namespace samc_detail {
 
 ZoneAssignment coverage_link_escape(const Scenario& scenario,
-                                    std::span<const std::size_t> subs,
+                                    std::span<const ids::SsId> subs,
                                     std::span<const geom::Vec2> points) {
     SAG_OBS_SPAN("samc.link_escape");
     ZoneAssignment out;
     out.points.assign(points.begin(), points.end());
-    out.serving.assign(subs.size(), points.size());
+    out.serving.assign(subs.size(), ids::RsId::invalid());
 
     // Bipartite edges: point p -- zone subscriber k when p lies in k's
     // feasible circle.
-    std::vector<std::vector<std::size_t>> covers(points.size());
-    for (std::size_t p = 0; p < points.size(); ++p) {
+    ids::IdVec<ids::RsId, std::vector<ids::SsId>> covers(points.size());
+    for (const ids::RsId p : ids::first_ids<ids::RsId>(points.size())) {
         for (std::size_t k = 0; k < subs.size(); ++k) {
-            const Subscriber& s = scenario.subscribers[subs[k]];
-            if (geom::distance(points[p], s.pos) <= s.distance_request + 1e-6) {
-                covers[p].push_back(k);
+            const Subscriber& s = scenario.subscriber(subs[k]);
+            if (geom::distance(points[p.index()], s.pos) <=
+                s.distance_request + 1e-6) {
+                covers[p].push_back(ids::SsId{k});
             }
         }
     }
@@ -42,23 +43,23 @@ ZoneAssignment coverage_link_escape(const Scenario& scenario,
     // subscribers' other edges.
     std::vector<bool> point_marked(points.size(), false);
     while (true) {
-        std::size_t best_p = points.size();
+        ids::RsId best_p = ids::RsId::invalid();
         std::size_t best_deg = 0;
-        for (std::size_t p = 0; p < points.size(); ++p) {
-            if (point_marked[p]) continue;
+        for (const ids::RsId p : covers.ids()) {
+            if (point_marked[p.index()]) continue;
             std::size_t deg = 0;
-            for (const std::size_t k : covers[p]) {
-                if (out.serving[k] == points.size()) ++deg;
+            for (const ids::SsId k : covers[p]) {
+                if (!out.serving[k].valid()) ++deg;
             }
             if (deg > best_deg) {
                 best_deg = deg;
                 best_p = p;
             }
         }
-        if (best_p == points.size()) break;
-        point_marked[best_p] = true;
-        for (const std::size_t k : covers[best_p]) {
-            if (out.serving[k] == points.size()) out.serving[k] = best_p;
+        if (!best_p.valid()) break;
+        point_marked[best_p.index()] = true;
+        for (const ids::SsId k : covers[best_p]) {
+            if (!out.serving[k].valid()) out.serving[k] = best_p;
         }
     }
     return out;
@@ -73,29 +74,29 @@ namespace {
 /// interference rebuild (and no per-probe powers/positions allocations).
 struct ZoneState {
     const Scenario& scenario;
-    std::span<const std::size_t> subs;
+    std::span<const ids::SsId> subs;
     SnrField field;
-    std::vector<std::size_t> serving;
+    ids::IdVec<ids::SsId, ids::RsId> serving;
 
-    const geom::Vec2& point(std::size_t p) const { return field.rs_position(p); }
+    const geom::Vec2& point(ids::RsId p) const { return field.rs_position(p); }
     std::size_t point_count() const { return field.rs_count(); }
 
-    /// Indices (zone-local) of subscribers violating distance or SNR
-    /// under the field's current positions.
-    std::vector<std::size_t> violated() const { return field.violated(serving); }
+    /// Zone-local SsIds of subscribers violating distance or SNR under the
+    /// field's current positions.
+    std::vector<ids::SsId> violated() const { return field.violated(serving); }
 };
 
 /// One relocation proposal from Algorithm 5 Step 2.
 struct Proposal {
-    std::size_t point;  ///< index into ZoneState::points
+    ids::RsId point;
     geom::Vec2 target;
 };
 
-/// Interference at subscriber `k` from every point except `skip`, all at
-/// max power, plus the ambient noise of the SNR denominator. O(1) off the
-/// field's cached total.
-double interference_at(const ZoneState& st, std::size_t k, std::size_t skip) {
-    const geom::Vec2& rx = st.scenario.subscribers[st.subs[k]].pos;
+/// Interference at zone subscriber `k` from every point except `skip`, all
+/// at max power, plus the ambient noise of the SNR denominator. O(1) off
+/// the field's cached total.
+double interference_at(const ZoneState& st, ids::SsId k, ids::RsId skip) {
+    const geom::Vec2& rx = st.scenario.subscriber(st.subs[k.index()]).pos;
     const double skipped =
         wireless::received_power(st.scenario.radio, st.scenario.radio.max_power,
                                  units::Meters{geom::distance(st.point(skip), rx)})
@@ -107,16 +108,16 @@ double interference_at(const ZoneState& st, std::size_t k, std::size_t skip) {
 /// Algorithm 5 Step 2 for one RS: the region where it (a) still covers all
 /// its satisfied subscribers, (b) brings each violated subscriber it
 /// serves inside both coverage range and the SNR "virtual circle".
-std::optional<geom::Vec2> relocation_target(const ZoneState& st, std::size_t p,
+std::optional<geom::Vec2> relocation_target(const ZoneState& st, ids::RsId p,
                                             const std::vector<bool>& is_violated) {
     const auto& radio = st.scenario.radio;
     const double beta = st.scenario.snr_threshold_linear();
     std::vector<geom::Circle> region;
-    for (std::size_t k = 0; k < st.subs.size(); ++k) {
+    for (const ids::SsId k : st.serving.ids()) {
         if (st.serving[k] != p) continue;
-        const Subscriber& s = st.scenario.subscribers[st.subs[k]];
+        const Subscriber& s = st.scenario.subscriber(st.subs[k.index()]);
         double radius = s.distance_request;
-        if (is_violated[k]) {
+        if (is_violated[k.index()]) {
             const double interference = interference_at(st, k, p);
             if (interference > 0.0) {
                 // SNR >= beta  <=>  Pmax*G*d^-alpha >= beta*I
@@ -141,7 +142,7 @@ std::optional<geom::Vec2> relocation_target(const ZoneState& st, std::size_t p,
 
 /// Visits subsets of {0..n-1} of size `t` (lexicographic), invoking `fn`
 /// until it returns true or the cap is exhausted. Returns whether `fn`
-/// succeeded.
+/// succeeded. Positions within the proposal list, not entity IDs.
 bool for_each_combination(std::size_t n, std::size_t t, std::size_t& budget,
                           const std::function<bool(std::span<const std::size_t>)>& fn) {
     std::vector<std::size_t> idx(t);
@@ -168,7 +169,7 @@ bool for_each_combination(std::size_t n, std::size_t t, std::size_t& budget,
 }  // namespace
 
 SlideResult sliding_movement(const Scenario& scenario,
-                             std::span<const std::size_t> subs,
+                             std::span<const ids::SsId> subs,
                              const ZoneAssignment& assignment,
                              const SamcOptions& options) {
     SAG_OBS_SPAN("samc.sliding");
@@ -177,16 +178,16 @@ SlideResult sliding_movement(const Scenario& scenario,
     // Algorithm 4 Step 2: one-on-one RSs slide onto their subscriber and
     // become fixed members of H (applied before the field is built).
     std::vector<geom::Vec2> points = assignment.points;
-    std::vector<std::size_t> served_count(points.size(), 0);
-    for (const std::size_t p : assignment.serving) {
-        if (p < points.size()) ++served_count[p];
+    ids::IdVec<ids::RsId, std::size_t> served_count(points.size(), 0);
+    for (const ids::RsId p : assignment.serving) {
+        if (p.valid()) ++served_count[p];
     }
     std::vector<bool> fixed(points.size(), false);
-    for (std::size_t k = 0; k < subs.size(); ++k) {
-        const std::size_t p = assignment.serving[k];
+    for (const ids::SsId k : assignment.serving.ids()) {
+        const ids::RsId p = assignment.serving[k];
         if (served_count[p] == 1) {
-            points[p] = scenario.subscribers[subs[k]].pos;
-            fixed[p] = true;
+            points[p.index()] = scenario.subscriber(subs[k.index()]).pos;
+            fixed[p.index()] = true;
         }
     }
 
@@ -196,13 +197,13 @@ SlideResult sliding_movement(const Scenario& scenario,
     // Optional repair: serve each violated subscriber from its nearest
     // in-range RS. Only the switched subscriber's SNR changes, so the
     // move never regresses other subscribers.
-    const auto reassign_violated = [&](const std::vector<std::size_t>& bad) {
+    const auto reassign_violated = [&](const std::vector<ids::SsId>& bad) {
         bool changed = false;
-        for (const std::size_t k : bad) {
-            const Subscriber& sub = scenario.subscribers[subs[k]];
-            std::size_t best = st.serving[k];
+        for (const ids::SsId k : bad) {
+            const Subscriber& sub = scenario.subscriber(subs[k.index()]);
+            ids::RsId best = st.serving[k];
             double best_dist = geom::distance(st.point(best), sub.pos);
-            for (std::size_t p = 0; p < st.point_count(); ++p) {
+            for (const ids::RsId p : st.field.rs_ids()) {
                 const double d = geom::distance(st.point(p), sub.pos);
                 if (d <= sub.distance_request + 1e-6 && d < best_dist - 1e-9) {
                     best = p;
@@ -230,13 +231,13 @@ SlideResult sliding_movement(const Scenario& scenario,
          !violated.empty() && result.rounds < options.max_improvement_rounds;
          ++result.rounds) {
         std::vector<bool> is_violated(subs.size(), false);
-        for (const std::size_t k : violated) is_violated[k] = true;
+        for (const ids::SsId k : violated) is_violated[k.index()] = true;
 
         // R_u: unfixed RSs serving a violated subscriber.
-        std::vector<std::size_t> updatable_rs;
-        for (std::size_t k : violated) {
-            const std::size_t p = st.serving[k];
-            if (!fixed[p] &&
+        std::vector<ids::RsId> updatable_rs;
+        for (const ids::SsId k : violated) {
+            const ids::RsId p = st.serving[k];
+            if (!fixed[p.index()] &&
                 std::find(updatable_rs.begin(), updatable_rs.end(), p) ==
                     updatable_rs.end()) {
                 updatable_rs.push_back(p);
@@ -244,7 +245,7 @@ SlideResult sliding_movement(const Scenario& scenario,
         }
 
         std::vector<Proposal> proposals;
-        for (const std::size_t p : updatable_rs) {
+        for (const ids::RsId p : updatable_rs) {
             if (const auto target = relocation_target(st, p, is_violated)) {
                 proposals.push_back({p, *target});
             }
@@ -281,8 +282,8 @@ SlideResult sliding_movement(const Scenario& scenario,
         if (solved || best_points) {
             // Commit the winning combination (move_rs no-ops on unchanged
             // points, so this re-applies exactly the probed deltas).
-            for (std::size_t p = 0; p < best_points->size(); ++p) {
-                st.field.move_rs(p, (*best_points)[p]);
+            for (const ids::RsId p : st.field.rs_ids()) {
+                st.field.move_rs(p, (*best_points)[p.index()]);
             }
             violated = st.violated();
             if (options.allow_reassignment && !violated.empty() &&
@@ -315,14 +316,14 @@ SamcResult solve_samc(const Scenario& scenario, const SamcOptions& options) {
         result.zones = zone_partition(scenario);
     }
     SAG_OBS_COUNT_ADD("samc.zones", result.zones.size());
-    result.plan.assignment.assign(scenario.subscriber_count(), 0);
+    result.plan.assignment.assign(scenario.subscriber_count(), ids::RsId{0});
     result.plan.feasible = true;
 
     for (const auto& zone : result.zones) {
         SAG_OBS_SPAN("samc.zone");
         std::vector<geom::Circle> disks;
         disks.reserve(zone.size());
-        for (const std::size_t j : zone) disks.push_back(scenario.feasible_circle(j));
+        for (const ids::SsId j : zone) disks.push_back(scenario.feasible_circle(j));
 
         const auto points = opt::geometric_hitting_set(disks, options.hitting_set);
         const auto assignment =
@@ -336,8 +337,11 @@ SamcResult solve_samc(const Scenario& scenario, const SamcOptions& options) {
         const std::size_t offset = result.plan.rs_positions.size();
         result.plan.rs_positions.insert(result.plan.rs_positions.end(),
                                         slide.points.begin(), slide.points.end());
+        // Zone-local serving slots lift into the global plan: the global
+        // RsId is the zone's base offset plus the zone-local slot.
         for (std::size_t k = 0; k < zone.size(); ++k) {
-            result.plan.assignment[zone[k]] = offset + slide.serving[k];
+            result.plan.assignment[zone[k]] =
+                ids::RsId{offset + slide.serving[ids::SsId{k}].index()};
         }
     }
     return result;

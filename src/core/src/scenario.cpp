@@ -12,23 +12,21 @@ units::SnrRatio Scenario::snr_threshold() const {
     return units::from_db(snr_threshold_db);
 }
 
-geom::Circle Scenario::feasible_circle(std::size_t j) const {
-    const Subscriber& s = subscribers.at(j);
+geom::Circle Scenario::feasible_circle(ids::SsId j) const {
+    const Subscriber& s = subscribers.at(j.index());
     return {s.pos, s.distance_request};
 }
 
 std::vector<geom::Circle> Scenario::feasible_circles() const {
     std::vector<geom::Circle> circles;
     circles.reserve(subscribers.size());
-    for (std::size_t j = 0; j < subscribers.size(); ++j) {
-        circles.push_back(feasible_circle(j));
-    }
+    for (const ids::SsId j : ss_ids()) circles.push_back(feasible_circle(j));
     return circles;
 }
 
-units::Watt Scenario::min_rx_power(std::size_t j) const {
+units::Watt Scenario::min_rx_power(ids::SsId j) const {
     return wireless::received_power(radio, radio.max_power,
-                                    units::Meters{subscribers.at(j).distance_request});
+                                    units::Meters{subscribers.at(j.index()).distance_request});
 }
 
 double Scenario::min_distance_request() const {

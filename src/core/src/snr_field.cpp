@@ -4,7 +4,6 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
-#include <numeric>
 
 #include "sag/core/snr.h"
 #include "sag/obs/obs.h"
@@ -12,28 +11,18 @@
 
 namespace sag::core {
 
-namespace {
-
-std::vector<std::size_t> all_indices(std::size_t n) {
-    std::vector<std::size_t> idx(n);
-    std::iota(idx.begin(), idx.end(), std::size_t{0});
-    return idx;
-}
-
-}  // namespace
-
 SnrField::SnrField(const Scenario& scenario, std::span<const geom::Vec2> rs_positions,
-                   std::span<const double> powers, std::span<const std::size_t> subs)
+                   std::span<const double> powers, std::span<const ids::SsId> subs)
     : scenario_(&scenario),
       rs_pos_(rs_positions.begin(), rs_positions.end()),
       rs_power_(powers.begin(), powers.end()),
-      sub_ids_(subs.begin(), subs.end()) {
+      sub_ids_(std::vector<ids::SsId>(subs.begin(), subs.end())) {
     assert(rs_pos_.size() == rs_power_.size());
     sub_pos_.reserve(sub_ids_.size());
     sub_reach_.reserve(sub_ids_.size());
-    for (const std::size_t j : sub_ids_) {
-        sub_pos_.push_back(scenario.subscribers[j].pos);
-        sub_reach_.push_back(scenario.subscribers[j].distance_request);
+    for (const ids::SsId j : sub_ids_.raw()) {
+        sub_pos_.push_back(scenario.subscriber(j).pos);
+        sub_reach_.push_back(scenario.subscriber(j).distance_request);
     }
     total_.assign(sub_ids_.size(), 0.0);
     comp_.assign(sub_ids_.size(), 0.0);
@@ -43,7 +32,7 @@ SnrField::SnrField(const Scenario& scenario, std::span<const geom::Vec2> rs_posi
 SnrField::SnrField(const Scenario& scenario, std::span<const geom::Vec2> rs_positions,
                    std::span<const double> powers)
     : SnrField(scenario, rs_positions, powers,
-               all_indices(scenario.subscriber_count())) {}
+               ids::all_ids<ids::SsId>(scenario.subscriber_count())) {}
 
 SnrField SnrField::at_max_power(const Scenario& scenario,
                                 std::span<const geom::Vec2> rs_positions) {
@@ -54,7 +43,7 @@ SnrField SnrField::at_max_power(const Scenario& scenario,
 
 SnrField SnrField::at_max_power(const Scenario& scenario,
                                 std::span<const geom::Vec2> rs_positions,
-                                std::span<const std::size_t> subs) {
+                                std::span<const ids::SsId> subs) {
     const std::vector<double> powers(rs_positions.size(),
                                      scenario.radio.max_power.watts());
     return SnrField(scenario, rs_positions, powers, subs);
@@ -83,19 +72,19 @@ void SnrField::apply_rs_contribution(const geom::Vec2& pos, units::Watt power,
     }
 }
 
-void SnrField::move_rs(std::size_t i, const geom::Vec2& to) {
-    assert(i < rs_pos_.size());
-    if (rs_pos_[i] == to) return;
-    journal({UndoRecord::Kind::Move, i, rs_pos_[i], units::Watt{0.0}});
-    apply_rs_contribution(rs_pos_[i], rs_power(i), -1.0);
-    rs_pos_[i] = to;
-    apply_rs_contribution(rs_pos_[i], rs_power(i), +1.0);
+void SnrField::move_rs(ids::RsId i, const geom::Vec2& to) {
+    assert(i.index() < rs_pos_.size());
+    if (rs_pos_[i.index()] == to) return;
+    journal({UndoRecord::Kind::Move, i, rs_pos_[i.index()], units::Watt{0.0}});
+    apply_rs_contribution(rs_pos_[i.index()], rs_power(i), -1.0);
+    rs_pos_[i.index()] = to;
+    apply_rs_contribution(rs_pos_[i.index()], rs_power(i), +1.0);
     after_mutation();
 }
 
-void SnrField::set_power(std::size_t i, units::Watt power) {
-    assert(i < rs_power_.size());
-    if (rs_power_[i] == power.watts()) return;
+void SnrField::set_power(ids::RsId i, units::Watt power) {
+    assert(i.index() < rs_power_.size());
+    if (rs_power_[i.index()] == power.watts()) return;
     journal({UndoRecord::Kind::Power, i, {}, rs_power(i)});
     // Subtract the old term and add the new one per subscriber (rather
     // than adding a fused difference) so both are the exact doubles a
@@ -103,16 +92,16 @@ void SnrField::set_power(std::size_t i, units::Watt power) {
     const auto& radio = scenario_->radio;
     const units::Watt old_power = rs_power(i);
     for (std::size_t k = 0; k < sub_pos_.size(); ++k) {
-        const units::Meters d{geom::distance(rs_pos_[i], sub_pos_[k])};
+        const units::Meters d{geom::distance(rs_pos_[i.index()], sub_pos_[k])};
         accumulate(k, -wireless::received_power(radio, old_power, d).watts());
         accumulate(k, wireless::received_power(radio, power, d).watts());
     }
-    rs_power_[i] = power.watts();
+    rs_power_[i.index()] = power.watts();
     after_mutation();
 }
 
-std::size_t SnrField::add_rs(const geom::Vec2& pos, units::Watt power) {
-    const std::size_t i = rs_pos_.size();
+ids::RsId SnrField::add_rs(const geom::Vec2& pos, units::Watt power) {
+    const ids::RsId i{rs_pos_.size()};
     journal({UndoRecord::Kind::Add, i, {}, units::Watt{0.0}});
     rs_pos_.push_back(pos);
     rs_power_.push_back(power.watts());
@@ -121,29 +110,29 @@ std::size_t SnrField::add_rs(const geom::Vec2& pos, units::Watt power) {
     return i;
 }
 
-void SnrField::remove_rs(std::size_t i) {
-    assert(i < rs_pos_.size());
-    journal({UndoRecord::Kind::Remove, i, rs_pos_[i], rs_power(i)});
-    apply_rs_contribution(rs_pos_[i], rs_power(i), -1.0);
-    rs_pos_.erase(rs_pos_.begin() + static_cast<std::ptrdiff_t>(i));
-    rs_power_.erase(rs_power_.begin() + static_cast<std::ptrdiff_t>(i));
+void SnrField::remove_rs(ids::RsId i) {
+    assert(i.index() < rs_pos_.size());
+    journal({UndoRecord::Kind::Remove, i, rs_pos_[i.index()], rs_power(i)});
+    apply_rs_contribution(rs_pos_[i.index()], rs_power(i), -1.0);
+    rs_pos_.erase(rs_pos_.begin() + static_cast<std::ptrdiff_t>(i.index()));
+    rs_power_.erase(rs_power_.begin() + static_cast<std::ptrdiff_t>(i.index()));
     after_mutation();
 }
 
-void SnrField::insert_rs(std::size_t i, const geom::Vec2& pos, units::Watt power) {
-    assert(i <= rs_pos_.size());
-    rs_pos_.insert(rs_pos_.begin() + static_cast<std::ptrdiff_t>(i), pos);
-    rs_power_.insert(rs_power_.begin() + static_cast<std::ptrdiff_t>(i),
+void SnrField::insert_rs(ids::RsId i, const geom::Vec2& pos, units::Watt power) {
+    assert(i.index() <= rs_pos_.size());
+    rs_pos_.insert(rs_pos_.begin() + static_cast<std::ptrdiff_t>(i.index()), pos);
+    rs_power_.insert(rs_power_.begin() + static_cast<std::ptrdiff_t>(i.index()),
                      power.watts());
     apply_rs_contribution(pos, power, +1.0);
     after_mutation();
 }
 
-double SnrField::snr_of(std::size_t k, std::size_t serving) const {
-    assert(k < sub_pos_.size() && serving < rs_pos_.size());
+double SnrField::snr_of(ids::SsId k, ids::RsId serving) const {
+    assert(k.index() < sub_pos_.size() && serving.index() < rs_pos_.size());
     const units::Watt signal = wireless::received_power(
         scenario_->radio, rs_power(serving),
-        units::Meters{geom::distance(rs_pos_[serving], sub_pos_[k])});
+        units::Meters{geom::distance(rs_pos_[serving.index()], sub_pos_[k.index()])});
     if (signal <= units::Watt{0.0}) return 0.0;  // a silent server delivers no SNR
     const units::Watt interference =
         units::Watt{total_rx(k)} - signal + scenario_->radio.snr_ambient_noise;
@@ -152,43 +141,46 @@ double SnrField::snr_of(std::size_t k, std::size_t serving) const {
                : std::numeric_limits<double>::infinity();
 }
 
-bool SnrField::meets_threshold(std::size_t k, std::size_t serving,
+bool SnrField::meets_threshold(ids::SsId k, ids::RsId serving,
                                double rel_slack) const {
     return snr_of(k, serving) >=
            scenario_->snr_threshold_linear() * (1.0 - rel_slack);
 }
 
-std::vector<std::size_t> SnrField::violated(
-    std::span<const std::size_t> serving) const {
+std::vector<ids::SsId> SnrField::violated(
+    ids::IdSpan<ids::SsId, const ids::RsId> serving) const {
     assert(serving.size() == sub_pos_.size());
     const double beta = scenario_->snr_threshold_linear();
-    std::vector<std::size_t> bad;
-    for (std::size_t k = 0; k < sub_pos_.size(); ++k) {
-        const double d = geom::distance(rs_pos_[serving[k]], sub_pos_[k]);
-        if (d > sub_reach_[k] + 1e-6 ||
-            snr_of(k, serving[k]) < beta * (1.0 - 1e-12)) {
+    std::vector<ids::SsId> bad;
+    for (const ids::SsId k : tracked_ids()) {
+        const ids::RsId rs = serving[k];
+        const double d =
+            geom::distance(rs_pos_[rs.index()], sub_pos_[k.index()]);
+        if (d > sub_reach_[k.index()] + 1e-6 ||
+            snr_of(k, rs) < beta * (1.0 - 1e-12)) {
             bad.push_back(k);
         }
     }
     return bad;
 }
 
-bool SnrField::all_meet_threshold(std::span<const std::size_t> serving,
+bool SnrField::all_meet_threshold(ids::IdSpan<ids::SsId, const ids::RsId> serving,
                                   double rel_slack) const {
     assert(serving.size() == sub_pos_.size());
-    for (std::size_t k = 0; k < sub_pos_.size(); ++k) {
+    for (const ids::SsId k : tracked_ids()) {
         if (!meets_threshold(k, serving[k], rel_slack)) return false;
     }
     return true;
 }
 
-void SnrField::recompute_subscriber(std::size_t k) {
+void SnrField::recompute_subscriber(ids::SsId kk) {
+    const std::size_t k = kk.index();
     const auto& radio = scenario_->radio;
     double sum = 0.0, comp = 0.0;
     for (std::size_t i = 0; i < rs_pos_.size(); ++i) {
         const double term =
             wireless::received_power(
-                radio, rs_power(i),
+                radio, units::Watt{rs_power_[i]},
                 units::Meters{geom::distance(rs_pos_[i], sub_pos_[k])})
                 .watts();
         const double next = sum + term;
@@ -204,7 +196,7 @@ void SnrField::recompute_subscriber(std::size_t k) {
 }
 
 void SnrField::refresh() {
-    for (std::size_t k = 0; k < sub_pos_.size(); ++k) recompute_subscriber(k);
+    for (const ids::SsId k : tracked_ids()) recompute_subscriber(k);
 }
 
 double SnrField::verify_against_scratch() const {
@@ -214,13 +206,14 @@ double SnrField::verify_against_scratch() const {
         double scratch = 0.0;
         for (std::size_t i = 0; i < rs_pos_.size(); ++i) {
             scratch += wireless::received_power(
-                           radio, rs_power(i),
+                           radio, units::Watt{rs_power_[i]},
                            units::Meters{geom::distance(rs_pos_[i], sub_pos_[k])})
                            .watts();
         }
+        const double incr = total_[k] + comp_[k];
         const double scale =
-            std::max({std::abs(scratch), std::abs(total_rx(k)), 1e-300});
-        worst = std::max(worst, std::abs(total_rx(k) - scratch) / scale);
+            std::max({std::abs(scratch), std::abs(incr), 1e-300});
+        worst = std::max(worst, std::abs(incr - scratch) / scale);
     }
     return worst;
 }
@@ -285,7 +278,7 @@ SnrFeasibilityOracle::SnrFeasibilityOracle(const Scenario& scenario,
       candidates_(candidates.begin(), candidates.end()),
       field_(scenario, {}, {}) {}
 
-bool SnrFeasibilityOracle::feasible(std::span<const std::size_t> chosen) {
+bool SnrFeasibilityOracle::feasible(std::span<const ids::CandId> chosen) {
     SAG_OBS_COUNT("ilpqc.oracle.calls");
     // The branch-and-bound descends with stack discipline, so consecutive
     // queries share a long prefix: pop back to it, push the rest.
@@ -297,11 +290,11 @@ bool SnrFeasibilityOracle::feasible(std::span<const std::size_t> chosen) {
     SAG_OBS_COUNT_ADD("ilpqc.oracle.rs_removed", current_.size() - prefix);
     SAG_OBS_COUNT_ADD("ilpqc.oracle.rs_added", chosen.size() - prefix);
     while (current_.size() > prefix) {
-        field_.remove_rs(current_.size() - 1);
+        field_.remove_rs(ids::RsId{current_.size() - 1});
         current_.pop_back();
     }
     for (std::size_t c = prefix; c < chosen.size(); ++c) {
-        field_.add_rs(candidates_[chosen[c]], scenario_->radio.max_power);
+        field_.add_rs(candidates_[chosen[c].index()], scenario_->radio.max_power);
         current_.push_back(chosen[c]);
     }
 

@@ -24,10 +24,10 @@ ThroughputReport analyze_throughput(const Scenario& scenario,
     // Own offered rate per node: coverage RSs source their subscribers'
     // Shannon-equivalent rates; everything else only forwards.
     std::vector<double> load(n, 0.0);
-    for (std::size_t j = 0; j < scenario.subscriber_count(); ++j) {
+    for (const ids::SsId j : scenario.ss_ids()) {
         const double rate =
             wireless::shannon_capacity(scenario.radio, scenario.min_rx_power(j));
-        load[bs_count + coverage.assignment[j]] += rate;
+        load[bs_count + coverage.assignment[j].index()] += rate;
         report.total_offered_bps += rate;
     }
 

@@ -23,7 +23,7 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 /// Shared MBMC/MUST construction over a restricted set of usable BSs.
 ConnectivityPlan build_connectivity(const Scenario& scenario,
                                     const CoveragePlan& coverage,
-                                    std::span<const std::size_t> usable_bs) {
+                                    std::span<const ids::BsId> usable_bs) {
     const std::size_t bs_count = scenario.base_stations.size();
     const std::size_t cov_count = coverage.rs_count();
     const double dmin = coverage.rs_count() > 0 && !scenario.subscribers.empty()
@@ -72,7 +72,7 @@ ConnectivityPlan build_connectivity(const Scenario& scenario,
         double best_d = kInf;
         for (std::size_t b = 0; b < nb; ++b) {
             const double d =
-                geom::distance(pi, scenario.base_stations[usable_bs[b]].pos);
+                geom::distance(pi, scenario.base_station(usable_bs[b]).pos);
             if (d < best_d) {
                 best_d = d;
                 best_b = b;
@@ -85,7 +85,7 @@ ConnectivityPlan build_connectivity(const Scenario& scenario,
     // Translate MST vertices to plan node indices.
     const auto to_plan = [&](std::size_t v) -> std::size_t {
         if (v == 0) throw std::logic_error("super-root has no plan node");
-        if (v <= nb) return usable_bs[v - 1];
+        if (v <= nb) return usable_bs[v - 1].index();
         return bs_count + (v - 1 - nb);
     };
     std::vector<std::size_t> cov_tree_parent(cov_count);  // plan node index
@@ -103,9 +103,10 @@ ConnectivityPlan build_connectivity(const Scenario& scenario,
     // (a connectivity RS's feasible distance is the minimum over its
     // children, applied transitively).
     std::vector<double> own_req(cov_count, kInf);
-    for (std::size_t j = 0; j < scenario.subscriber_count(); ++j) {
-        const std::size_t i = coverage.assignment[j];
-        own_req[i] = std::min(own_req[i], scenario.subscribers[j].distance_request);
+    for (const ids::SsId j : scenario.ss_ids()) {
+        const ids::RsId i = coverage.assignment[j];
+        own_req[i.index()] =
+            std::min(own_req[i.index()], scenario.subscriber(j).distance_request);
     }
     for (double& r : own_req) {
         if (!std::isfinite(r)) r = dmin;  // RS serving nobody: be conservative
@@ -156,17 +157,16 @@ ConnectivityPlan build_connectivity(const Scenario& scenario,
 
 ConnectivityPlan solve_mbmc(const Scenario& scenario, const CoveragePlan& coverage) {
     SAG_OBS_SPAN("ucra.mbmc");
-    std::vector<std::size_t> all_bs(scenario.base_stations.size());
-    for (std::size_t b = 0; b < all_bs.size(); ++b) all_bs[b] = b;
+    const auto all_bs = ids::all_ids<ids::BsId>(scenario.base_station_count());
     return build_connectivity(scenario, coverage, all_bs);
 }
 
 ConnectivityPlan solve_must(const Scenario& scenario, const CoveragePlan& coverage,
-                            std::size_t bs_index) {
+                            ids::BsId bs) {
     SAG_OBS_SPAN("ucra.must");
-    if (bs_index >= scenario.base_stations.size())
-        throw std::out_of_range("bs_index out of range");
-    const std::size_t one[] = {bs_index};
+    if (!bs.valid() || bs.index() >= scenario.base_station_count())
+        throw std::out_of_range("bs out of range");
+    const ids::BsId one[] = {bs};
     return build_connectivity(scenario, coverage, one);
 }
 
@@ -182,8 +182,8 @@ void allocate_power_ucpo(const Scenario& scenario, const CoveragePlan& coverage,
     for (std::size_t i = 0; i < cov_count; ++i) {
         // P^i_rs: strictest received-power requirement among i's subscribers.
         units::Watt p_rs{0.0};
-        for (std::size_t j = 0; j < scenario.subscriber_count(); ++j) {
-            if (coverage.assignment[j] == i) {
+        for (const ids::SsId j : scenario.ss_ids()) {
+            if (coverage.assignment[j] == ids::RsId{i}) {
                 p_rs = std::max(p_rs, scenario.min_rx_power(j));
             }
         }
@@ -221,8 +221,8 @@ void allocate_power_ucpo_aggregated(const Scenario& scenario,
     // Each coverage RS's own aggregate data rate: the sum of the Shannon
     // rates its subscribers' required received powers correspond to.
     std::vector<double> own_rate(cov_count, 0.0);
-    for (std::size_t j = 0; j < scenario.subscriber_count(); ++j) {
-        own_rate[coverage.assignment[j]] +=
+    for (const ids::SsId j : scenario.ss_ids()) {
+        own_rate[coverage.assignment[j].index()] +=
             wireless::shannon_capacity(scenario.radio, scenario.min_rx_power(j));
     }
 

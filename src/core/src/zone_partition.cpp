@@ -12,7 +12,8 @@ double zone_partition_dmax(const Scenario& scenario) {
     return wireless::ignorable_noise_distance(scenario.radio).meters();
 }
 
-std::vector<std::vector<std::size_t>> zone_partition(const Scenario& scenario) {
+ids::IdVec<ids::ZoneId, std::vector<ids::SsId>> zone_partition(
+    const Scenario& scenario) {
     const double dmax = zone_partition_dmax(scenario);
     const std::size_t n = scenario.subscriber_count();
 
@@ -27,20 +28,31 @@ std::vector<std::vector<std::size_t>> zone_partition(const Scenario& scenario) {
         positions.push_back(s.pos);
     }
     const double pair_radius = dmax + d_top;
-    const geom::SpatialGrid index(std::move(positions), std::max(pair_radius, 1.0));
+    const geom::SpatialGridT<ids::SsId> index(std::move(positions),
+                                              std::max(pair_radius, 1.0));
 
+    // The union-find layer is entity-agnostic: SsIds cross into it as raw
+    // vertex indices and the components come back out retyped.
     graph::Graph g(n);
     for (const auto& [i, j] : index.all_pairs_within(pair_radius)) {
-        const Subscriber& si = scenario.subscribers[i];
-        const Subscriber& sj = scenario.subscribers[j];
+        const Subscriber& si = scenario.subscriber(i);
+        const Subscriber& sj = scenario.subscriber(j);
         const double dist = geom::distance(si.pos, sj.pos);
         // d_eff: worst-case gap between a station serving one SS and the
         // other SS (an RS may stand d_i inside s_i's circle).
         const double d_eff =
             std::min(dist - si.distance_request, dist - sj.distance_request);
-        if (d_eff <= dmax) g.add_edge(i, j);
+        if (d_eff <= dmax) g.add_edge(i.index(), j.index());
     }
-    return g.connected_components();
+
+    ids::IdVec<ids::ZoneId, std::vector<ids::SsId>> zones;
+    for (std::vector<std::size_t>& comp : g.connected_components()) {
+        std::vector<ids::SsId> members;
+        members.reserve(comp.size());
+        for (const std::size_t v : comp) members.push_back(ids::SsId{v});
+        zones.push_back(std::move(members));
+    }
+    return zones;
 }
 
 }  // namespace sag::core

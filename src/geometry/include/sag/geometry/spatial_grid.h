@@ -1,11 +1,16 @@
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
+#include <stdexcept>
+#include <type_traits>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "sag/geometry/circle.h"
 #include "sag/geometry/vec2.h"
 
 namespace sag::geom {
@@ -15,34 +20,100 @@ namespace sag::geom {
 /// into O(n * neighbors) — irrelevant at the paper's 70 subscribers,
 /// decisive for city-scale instances (examples/city_scale.cpp).
 ///
+/// `Index` is the identifier the grid reports hits as: the default
+/// `std::size_t` for anonymous point sets, or a sag::ids strong ID
+/// (SpatialGridT<SsId> over subscribers, SpatialGridT<RsId> over relay
+/// positions) so a query over one entity space cannot leak raw indices
+/// into another. Any type constructible from std::size_t via
+/// static_cast with <, ==, and pair-sorting semantics works; the grid
+/// itself stays ID-library-agnostic.
+///
 /// Cell size should be on the order of the query radius; queries fall
 /// back to correct (if slower) behaviour for any positive cell size.
-class SpatialGrid {
+template <class Index = std::size_t>
+class SpatialGridT {
 public:
     /// Indexes `points` (kept by copy) with square cells of `cell_size`.
-    SpatialGrid(std::vector<Vec2> points, double cell_size);
+    SpatialGridT(std::vector<Vec2> points, double cell_size)
+        : points_(std::move(points)), cell_size_(cell_size) {
+        if (cell_size_ <= 0.0)
+            throw std::invalid_argument("cell_size must be positive");
+        for (std::size_t i = 0; i < points_.size(); ++i) {
+            cells_[key(cell_coord(points_[i].x), cell_coord(points_[i].y))]
+                .push_back(i);
+        }
+    }
 
     std::size_t size() const { return points_.size(); }
-    const Vec2& point(std::size_t i) const { return points_[i]; }
+    const Vec2& point(Index i) const { return points_[to_raw(i)]; }
 
-    /// Indices of all points within `radius` of `center` (inclusive),
-    /// in ascending index order.
-    std::vector<std::size_t> query_radius(const Vec2& center, double radius) const;
+    /// All points within `radius` of `center` (inclusive), in ascending
+    /// index order.
+    std::vector<Index> query_radius(const Vec2& center, double radius) const {
+        std::vector<Index> out;
+        if (radius < 0.0) return out;
+        const std::int64_t cx0 = cell_coord(center.x - radius);
+        const std::int64_t cx1 = cell_coord(center.x + radius);
+        const std::int64_t cy0 = cell_coord(center.y - radius);
+        const std::int64_t cy1 = cell_coord(center.y + radius);
+        const double r_sq = radius * radius;
+        for (std::int64_t cx = cx0; cx <= cx1; ++cx) {
+            for (std::int64_t cy = cy0; cy <= cy1; ++cy) {
+                const auto it = cells_.find(key(cx, cy));
+                if (it == cells_.end()) continue;
+                for (const std::size_t i : it->second) {
+                    if (distance_sq(points_[i], center) <= r_sq + kEps) {
+                        out.push_back(static_cast<Index>(i));
+                    }
+                }
+            }
+        }
+        std::sort(out.begin(), out.end());
+        return out;
+    }
 
     /// All index pairs (i < j) within `radius` of each other, each pair
     /// reported once, lexicographically sorted. Exact — no false
     /// positives or negatives.
-    std::vector<std::pair<std::size_t, std::size_t>> all_pairs_within(
-        double radius) const;
+    std::vector<std::pair<Index, Index>> all_pairs_within(double radius) const {
+        std::vector<std::pair<Index, Index>> pairs;
+        if (radius < 0.0) return pairs;
+        for (std::size_t i = 0; i < points_.size(); ++i) {
+            const Index self = static_cast<Index>(i);
+            for (const Index j : query_radius(points_[i], radius)) {
+                if (self < j) pairs.emplace_back(self, j);
+            }
+        }
+        std::sort(pairs.begin(), pairs.end());
+        return pairs;
+    }
 
 private:
     using CellKey = std::int64_t;
-    CellKey key(std::int64_t cx, std::int64_t cy) const;
-    std::int64_t cell_coord(double v) const;
+
+    static std::size_t to_raw(Index i) {
+        if constexpr (std::is_integral_v<Index>) {
+            return static_cast<std::size_t>(i);
+        } else {
+            return i.index();
+        }
+    }
+
+    CellKey key(std::int64_t cx, std::int64_t cy) const {
+        // Interleave-free packing; fields are far below 2^31 cells across.
+        return (cx << 32) ^ (cy & 0xffffffff);
+    }
+    std::int64_t cell_coord(double v) const {
+        return static_cast<std::int64_t>(std::floor(v / cell_size_));
+    }
 
     std::vector<Vec2> points_;
     double cell_size_;
     std::unordered_map<CellKey, std::vector<std::size_t>> cells_;
 };
+
+/// The anonymous-index grid (pre-typed-ID API, still right for point sets
+/// that are not entities — e.g. scratch geometry in tests).
+using SpatialGrid = SpatialGridT<>;
 
 }  // namespace sag::geom

@@ -1,65 +1,12 @@
+// SpatialGridT became a header-only template when it grew a typed-ID
+// index parameter (see spatial_grid.h); this TU intentionally keeps the
+// translation unit in the build so the header is compiled standalone.
 #include "sag/geometry/spatial_grid.h"
-
-#include <algorithm>
-#include <cmath>
-#include <stdexcept>
-
-#include "sag/geometry/circle.h"
 
 namespace sag::geom {
 
-SpatialGrid::SpatialGrid(std::vector<Vec2> points, double cell_size)
-    : points_(std::move(points)), cell_size_(cell_size) {
-    if (cell_size_ <= 0.0) throw std::invalid_argument("cell_size must be positive");
-    for (std::size_t i = 0; i < points_.size(); ++i) {
-        cells_[key(cell_coord(points_[i].x), cell_coord(points_[i].y))].push_back(i);
-    }
-}
-
-std::int64_t SpatialGrid::cell_coord(double v) const {
-    return static_cast<std::int64_t>(std::floor(v / cell_size_));
-}
-
-SpatialGrid::CellKey SpatialGrid::key(std::int64_t cx, std::int64_t cy) const {
-    // Interleave-free packing; fields are far below 2^31 cells across.
-    return (cx << 32) ^ (cy & 0xffffffff);
-}
-
-std::vector<std::size_t> SpatialGrid::query_radius(const Vec2& center,
-                                                   double radius) const {
-    std::vector<std::size_t> out;
-    if (radius < 0.0) return out;
-    const std::int64_t cx0 = cell_coord(center.x - radius);
-    const std::int64_t cx1 = cell_coord(center.x + radius);
-    const std::int64_t cy0 = cell_coord(center.y - radius);
-    const std::int64_t cy1 = cell_coord(center.y + radius);
-    const double r_sq = radius * radius;
-    for (std::int64_t cx = cx0; cx <= cx1; ++cx) {
-        for (std::int64_t cy = cy0; cy <= cy1; ++cy) {
-            const auto it = cells_.find(key(cx, cy));
-            if (it == cells_.end()) continue;
-            for (const std::size_t i : it->second) {
-                if (distance_sq(points_[i], center) <= r_sq + kEps) {
-                    out.push_back(i);
-                }
-            }
-        }
-    }
-    std::sort(out.begin(), out.end());
-    return out;
-}
-
-std::vector<std::pair<std::size_t, std::size_t>> SpatialGrid::all_pairs_within(
-    double radius) const {
-    std::vector<std::pair<std::size_t, std::size_t>> pairs;
-    if (radius < 0.0) return pairs;
-    for (std::size_t i = 0; i < points_.size(); ++i) {
-        for (const std::size_t j : query_radius(points_[i], radius)) {
-            if (j > i) pairs.emplace_back(i, j);
-        }
-    }
-    std::sort(pairs.begin(), pairs.end());
-    return pairs;
-}
+// Anchor the default instantiation so its code is shared rather than
+// re-emitted in every consumer.
+template class SpatialGridT<std::size_t>;
 
 }  // namespace sag::geom

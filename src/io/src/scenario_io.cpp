@@ -126,7 +126,10 @@ Json sag_result_to_json(const core::SagResult& result) {
     j["coverage_rs"] = Json(std::move(coverage));
 
     Json::Array assignment;
-    for (const std::size_t a : result.coverage.assignment) assignment.push_back(Json(a));
+    // IDs serialize as their raw index — the on-disk format stays integers.
+    for (const sag::ids::RsId a : result.coverage.assignment) {
+        assignment.push_back(Json(a.index()));
+    }
     j["assignment"] = Json(std::move(assignment));
 
     Json::Array nodes;

@@ -105,7 +105,7 @@ std::ostringstream document_open(const core::Scenario& scenario, const Canvas& c
 void draw_scenario_layer(std::ostringstream& os, const Canvas& c,
                          const core::Scenario& scenario, const SvgOptions& options) {
     if (options.draw_feasible_circles) {
-        for (std::size_t j = 0; j < scenario.subscriber_count(); ++j) {
+        for (const sag::ids::SsId j : scenario.ss_ids()) {
             world_circle(os, c, scenario.feasible_circle(j), kSubscriber, "3,3");
         }
     }
@@ -145,11 +145,12 @@ std::string render_deployment_svg(const core::Scenario& scenario,
         }
     }
     if (options.draw_access_links) {
-        for (std::size_t j = 0; j < scenario.subscriber_count(); ++j) {
-            if (j < coverage.assignment.size() &&
-                coverage.assignment[j] < coverage.rs_count()) {
-                line(os, c, scenario.subscribers[j].pos,
-                     coverage.rs_positions[coverage.assignment[j]], kAccessLink, 1.0,
+        for (const sag::ids::SsId j : scenario.ss_ids()) {
+            if (j.index() < coverage.assignment.size() &&
+                coverage.assignment[j].valid() &&
+                coverage.assignment[j].index() < coverage.rs_count()) {
+                line(os, c, scenario.subscriber(j).pos,
+                     coverage.rs_position(coverage.assignment[j]), kAccessLink, 1.0,
                      "2,2");
             }
         }

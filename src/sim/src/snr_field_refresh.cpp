@@ -23,7 +23,9 @@ void refresh_snr_field(core::SnrField& field, ThreadPool& pool) {
         // Per-chunk (worker-thread) count: merged across thread buffers
         // at snapshot, so the report sees the full recompute total.
         SAG_OBS_COUNT_ADD("snr_field.parallel_recomputes", end - begin);
-        for (std::size_t k = begin; k < end; ++k) field.recompute_subscriber(k);
+        for (std::size_t k = begin; k < end; ++k) {
+            field.recompute_subscriber(sag::ids::SsId{k});
+        }
     });
 }
 

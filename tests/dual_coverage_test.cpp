@@ -2,10 +2,13 @@
 
 #include "sag/core/candidates.h"
 #include "sag/core/dual_coverage.h"
+#include "sag/ids/ids.h"
 #include "sag/sim/scenario_gen.h"
 
 namespace sag::core {
 namespace {
+
+using ids::SsId;
 
 Scenario base_scenario() {
     Scenario s;
@@ -30,7 +33,7 @@ TEST(DualCoverageTest, SingleSubscriberNeedsTwoRss) {
     ASSERT_TRUE(plan.feasible);
     EXPECT_EQ(plan.rs_count(), 2u);
     EXPECT_TRUE(verify_dual_coverage(s, plan));
-    EXPECT_NE(plan.primary[0], plan.secondary[0]);
+    EXPECT_NE(plan.primary[SsId{0}], plan.secondary[SsId{0}]);
 }
 
 TEST(DualCoverageTest, InfeasibleWithOneCandidate) {
@@ -47,8 +50,8 @@ TEST(DualCoverageTest, PrimaryIsNearest) {
     const geom::Vec2 cands[] = {{-30.0, 0.0}, {5.0, 0.0}};
     const auto plan = solve_dual_coverage(s, cands);
     ASSERT_TRUE(plan.feasible);
-    EXPECT_EQ(plan.rs_positions[plan.primary[0]], (geom::Vec2{5.0, 0.0}));
-    EXPECT_EQ(plan.rs_positions[plan.secondary[0]], (geom::Vec2{-30.0, 0.0}));
+    EXPECT_EQ(plan.rs_positions[plan.primary[SsId{0}].index()], (geom::Vec2{5.0, 0.0}));
+    EXPECT_EQ(plan.rs_positions[plan.secondary[SsId{0}].index()], (geom::Vec2{-30.0, 0.0}));
 }
 
 TEST(DualCoverageTest, SharedBackupAcrossSubscribers) {
@@ -83,20 +86,20 @@ TEST(DualCoverageVerifyTest, RejectsTamperedPlans) {
     ASSERT_TRUE(verify_dual_coverage(s, plan));
 
     auto same_link = plan;
-    same_link.secondary[0] = same_link.primary[0];
+    same_link.secondary[SsId{0}] = same_link.primary[SsId{0}];
     EXPECT_FALSE(verify_dual_coverage(s, same_link));
 
     auto swapped = plan;
-    std::swap(swapped.primary[0], swapped.secondary[0]);
+    std::swap(swapped.primary[SsId{0}], swapped.secondary[SsId{0}]);
     // Primary must be the nearer RS; a swap that breaks the order fails.
-    if (geom::distance(plan.rs_positions[plan.primary[0]], s.subscribers[0].pos) <
-        geom::distance(plan.rs_positions[plan.secondary[0]], s.subscribers[0].pos) -
+    if (geom::distance(plan.rs_positions[plan.primary[SsId{0}].index()], s.subscribers[0].pos) <
+        geom::distance(plan.rs_positions[plan.secondary[SsId{0}].index()], s.subscribers[0].pos) -
             1e-6) {
         EXPECT_FALSE(verify_dual_coverage(s, swapped));
     }
 
     auto out_of_range = plan;
-    out_of_range.rs_positions[out_of_range.secondary[0]] = {300.0, 300.0};
+    out_of_range.rs_positions[out_of_range.secondary[SsId{0}].index()] = {300.0, 300.0};
     EXPECT_FALSE(verify_dual_coverage(s, out_of_range));
 }
 
@@ -116,7 +119,7 @@ TEST_P(DualCoverageProperty, PlansVerify) {
     EXPECT_TRUE(verify_dual_coverage(s, plan));
     EXPECT_GE(plan.rs_count(), 2u);
     // Every subscriber's two links are distinct RSs within range.
-    for (std::size_t j = 0; j < s.subscriber_count(); ++j) {
+    for (const SsId j : s.ss_ids()) {
         EXPECT_NE(plan.primary[j], plan.secondary[j]);
     }
 }

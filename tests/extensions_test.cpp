@@ -5,6 +5,7 @@
 #include "sag/core/power.h"
 #include "sag/core/samc.h"
 #include "sag/core/ucra.h"
+#include "sag/ids/ids.h"
 #include "sag/opt/set_cover.h"
 #include "sag/sim/scenario_gen.h"
 #include "sag/wireless/link.h"
@@ -120,7 +121,7 @@ TEST(AggregatedUcpoTest, SingleLeafChainMatchesPaperUcpoWhenOneSubscriber) {
     s.base_stations = {{{-200.0, 0.0}}};
     core::CoveragePlan cov;
     cov.rs_positions = {{200.0, 0.0}};
-    cov.assignment = {0};
+    cov.assignment = {ids::RsId{0}};
     cov.feasible = true;
     auto paper = core::solve_mbmc(s, cov);
     auto aggregated = paper;
@@ -142,7 +143,7 @@ TEST(AggregatedUcpoTest, SharedTrunkCarriesBothSubtreeRates) {
     s.base_stations = {{{-250.0, 0.0}}};
     core::CoveragePlan cov;
     cov.rs_positions = {{50.0, 0.0}, {350.0, 0.0}};
-    cov.assignment = {0, 1};
+    cov.assignment = {ids::RsId{0}, ids::RsId{1}};
     cov.feasible = true;
     auto paper = core::solve_mbmc(s, cov);
     auto aggregated = paper;

@@ -8,6 +8,7 @@
 #include "sag/core/feasibility.h"
 #include "sag/core/sag.h"
 #include "sag/core/ucra.h"
+#include "sag/ids/ids.h"
 #include "sag/sim/scenario_gen.h"
 
 namespace sag::core {
@@ -38,7 +39,7 @@ TEST(FailureInjectionCoverage, PristinePlanPasses) {
 TEST(FailureInjectionCoverage, OutOfRangeAssignmentFlagged) {
     const Fixture f;
     auto plan = f.result.coverage;
-    plan.assignment[3] = plan.rs_count() + 7;  // dangling index
+    plan.assignment[ids::SsId{3}] = ids::RsId{plan.rs_count() + 7};  // dangling index
     const auto report =
         verify_coverage(f.scenario, plan, f.result.lower_power.powers);
     EXPECT_FALSE(report.feasible);
@@ -54,20 +55,20 @@ TEST(FailureInjectionCoverage, TruncatedPowerVectorFlagged) {
 TEST(FailureInjectionCoverage, ZeroedPowerFailsRate) {
     const Fixture f;
     auto powers = f.result.lower_power.powers;
-    powers[f.result.coverage.assignment[0]] = 0.0;
+    powers[f.result.coverage.assignment[ids::SsId{0}].index()] = 0.0;
     const auto report = verify_coverage(f.scenario, f.result.coverage, powers);
     EXPECT_FALSE(report.feasible);
-    EXPECT_FALSE(report.subscribers[0].rate_ok);
+    EXPECT_FALSE(report.subscribers[ids::SsId{0}].rate_ok);
 }
 
 TEST(FailureInjectionCoverage, TeleportedRsFailsDistance) {
     const Fixture f;
     auto plan = f.result.coverage;
-    plan.rs_positions[plan.assignment[0]] = {10'000.0, 10'000.0};
+    plan.rs_positions[plan.assignment[ids::SsId{0}].index()] = {10'000.0, 10'000.0};
     const auto report =
         verify_coverage(f.scenario, plan, f.result.lower_power.powers);
     EXPECT_FALSE(report.feasible);
-    EXPECT_FALSE(report.subscribers[0].distance_ok);
+    EXPECT_FALSE(report.subscribers[ids::SsId{0}].distance_ok);
 }
 
 TEST(FailureInjectionConnectivity, PristineTreePasses) {

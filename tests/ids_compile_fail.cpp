@@ -1,0 +1,75 @@
+// Negative compile test: each guarded block below must FAIL to compile.
+// tests/CMakeLists.txt runs this file through the compiler once per
+// SAG_CF_* macro with WILL_FAIL set, so an entity-ID confusion that makes
+// any of these expressions legal turns into a test failure. A final
+// no-macro pass must succeed, proving the harness itself compiles.
+//
+// Keep each block to ONE ill-formed expression so a failure pinpoints
+// exactly which operation regressed.
+
+#include <cstddef>
+
+#include "sag/ids/ids.h"
+
+namespace {
+
+using sag::ids::CandId;
+using sag::ids::IdSpan;
+using sag::ids::IdVec;
+using sag::ids::RsId;
+using sag::ids::SsId;
+
+void must_not_compile() {
+#if defined(SAG_CF_SS_FROM_RS)
+    // An RS index is not a subscriber index: no cross-kind conversion.
+    const SsId bad = RsId{3};
+    (void)bad;
+#elif defined(SAG_CF_ID_FROM_BARE_INT)
+    // No implicit integer -> ID: a bare index must name its entity kind.
+    const SsId bad = 3;
+    (void)bad;
+#elif defined(SAG_CF_ID_TO_SIZE_T)
+    // Leaving the ID space is explicit (.index()), never implicit.
+    const std::size_t bad = RsId{3};
+    (void)bad;
+#elif defined(SAG_CF_CROSS_KIND_COMPARE)
+    // Comparing a subscriber ID against an RS ID is meaningless.
+    const bool bad = SsId{1} == RsId{1};
+    (void)bad;
+#elif defined(SAG_CF_IDVEC_WRONG_ID)
+    // A per-subscriber buffer must reject RS indices.
+    IdVec<SsId, double> per_sub(4);
+    const double bad = per_sub[RsId{0}];
+    (void)bad;
+#elif defined(SAG_CF_IDVEC_RAW_INDEX)
+    // ...and raw integers: the untyped escape hatch is .raw().
+    IdVec<SsId, double> per_sub(4);
+    const double bad = per_sub[0];
+    (void)bad;
+#elif defined(SAG_CF_IDSPAN_WRONG_ID)
+    // IdSpan enforces the same contract as IdVec.
+    IdVec<SsId, RsId> serving(4, RsId{0});
+    const IdSpan<SsId, const RsId> view = serving;
+    const RsId bad = view[CandId{0}];
+    (void)bad;
+#elif defined(SAG_CF_ID_ARITHMETIC_MIX)
+    // IDs are not numbers: adding two (even same-kind) IDs is undefined.
+    const auto bad = SsId{1} + SsId{2};
+    (void)bad;
+#else
+    // Positive control: with no SAG_CF_* macro the file is well-formed,
+    // so a broken include path can't masquerade as "all negatives pass".
+    IdVec<SsId, RsId> serving(4, RsId::invalid());
+    serving[SsId{2}] = RsId{1};
+    const IdSpan<SsId, const RsId> view = serving;
+    const bool ok = view[SsId{2}].valid() && SsId{0} < SsId{1};
+    (void)ok;
+#endif
+}
+
+}  // namespace
+
+int main() {
+    must_not_compile();
+    return 0;
+}

@@ -9,6 +9,7 @@
 
 #include "sag/core/sag.h"
 #include "sag/core/snr_field.h"
+#include "sag/ids/ids.h"
 #include "sag/obs/obs.h"
 #include "sag/sim/scenario_gen.h"
 #include "sag/sim/snr_field_refresh.h"
@@ -186,8 +187,8 @@ TEST(ObsIntegrationTest, TransactionRollbackCountsRevertedDeltas) {
     core::SnrField field = core::SnrField::at_max_power(scenario, rs);
     {
         core::SnrField::Transaction tx(field);
-        field.move_rs(0, {10.0, 10.0});
-        field.set_power(1, units::Watt{1.0});
+        field.move_rs(ids::RsId{0}, {10.0, 10.0});
+        field.set_power(ids::RsId{1}, units::Watt{1.0});
         // tx rolls back: two reverting deltas replay.
     }
     const RunReport report = rec.snapshot();

@@ -4,12 +4,16 @@
 
 #include "sag/core/feasibility.h"
 #include "sag/core/power.h"
+#include "sag/ids/ids.h"
 #include "sag/core/samc.h"
 #include "sag/sim/scenario_gen.h"
 #include "sag/wireless/two_ray.h"
 
 namespace sag::core {
 namespace {
+
+using ids::RsId;
+using ids::SsId;
 
 Scenario base_scenario() {
     Scenario s;
@@ -22,10 +26,11 @@ Scenario base_scenario() {
     return s;
 }
 
-CoveragePlan plan_of(std::vector<geom::Vec2> rs, std::vector<std::size_t> assign) {
+CoveragePlan plan_of(std::vector<geom::Vec2> rs,
+                     std::initializer_list<RsId> assign) {
     CoveragePlan p;
     p.rs_positions = std::move(rs);
-    p.assignment = std::move(assign);
+    p.assignment = ids::IdVec<SsId, RsId>(assign);
     p.feasible = true;
     return p;
 }
@@ -33,60 +38,60 @@ CoveragePlan plan_of(std::vector<geom::Vec2> rs, std::vector<std::size_t> assign
 TEST(CoveragePowerFloorTest, MatchesHandComputation) {
     Scenario s = base_scenario();
     s.subscribers = {{{30.0, 0.0}, 35.0}};
-    const auto plan = plan_of({{0.0, 0.0}}, {0});
+    const auto plan = plan_of({{0.0, 0.0}}, {RsId{0}});
     // Required received power defined at 35 m; access link is 30 m, so the
     // floor is Pmax * (30/35)^alpha.
     const units::Watt expect =
         s.radio.max_power * std::pow(30.0 / 35.0, s.radio.alpha);
-    EXPECT_NEAR(coverage_power_floor(s, plan, 0).watts(), expect.watts(), 1e-9);
+    EXPECT_NEAR(coverage_power_floor(s, plan, RsId{0}).watts(), expect.watts(), 1e-9);
 }
 
 TEST(CoveragePowerFloorTest, TakesMaxOverServedSubscribers) {
     Scenario s = base_scenario();
     s.subscribers = {{{30.0, 0.0}, 35.0}, {{-10.0, 0.0}, 35.0}};
-    const auto plan = plan_of({{0.0, 0.0}}, {0, 0});
+    const auto plan = plan_of({{0.0, 0.0}}, {RsId{0}, RsId{0}});
     // The 30 m subscriber dominates the 10 m one.
     const units::Watt expect =
         s.radio.max_power * std::pow(30.0 / 35.0, s.radio.alpha);
-    EXPECT_NEAR(coverage_power_floor(s, plan, 0).watts(), expect.watts(), 1e-9);
+    EXPECT_NEAR(coverage_power_floor(s, plan, RsId{0}).watts(), expect.watts(), 1e-9);
 }
 
 TEST(CoveragePowerFloorTest, UnusedRsHasZeroFloor) {
     Scenario s = base_scenario();
     s.subscribers = {{{30.0, 0.0}, 35.0}};
-    const auto plan = plan_of({{0.0, 0.0}, {200.0, 0.0}}, {0});
-    EXPECT_DOUBLE_EQ(coverage_power_floor(s, plan, 1).watts(), 0.0);
+    const auto plan = plan_of({{0.0, 0.0}, {200.0, 0.0}}, {RsId{0}});
+    EXPECT_DOUBLE_EQ(coverage_power_floor(s, plan, RsId{1}).watts(), 0.0);
 }
 
 TEST(SnrPowerFloorTest, ZeroWithoutInterferers) {
     Scenario s = base_scenario();
     s.subscribers = {{{30.0, 0.0}, 35.0}};
-    const auto plan = plan_of({{0.0, 0.0}}, {0});
+    const auto plan = plan_of({{0.0, 0.0}}, {RsId{0}});
     const double powers[] = {50.0};
-    EXPECT_DOUBLE_EQ(snr_power_floor(s, plan, 0, powers).watts(), 0.0);
+    EXPECT_DOUBLE_EQ(snr_power_floor(s, plan, RsId{0}, powers).watts(), 0.0);
 }
 
 TEST(SnrPowerFloorTest, ScalesWithInterferencePower) {
     Scenario s = base_scenario();
     s.subscribers = {{{-50.0, 0.0}, 35.0}, {{50.0, 0.0}, 35.0}};
-    const auto plan = plan_of({{-50.0, 0.0}, {50.0, 0.0}}, {0, 1});
+    const auto plan = plan_of({{-50.0, 0.0}, {50.0, 0.0}}, {RsId{0}, RsId{1}});
     const double strong[] = {50.0, 50.0};
     const double weak[] = {50.0, 5.0};
     // RS0's requirement is driven by RS1's interference at sub 0;
     // reducing RS1's power by 10x reduces the floor by 10x.
-    EXPECT_NEAR(snr_power_floor(s, plan, 0, strong).watts(),
-                10.0 * snr_power_floor(s, plan, 0, weak).watts(), 1e-9);
+    EXPECT_NEAR(snr_power_floor(s, plan, RsId{0}, strong).watts(),
+                10.0 * snr_power_floor(s, plan, RsId{0}, weak).watts(), 1e-9);
 }
 
 TEST(ProTest, SettlesAtCoverageFloorsWhenNoConflict) {
     Scenario s = base_scenario();
     s.subscribers = {{{-150.0, 0.0}, 35.0}, {{150.0, 0.0}, 35.0}};
-    const auto plan = plan_of({{-150.0, 0.0}, {150.0, 0.0}}, {0, 1});
+    const auto plan = plan_of({{-150.0, 0.0}, {150.0, 0.0}}, {RsId{0}, RsId{1}});
     const auto pro = allocate_power_pro(s, plan);
     ASSERT_TRUE(pro.feasible);
     // RSs sit on their subscribers: tiny coverage floor, SNR trivial.
-    EXPECT_NEAR(pro.powers[0], coverage_power_floor(s, plan, 0).watts(), 1e-9);
-    EXPECT_NEAR(pro.powers[1], coverage_power_floor(s, plan, 1).watts(), 1e-9);
+    EXPECT_NEAR(pro.powers[0], coverage_power_floor(s, plan, RsId{0}).watts(), 1e-9);
+    EXPECT_NEAR(pro.powers[1], coverage_power_floor(s, plan, RsId{1}).watts(), 1e-9);
 }
 
 TEST(ProTest, NeverBelowOptimalNorAboveBaseline) {
@@ -148,8 +153,9 @@ TEST(OptimalPowerTest, OptimalIsComponentWiseMinimal) {
         if (opt.powers[i] < 1e-12) continue;
         auto shaved = opt.powers;
         shaved[i] *= 0.99;
-        const double floor_i = coverage_power_floor(s, plan, i).watts();
-        const double snr_i = snr_power_floor(s, plan, i, shaved).watts();
+        const double floor_i =
+            coverage_power_floor(s, plan, RsId{i}).watts();
+        const double snr_i = snr_power_floor(s, plan, RsId{i}, shaved).watts();
         EXPECT_LT(shaved[i], std::max(floor_i, snr_i) + 1e-9) << "rs " << i;
     }
 }
@@ -157,7 +163,7 @@ TEST(OptimalPowerTest, OptimalIsComponentWiseMinimal) {
 TEST(BaselinePowerTest, AllAtMaxPower) {
     Scenario s = base_scenario();
     s.subscribers = {{{-50.0, 0.0}, 35.0}, {{50.0, 0.0}, 35.0}};
-    const auto plan = plan_of({{-50.0, 0.0}, {50.0, 0.0}}, {0, 1});
+    const auto plan = plan_of({{-50.0, 0.0}, {50.0, 0.0}}, {RsId{0}, RsId{1}});
     const auto base = allocate_power_baseline(s, plan);
     EXPECT_TRUE(base.feasible);
     EXPECT_DOUBLE_EQ(base.total, 100.0);

@@ -32,7 +32,7 @@ TEST(SagPipelineTest, GreenBeatsBaselineOnPower) {
     const Scenario s = sim::generate_scenario(cfg, 11);
     const auto sag = solve_sag(s);
     ASSERT_TRUE(sag.feasible);
-    const auto darp = solve_darp_baseline(s, sag.coverage, 0);
+    const auto darp = solve_darp_baseline(s, sag.coverage, ids::BsId{0});
     ASSERT_TRUE(darp.feasible);
     EXPECT_LT(sag.total_power(), darp.total_power());
 }
@@ -44,7 +44,7 @@ TEST(SagPipelineTest, DarpUsesMaxPowerEverywhere) {
     const Scenario s = sim::generate_scenario(cfg, 19);
     const auto cov = solve_samc(s).plan;
     ASSERT_TRUE(cov.feasible);
-    const auto darp = solve_darp_baseline(s, cov, 0);
+    const auto darp = solve_darp_baseline(s, cov, ids::BsId{0});
     EXPECT_NEAR(darp.lower_tier_power(),
                 static_cast<double>(cov.rs_count()) * s.radio.max_power.watts(), 1e-9);
     EXPECT_NEAR(darp.upper_tier_power(),

@@ -9,12 +9,16 @@
 
 #include "sag/core/feasibility.h"
 #include "sag/core/samc.h"
+#include "sag/ids/ids.h"
 #include "sag/core/ucra.h"
 #include "sag/core/zone_partition.h"
 #include "sag/sim/scenario_gen.h"
 
 namespace sag::core {
 namespace {
+
+using ids::RsId;
+using ids::SsId;
 
 using samc_detail::coverage_link_escape;
 using samc_detail::sliding_movement;
@@ -35,31 +39,31 @@ TEST(CoverageLinkEscapeDetail, EmptyInputs) {
     EXPECT_TRUE(za_no_subs.serving.empty());
 
     s.subscribers = {{{0.0, 0.0}, 35.0}};
-    const std::size_t subs[] = {0};
+    const SsId subs[] = {SsId{0}};
     const auto za_no_points = coverage_link_escape(s, subs, {});
-    // No points: the subscriber keeps the "unassigned" sentinel (== 0
-    // points), which callers must treat as uncoverable.
+    // No points: the subscriber keeps the "unassigned" sentinel, which
+    // callers must treat as uncoverable.
     ASSERT_EQ(za_no_points.serving.size(), 1u);
-    EXPECT_EQ(za_no_points.serving[0], 0u);  // == points.size()
+    EXPECT_FALSE(za_no_points.serving[SsId{0}].valid());
 }
 
 TEST(CoverageLinkEscapeDetail, UncoverableSubscriberKeepsSentinel) {
     Scenario s = base();
     s.subscribers = {{{0.0, 0.0}, 35.0}, {{200.0, 0.0}, 30.0}};
-    const std::size_t subs[] = {0, 1};
+    const SsId subs[] = {SsId{0}, SsId{1}};
     const geom::Vec2 points[] = {{5.0, 0.0}};  // covers only sub 0
     const auto za = coverage_link_escape(s, subs, points);
-    EXPECT_EQ(za.serving[0], 0u);
-    EXPECT_EQ(za.serving[1], 1u);  // sentinel == points.size()
+    EXPECT_EQ(za.serving[SsId{0}], RsId{0});
+    EXPECT_FALSE(za.serving[SsId{1}].valid());  // uncoverable sentinel
 }
 
 TEST(CoverageLinkEscapeDetail, BoundaryPointCountsAsCovering) {
     Scenario s = base();
     s.subscribers = {{{0.0, 0.0}, 35.0}};
-    const std::size_t subs[] = {0};
+    const SsId subs[] = {SsId{0}};
     const geom::Vec2 points[] = {{35.0, 0.0}};  // exactly on the circle
     const auto za = coverage_link_escape(s, subs, points);
-    EXPECT_EQ(za.serving[0], 0u);
+    EXPECT_EQ(za.serving[SsId{0}], RsId{0});
 }
 
 TEST(CoverageLinkEscapeDetail, DeterministicOnTies) {
@@ -67,22 +71,22 @@ TEST(CoverageLinkEscapeDetail, DeterministicOnTies) {
     // same one every run (lowest index wins the max-degree scan).
     Scenario s = base();
     s.subscribers = {{{0.0, 0.0}, 35.0}, {{10.0, 0.0}, 35.0}};
-    const std::size_t subs[] = {0, 1};
+    const SsId subs[] = {SsId{0}, SsId{1}};
     const geom::Vec2 points[] = {{5.0, 0.0}, {5.0, 1.0}};
     const auto a = coverage_link_escape(s, subs, points);
     const auto b = coverage_link_escape(s, subs, points);
     EXPECT_EQ(a.serving, b.serving);
-    EXPECT_EQ(a.serving[0], 0u);
+    EXPECT_EQ(a.serving[SsId{0}], RsId{0});
 }
 
 TEST(SlidingMovementDetail, FixedOneOnOneRsDoesNotMoveAgain) {
     Scenario s = base();
     s.snr_threshold_db = units::Decibel{10.0};  // strict enough to trigger repair rounds
     s.subscribers = {{{-80.0, 0.0}, 35.0}, {{60.0, 0.0}, 35.0}, {{120.0, 0.0}, 35.0}};
-    const std::size_t subs[] = {0, 1, 2};
+    const SsId subs[] = {SsId{0}, SsId{1}, SsId{2}};
     ZoneAssignment za;
     za.points = {{-75.0, 0.0}, {90.0, 5.0}};
-    za.serving = {0, 1, 1};
+    za.serving = {RsId{0}, RsId{1}, RsId{1}};
     const auto slide = sliding_movement(s, subs, za, {});
     // The one-on-one RS must sit exactly on subscriber 0 regardless of
     // what the multi-cover repair did afterwards.
@@ -92,10 +96,10 @@ TEST(SlidingMovementDetail, FixedOneOnOneRsDoesNotMoveAgain) {
 TEST(SlidingMovementDetail, ServingPreservedWithoutReassignment) {
     Scenario s = base();
     s.subscribers = {{{-20.0, 0.0}, 35.0}, {{20.0, 0.0}, 35.0}};
-    const std::size_t subs[] = {0, 1};
+    const SsId subs[] = {SsId{0}, SsId{1}};
     ZoneAssignment za;
     za.points = {{0.0, 0.0}};
-    za.serving = {0, 0};
+    za.serving = {RsId{0}, RsId{0}};
     SamcOptions opts;
     opts.allow_reassignment = false;
     const auto slide = sliding_movement(s, subs, za, opts);
@@ -111,10 +115,10 @@ TEST(SlidingMovementDetail, ReassignmentRescuesMisassignedSubscriber) {
     Scenario s = base();
     s.snr_threshold_db = units::Decibel{14.0};
     s.subscribers = {{{0.0, 0.0}, 35.0}, {{40.0, 0.0}, 35.0}};
-    const std::size_t subs[] = {0, 1};
+    const SsId subs[] = {SsId{0}, SsId{1}};
     ZoneAssignment za;
     za.points = {{5.0, 0.0}, {42.0, 0.0}};
-    za.serving = {0, 0};  // sub 1 served from ~35 away; point 1 at 2 away idle
+    za.serving = {RsId{0}, RsId{0}};  // sub 1 served from ~35 away; point 1 at 2 away idle
 
     SamcOptions paper;
     paper.allow_reassignment = false;
@@ -123,10 +127,10 @@ TEST(SlidingMovementDetail, ReassignmentRescuesMisassignedSubscriber) {
     const auto without = sliding_movement(s, subs, za, paper);
     const auto with = sliding_movement(s, subs, za, repaired);
     EXPECT_TRUE(with.feasible);
-    EXPECT_EQ(with.serving[1], 1u);  // switched to the near point
+    EXPECT_EQ(with.serving[SsId{1}], RsId{1});  // switched to the near point
     // And the paper variant must not silently claim success either way:
     // its serving stays as given.
-    EXPECT_EQ(without.serving[1], 0u);
+    EXPECT_EQ(without.serving[SsId{1}], RsId{0});
 }
 
 TEST(SlidingMovementDetail, DeterministicAcrossRuns) {
@@ -153,7 +157,7 @@ TEST(MbmcSubtreeDetail, ParentEdgeUsesChildsStricterDistance) {
     s.base_stations = {{{-250.0, 0.0}}};
     CoveragePlan cov;
     cov.rs_positions = {{50.0, 0.0}, {350.0, 0.0}};
-    cov.assignment = {0, 1};
+    cov.assignment = {RsId{0}, RsId{1}};
     cov.feasible = true;
     const auto plan = solve_mbmc(s, cov);
     ASSERT_TRUE(plan.feasible);
@@ -181,7 +185,7 @@ TEST(MbmcSubtreeDetail, IndependentBranchesKeepOwnDistances) {
     s.base_stations = {{{0.0, 0.0}}};
     CoveragePlan cov;
     cov.rs_positions = {{0.0, 300.0}, {0.0, -300.0}};
-    cov.assignment = {0, 1};
+    cov.assignment = {RsId{0}, RsId{1}};
     cov.feasible = true;
     const auto plan = solve_mbmc(s, cov);
     const auto count_chain = [&](std::size_t cov_idx) {
@@ -224,8 +228,8 @@ TEST(ZonePartitionDetail, SpatialIndexMatchesBruteForce) {
     }
     const auto zones = zone_partition(s);
     for (const auto& zone : zones) {
-        for (const std::size_t j : zone) {
-            EXPECT_EQ(find(j), find(zone.front()));
+        for (const SsId j : zone) {
+            EXPECT_EQ(find(j.index()), find(zone.front().index()));
         }
     }
     std::set<std::size_t> roots;

@@ -5,12 +5,16 @@
 
 #include "sag/core/feasibility.h"
 #include "sag/core/samc.h"
+#include "sag/ids/ids.h"
 #include "sag/core/snr.h"
 #include "sag/opt/hitting_set.h"
 #include "sag/sim/scenario_gen.h"
 
 namespace sag::core {
 namespace {
+
+using ids::RsId;
+using ids::SsId;
 
 using samc_detail::coverage_link_escape;
 using samc_detail::sliding_movement;
@@ -29,11 +33,11 @@ Scenario base_scenario(double side = 500.0) {
 TEST(CoverageLinkEscapeTest, AssignsEverySubscriberExactlyOnce) {
     Scenario s = base_scenario();
     s.subscribers = {{{-30.0, 0.0}, 35.0}, {{30.0, 0.0}, 35.0}, {{0.0, 30.0}, 35.0}};
-    const std::size_t subs[] = {0, 1, 2};
+    const SsId subs[] = {SsId{0}, SsId{1}, SsId{2}};
     const geom::Vec2 points[] = {{0.0, 0.0}, {100.0, 100.0}};
     const auto za = coverage_link_escape(s, subs, points);
     ASSERT_EQ(za.serving.size(), 3u);
-    for (const std::size_t p : za.serving) EXPECT_EQ(p, 0u);  // all reach point 0
+    for (const RsId p : za.serving) EXPECT_EQ(p, RsId{0});  // all reach point 0
 }
 
 TEST(CoverageLinkEscapeTest, HighDegreePointClaimsFirst) {
@@ -41,32 +45,32 @@ TEST(CoverageLinkEscapeTest, HighDegreePointClaimsFirst) {
     // Point 0 covers subs 0,1; point 1 covers all three (degree 3) and
     // must claim every subscriber first.
     s.subscribers = {{{-10.0, 0.0}, 35.0}, {{10.0, 0.0}, 35.0}, {{60.0, 0.0}, 35.0}};
-    const std::size_t subs[] = {0, 1, 2};
+    const SsId subs[] = {SsId{0}, SsId{1}, SsId{2}};
     const geom::Vec2 points[] = {{0.0, 0.0}, {25.0, 0.0}};
     const auto za = coverage_link_escape(s, subs, points);
     // Point 1 covers all three -> claims them all; point 0 ends one-on-none.
-    EXPECT_EQ(za.serving[0], 1u);
-    EXPECT_EQ(za.serving[1], 1u);
-    EXPECT_EQ(za.serving[2], 1u);
+    EXPECT_EQ(za.serving[SsId{0}], RsId{1});
+    EXPECT_EQ(za.serving[SsId{1}], RsId{1});
+    EXPECT_EQ(za.serving[SsId{2}], RsId{1});
 }
 
 TEST(CoverageLinkEscapeTest, RespectsDistanceRequests) {
     Scenario s = base_scenario();
     s.subscribers = {{{-100.0, 0.0}, 30.0}, {{100.0, 0.0}, 30.0}};
-    const std::size_t subs[] = {0, 1};
+    const SsId subs[] = {SsId{0}, SsId{1}};
     const geom::Vec2 points[] = {{-100.0, 0.0}, {100.0, 0.0}};
     const auto za = coverage_link_escape(s, subs, points);
-    EXPECT_EQ(za.serving[0], 0u);
-    EXPECT_EQ(za.serving[1], 1u);
+    EXPECT_EQ(za.serving[SsId{0}], RsId{0});
+    EXPECT_EQ(za.serving[SsId{1}], RsId{1});
 }
 
 TEST(SlidingMovementTest, OneOnOneRsMovesOntoSubscriber) {
     Scenario s = base_scenario();
     s.subscribers = {{{-100.0, 0.0}, 30.0}, {{100.0, 0.0}, 30.0}};
-    const std::size_t subs[] = {0, 1};
+    const SsId subs[] = {SsId{0}, SsId{1}};
     samc_detail::ZoneAssignment za;
     za.points = {{-90.0, 0.0}, {110.0, 0.0}};  // inside circles but offset
-    za.serving = {0, 1};
+    za.serving = {RsId{0}, RsId{1}};
     const auto slide = sliding_movement(s, subs, za, {});
     ASSERT_TRUE(slide.feasible);
     EXPECT_EQ(slide.points[0], s.subscribers[0].pos);
@@ -76,10 +80,10 @@ TEST(SlidingMovementTest, OneOnOneRsMovesOntoSubscriber) {
 TEST(SlidingMovementTest, MultiCoverRsStaysWhenSnrHolds) {
     Scenario s = base_scenario();
     s.subscribers = {{{-20.0, 0.0}, 35.0}, {{20.0, 0.0}, 35.0}};
-    const std::size_t subs[] = {0, 1};
+    const SsId subs[] = {SsId{0}, SsId{1}};
     samc_detail::ZoneAssignment za;
     za.points = {{0.0, 0.0}};
-    za.serving = {0, 0};
+    za.serving = {RsId{0}, RsId{0}};
     const auto slide = sliding_movement(s, subs, za, {});
     ASSERT_TRUE(slide.feasible);
     EXPECT_EQ(slide.points[0], (geom::Vec2{0.0, 0.0}));  // untouched
@@ -91,10 +95,10 @@ TEST(SlidingMovementTest, RepairsSnrViolationByRelocation) {
     // Sub 0 one-on-one (RS slides onto it); subs 1,2 share an RS placed
     // badly close to sub 0's RS -> sub 0's SNR initially violated.
     s.subscribers = {{{-80.0, 0.0}, 35.0}, {{40.0, 0.0}, 35.0}, {{100.0, 0.0}, 35.0}};
-    const std::size_t subs[] = {0, 1, 2};
+    const SsId subs[] = {SsId{0}, SsId{1}, SsId{2}};
     samc_detail::ZoneAssignment za;
     za.points = {{-80.0, 0.0}, {68.0, 5.0}};
-    za.serving = {0, 1, 1};
+    za.serving = {RsId{0}, RsId{1}, RsId{1}};
     const auto slide = sliding_movement(s, subs, za, {});
     EXPECT_TRUE(slide.feasible);
     // Relocated RS must still cover both its subscribers.
@@ -106,10 +110,10 @@ TEST(SlidingMovementTest, ImpossibleSnrReportsInfeasible) {
     Scenario s = base_scenario();
     s.snr_threshold_db = units::Decibel{60.0};  // cannot hold with two radiators nearby
     s.subscribers = {{{-45.0, 0.0}, 35.0}, {{45.0, 0.0}, 35.0}};
-    const std::size_t subs[] = {0, 1};
+    const SsId subs[] = {SsId{0}, SsId{1}};
     samc_detail::ZoneAssignment za;
     za.points = {{-45.0, 0.0}, {45.0, 0.0}};
-    za.serving = {0, 1};
+    za.serving = {RsId{0}, RsId{1}};
     const auto slide = sliding_movement(s, subs, za, {});
     EXPECT_FALSE(slide.feasible);
 }
@@ -142,7 +146,7 @@ TEST(SamcTest, RsCountEqualsHittingSetCount) {
     std::size_t hitting_total = 0;
     for (const auto& zone : result.zones) {
         std::vector<geom::Circle> disks;
-        for (const std::size_t j : zone) disks.push_back(s.feasible_circle(j));
+        for (const SsId j : zone) disks.push_back(s.feasible_circle(j));
         hitting_total += opt::geometric_hitting_set(disks, {}).size();
     }
     EXPECT_EQ(result.plan.rs_count(), hitting_total);
@@ -155,10 +159,11 @@ TEST(SamcTest, AssignmentsRespectDistanceRequests) {
     const Scenario s = sim::generate_scenario(cfg, 17);
     const auto result = solve_samc(s);
     ASSERT_TRUE(result.plan.feasible);
-    for (std::size_t j = 0; j < s.subscriber_count(); ++j) {
-        const auto& rs = result.plan.rs_positions[result.plan.assignment[j]];
-        EXPECT_LE(geom::distance(rs, s.subscribers[j].pos),
-                  s.subscribers[j].distance_request + 1e-6);
+    for (const SsId j : s.ss_ids()) {
+        const auto& rs =
+            result.plan.rs_positions[result.plan.assignment[j].index()];
+        EXPECT_LE(geom::distance(rs, s.subscriber(j).pos),
+                  s.subscriber(j).distance_request + 1e-6);
     }
 }
 

@@ -30,7 +30,7 @@ TEST(ScenarioTest, SnrThresholdConversion) {
 
 TEST(ScenarioTest, FeasibleCircleMatchesSubscriber) {
     Scenario s = tiny_scenario();
-    const auto c = s.feasible_circle(1);
+    const auto c = s.feasible_circle(ids::SsId{1});
     EXPECT_EQ(c.center, (geom::Vec2{100.0, 0.0}));
     EXPECT_DOUBLE_EQ(c.radius, 40.0);
     EXPECT_EQ(s.feasible_circles().size(), 2u);
@@ -40,9 +40,9 @@ TEST(ScenarioTest, MinRxPowerIsPowerAtDistanceRequest) {
     Scenario s = tiny_scenario();
     const units::Watt expect =
         wireless::received_power(s.radio, s.radio.max_power, units::Meters{30.0});
-    EXPECT_NEAR(s.min_rx_power(0).watts(), expect.watts(), 1e-15);
+    EXPECT_NEAR(s.min_rx_power(ids::SsId{0}).watts(), expect.watts(), 1e-15);
     // Larger distance request -> weaker demanded power.
-    EXPECT_LT(s.min_rx_power(1), s.min_rx_power(0));
+    EXPECT_LT(s.min_rx_power(ids::SsId{1}), s.min_rx_power(ids::SsId{0}));
 }
 
 TEST(ScenarioTest, MinDistanceRequest) {
@@ -84,7 +84,7 @@ TEST(ZonePartitionTest, NearbySubscribersShareAZone) {
     Scenario s = tiny_scenario();  // 100 apart, d_eff = 60 < dmax(~150)
     const auto zones = zone_partition(s);
     ASSERT_EQ(zones.size(), 1u);
-    EXPECT_EQ(zones[0].size(), 2u);
+    EXPECT_EQ(zones[ids::ZoneId{0}].size(), 2u);
 }
 
 TEST(ZonePartitionTest, FarSubscribersSplit) {
@@ -101,10 +101,10 @@ TEST(ZonePartitionTest, ZonesPartitionTheSubscribers) {
     cfg.subscriber_count = 40;
     const Scenario s = sim::generate_scenario(cfg, 3);
     const auto zones = zone_partition(s);
-    std::set<std::size_t> seen;
+    std::set<ids::SsId> seen;
     for (const auto& z : zones) {
         EXPECT_FALSE(z.empty());
-        for (const std::size_t j : z) EXPECT_TRUE(seen.insert(j).second);
+        for (const ids::SsId j : z) EXPECT_TRUE(seen.insert(j).second);
     }
     EXPECT_EQ(seen.size(), s.subscriber_count());
 }
@@ -120,13 +120,13 @@ TEST(ZonePartitionTest, InterZoneStationsCannotInterfereAboveNmax) {
     // at least dmax from s_j.
     for (std::size_t a = 0; a < zones.size(); ++a) {
         for (std::size_t b = a + 1; b < zones.size(); ++b) {
-            for (const std::size_t i : zones[a]) {
-                for (const std::size_t j : zones[b]) {
-                    const double dist =
-                        geom::distance(s.subscribers[i].pos, s.subscribers[j].pos);
+            for (const ids::SsId i : zones[ids::ZoneId{a}]) {
+                for (const ids::SsId j : zones[ids::ZoneId{b}]) {
+                    const double dist = geom::distance(s.subscriber(i).pos,
+                                                       s.subscriber(j).pos);
                     const double d_eff =
-                        std::min(dist - s.subscribers[i].distance_request,
-                                 dist - s.subscribers[j].distance_request);
+                        std::min(dist - s.subscriber(i).distance_request,
+                                 dist - s.subscriber(j).distance_request);
                     EXPECT_GT(d_eff, dmax);
                 }
             }
@@ -140,8 +140,8 @@ TEST(CandidatesTest, IacContainsIntersectionsOfOverlappingCircles) {
     const auto cands = iac_candidates(s);
     EXPECT_EQ(cands.size(), 2u);  // two boundary intersections
     for (const auto& p : cands) {
-        EXPECT_TRUE(s.feasible_circle(0).on_boundary(p, 1e-6));
-        EXPECT_TRUE(s.feasible_circle(1).on_boundary(p, 1e-6));
+        EXPECT_TRUE(s.feasible_circle(ids::SsId{0}).on_boundary(p, 1e-6));
+        EXPECT_TRUE(s.feasible_circle(ids::SsId{1}).on_boundary(p, 1e-6));
     }
 }
 
@@ -171,8 +171,8 @@ TEST(CandidatesTest, PruneRemovesUncoveringPositions) {
     EXPECT_LT(cands.size(), before);
     for (const auto& p : cands) {
         const bool covers_some =
-            s.feasible_circle(0).contains(p, 1e-6) ||
-            s.feasible_circle(1).contains(p, 1e-6);
+            s.feasible_circle(ids::SsId{0}).contains(p, 1e-6) ||
+            s.feasible_circle(ids::SsId{1}).contains(p, 1e-6);
         EXPECT_TRUE(covers_some);
     }
 }

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "sag/core/feasibility.h"
+#include "sag/ids/ids.h"
 #include "sag/core/snr.h"
 #include "sag/sim/scenario_gen.h"
 #include "sag/units/units.h"
@@ -10,6 +11,9 @@
 
 namespace sag::core {
 namespace {
+
+using ids::RsId;
+using ids::SsId;
 
 Scenario two_sub_scenario() {
     Scenario s;
@@ -27,8 +31,8 @@ TEST(SnrTest, SingleRsInfiniteSnr) {
     const Scenario s = two_sub_scenario();
     const geom::Vec2 rs[] = {{-50.0, 0.0}};
     const double powers[] = {50.0};
-    const std::size_t subs[] = {0};
-    const std::size_t assignment[] = {0};
+    const SsId subs[] = {SsId{0}};
+    const ids::IdVec<SsId, RsId> assignment{RsId{0}};
     const auto snrs = coverage_snrs(s, rs, powers, subs, assignment);
     EXPECT_TRUE(std::isinf(snrs[0]));
 }
@@ -37,7 +41,7 @@ TEST(SnrTest, TwoRsMatchHandComputedRatio) {
     const Scenario s = two_sub_scenario();
     const geom::Vec2 rs[] = {{-50.0, 0.0}, {50.0, 0.0}};
     const double powers[] = {50.0, 50.0};
-    const std::size_t assignment[] = {0, 1};
+    const ids::IdVec<SsId, RsId> assignment{RsId{0}, RsId{1}};
     const auto snrs = coverage_snrs(s, rs, powers, assignment);
     // Subscriber 0: signal from RS0 at clamped distance 1, interference
     // from RS1 at distance 100.
@@ -57,8 +61,8 @@ TEST(SnrTest, ZeroPowerServerReportsZeroSnrNotInfinity) {
     const Scenario s = two_sub_scenario();
     const geom::Vec2 rs[] = {{-50.0, 0.0}};
     const double powers[] = {0.0};
-    const std::size_t subs[] = {0};
-    const std::size_t assignment[] = {0};
+    const SsId subs[] = {SsId{0}};
+    const ids::IdVec<SsId, RsId> assignment{RsId{0}};
     const auto snrs = coverage_snrs(s, rs, powers, subs, assignment);
     EXPECT_FALSE(std::isinf(snrs[0]));
     EXPECT_EQ(snrs[0], 0.0);
@@ -68,7 +72,7 @@ TEST(SnrTest, ZeroPowerServerAmongActiveInterferersScoresZero) {
     const Scenario s = two_sub_scenario();
     const geom::Vec2 rs[] = {{-50.0, 0.0}, {50.0, 0.0}};
     const double powers[] = {0.0, 50.0};
-    const std::size_t assignment[] = {0, 1};
+    const ids::IdVec<SsId, RsId> assignment{RsId{0}, RsId{1}};
     const auto snrs = coverage_snrs(s, rs, powers, assignment);
     EXPECT_EQ(snrs[0], 0.0);       // silent server, live interferer
     EXPECT_TRUE(std::isinf(snrs[1]));  // live server, silent interferer
@@ -79,8 +83,8 @@ TEST(SnrTest, NearestAssignmentPicksClosestInRange) {
     const geom::Vec2 rs[] = {{-60.0, 0.0}, {40.0, 0.0}};
     const auto a = nearest_assignment(s, rs);
     ASSERT_TRUE(a.has_value());
-    EXPECT_EQ((*a)[0], 0u);  // 10 away vs 90 away
-    EXPECT_EQ((*a)[1], 1u);
+    EXPECT_EQ((*a)[SsId{0}], RsId{0});  // 10 away vs 90 away
+    EXPECT_EQ((*a)[SsId{1}], RsId{1});
 }
 
 TEST(SnrTest, NearestAssignmentRespectsDistanceRequest) {
@@ -92,7 +96,7 @@ TEST(SnrTest, NearestAssignmentRespectsDistanceRequest) {
 
 TEST(SnrTest, FeasibleAtMaxPowerEndToEnd) {
     const Scenario s = two_sub_scenario();
-    const std::size_t subs[] = {0, 1};
+    const SsId subs[] = {SsId{0}, SsId{1}};
     // RSs on top of the subscribers: strong signal, weak cross noise.
     const geom::Vec2 good[] = {{-50.0, 0.0}, {50.0, 0.0}};
     EXPECT_TRUE(snr_feasible_at_max_power(s, good, subs));
@@ -106,7 +110,7 @@ TEST(SnrTest, FeasibleAtMaxPowerEndToEnd) {
 TEST(SnrTest, HighThresholdMakesCrossNoiseFatal) {
     Scenario s = two_sub_scenario();
     s.snr_threshold_db = units::Decibel{35.0};  // brutally strict
-    const std::size_t subs[] = {0, 1};
+    const SsId subs[] = {SsId{0}, SsId{1}};
     const geom::Vec2 rs[] = {{-50.0, 0.0}, {50.0, 0.0}};
     // signal at d=1 vs interference at d=100 gives ~60 dB -> passes 35 dB;
     // move RSs to the circle edges to shrink the margin below threshold.
@@ -120,33 +124,33 @@ TEST(VerifyCoverageTest, AcceptsGoodPlanRejectsTamperedOne) {
     const Scenario s = two_sub_scenario();
     CoveragePlan plan;
     plan.rs_positions = {{-50.0, 0.0}, {50.0, 0.0}};
-    plan.assignment = {0, 1};
+    plan.assignment = {RsId{0}, RsId{1}};
     plan.feasible = true;
 
     auto report = verify_coverage_max_power(s, plan);
     EXPECT_TRUE(report.feasible);
     EXPECT_EQ(report.violations, 0u);
-    EXPECT_TRUE(report.subscribers[0].distance_ok);
-    EXPECT_TRUE(report.subscribers[0].rate_ok);
-    EXPECT_TRUE(report.subscribers[0].snr_ok);
+    EXPECT_TRUE(report.subscribers[SsId{0}].distance_ok);
+    EXPECT_TRUE(report.subscribers[SsId{0}].rate_ok);
+    EXPECT_TRUE(report.subscribers[SsId{0}].snr_ok);
 
     // Tamper: serve subscriber 1 from the far RS -> distance violation.
-    plan.assignment = {0, 0};
+    plan.assignment = {RsId{0}, RsId{0}};
     report = verify_coverage_max_power(s, plan);
     EXPECT_FALSE(report.feasible);
-    EXPECT_FALSE(report.subscribers[1].distance_ok);
+    EXPECT_FALSE(report.subscribers[SsId{1}].distance_ok);
 }
 
 TEST(VerifyCoverageTest, LowPowerFailsRateCheck) {
     const Scenario s = two_sub_scenario();
     CoveragePlan plan;
     plan.rs_positions = {{-20.0, 0.0}, {50.0, 0.0}};  // RS0 at 30 from sub 0
-    plan.assignment = {0, 1};
+    plan.assignment = {RsId{0}, RsId{1}};
     // Power so low the received power at 30 misses P^0_ss (defined at 35
     // with max power).
     const double powers[] = {0.1, 50.0};
     const auto report = verify_coverage(s, plan, powers);
-    EXPECT_FALSE(report.subscribers[0].rate_ok);
+    EXPECT_FALSE(report.subscribers[SsId{0}].rate_ok);
     EXPECT_FALSE(report.feasible);
 }
 
@@ -154,7 +158,7 @@ TEST(VerifyCoverageTest, MismatchedAssignmentSizeRejected) {
     const Scenario s = two_sub_scenario();
     CoveragePlan plan;
     plan.rs_positions = {{-50.0, 0.0}};
-    plan.assignment = {0};  // only one entry for two subscribers
+    plan.assignment = {RsId{0}};  // only one entry for two subscribers
     const auto report = verify_coverage_max_power(s, plan);
     EXPECT_FALSE(report.feasible);
 }
@@ -163,13 +167,13 @@ TEST(VerifyCoverageTest, SnrDbReportedInDb) {
     const Scenario s = two_sub_scenario();
     CoveragePlan plan;
     plan.rs_positions = {{-50.0, 0.0}, {50.0, 0.0}};
-    plan.assignment = {0, 1};
+    plan.assignment = {RsId{0}, RsId{1}};
     const auto report = verify_coverage_max_power(s, plan);
     const units::Watt signal =
         wireless::received_power(s.radio, units::Watt{50.0}, units::Meters{1.0});
     const units::Watt interference =
         wireless::received_power(s.radio, units::Watt{50.0}, units::Meters{100.0});
-    EXPECT_NEAR(report.subscribers[0].snr_db,
+    EXPECT_NEAR(report.subscribers[SsId{0}].snr_db,
                 units::to_db(signal / interference).db(), 1e-6);
 }
 
@@ -177,7 +181,7 @@ TEST(VerifyConnectivityTest, SingleHopTreeAccepted) {
     const Scenario s = two_sub_scenario();
     CoveragePlan cov;
     cov.rs_positions = {{-50.0, 0.0}};
-    cov.assignment = {0, 0};
+    cov.assignment = {RsId{0}, RsId{0}};
     ConnectivityPlan plan;
     // BS node 0 (root), coverage RS node 1 hanging off it via a chain of
     // one connectivity RS at the midpoint (hop 103 split into ~2x52 would
@@ -221,7 +225,7 @@ TEST(AmbientNoiseTest, LowersEverySnr) {
     Scenario s = two_sub_scenario();
     const geom::Vec2 rs[] = {{-50.0, 0.0}, {50.0, 0.0}};
     const double powers[] = {50.0, 50.0};
-    const std::size_t assignment[] = {0, 1};
+    const ids::IdVec<SsId, RsId> assignment{RsId{0}, RsId{1}};
     const auto clean = coverage_snrs(s, rs, powers, assignment);
     s.radio.snr_ambient_noise = units::Watt{0.065};
     const auto noisy = coverage_snrs(s, rs, powers, assignment);
@@ -233,8 +237,8 @@ TEST(AmbientNoiseTest, MakesSingleRsSnrFinite) {
     s.radio.snr_ambient_noise = units::Watt{0.065};
     const geom::Vec2 rs[] = {{-50.0, 0.0}};
     const double powers[] = {50.0};
-    const std::size_t subs[] = {0};
-    const std::size_t assignment[] = {0};
+    const SsId subs[] = {SsId{0}};
+    const ids::IdVec<SsId, RsId> assignment{RsId{0}};
     const auto snrs = coverage_snrs(s, rs, powers, subs, assignment);
     const units::Watt signal =
         wireless::received_power(s.radio, units::Watt{50.0}, units::Meters{1.0});
@@ -249,7 +253,7 @@ TEST(AmbientNoiseTest, BoundaryServiceFailsWhereInteriorSurvives) {
     s.radio.snr_ambient_noise = units::Watt{0.065};
     s.snr_threshold_db = units::Decibel{-11.5};
     s.subscribers = {{{0.0, 0.0}, 40.0}};
-    const std::size_t subs[] = {0};
+    const SsId subs[] = {SsId{0}};
     const geom::Vec2 boundary_rs[] = {{40.0, 0.0}};
     EXPECT_FALSE(snr_feasible_at_max_power(s, boundary_rs, subs));
     const geom::Vec2 interior_rs[] = {{25.0, 0.0}};
@@ -260,7 +264,7 @@ TEST(VerifyConnectivityTest, UnrootedNodeDetected) {
     const Scenario s = two_sub_scenario();
     CoveragePlan cov;
     cov.rs_positions = {{-50.0, 0.0}};
-    cov.assignment = {0, 0};
+    cov.assignment = {RsId{0}, RsId{0}};
     ConnectivityPlan plan;
     plan.positions = {s.base_stations[0].pos, {-50.0, 0.0}};
     plan.kinds = {NodeKind::BaseStation, NodeKind::CoverageRs};
@@ -275,7 +279,7 @@ TEST(VerifyConnectivityTest, MissingNodesRejected) {
     const Scenario s = two_sub_scenario();
     CoveragePlan cov;
     cov.rs_positions = {{-50.0, 0.0}};
-    cov.assignment = {0, 0};
+    cov.assignment = {RsId{0}, RsId{0}};
     ConnectivityPlan plan;  // empty
     EXPECT_FALSE(verify_connectivity(s, cov, plan).feasible);
 }

@@ -9,12 +9,17 @@
 
 #include "sag/core/snr.h"
 #include "sag/core/snr_field.h"
+#include "sag/ids/ids.h"
 #include "sag/sim/scenario_gen.h"
 #include "sag/sim/snr_field_refresh.h"
 #include "sag/sim/thread_pool.h"
 
 namespace sag::core {
 namespace {
+
+using ids::CandId;
+using ids::RsId;
+using ids::SsId;
 
 Scenario random_scenario(std::size_t users, double side, unsigned seed) {
     sim::GeneratorConfig cfg;
@@ -34,9 +39,10 @@ double rel_diff(double a, double b) {
 
 /// Serving map: subscriber k -> RS (k % rs_count). Synthetic but exercises
 /// every (signal, interference) split.
-std::vector<std::size_t> round_robin_serving(std::size_t subs, std::size_t rs) {
-    std::vector<std::size_t> serving(subs);
-    for (std::size_t k = 0; k < subs; ++k) serving[k] = k % rs;
+ids::IdVec<SsId, RsId> round_robin_serving(std::size_t subs, std::size_t rs) {
+    ids::IdVec<SsId, RsId> serving;
+    serving.reserve(subs);
+    for (std::size_t k = 0; k < subs; ++k) serving.push_back(RsId{k % rs});
     return serving;
 }
 
@@ -52,8 +58,9 @@ TEST(SnrFieldTest, OneShotMatchesCoverageSnrs) {
     const auto serving = round_robin_serving(s.subscriber_count(), rs.size());
     const SnrField field(s, rs, powers);
     const auto snrs = coverage_snrs(s, rs, powers, serving);
-    for (std::size_t k = 0; k < s.subscriber_count(); ++k) {
-        EXPECT_LE(rel_diff(field.snr_of(k, serving[k]), snrs[k]), 1e-12) << k;
+    for (const SsId k : serving.ids()) {
+        EXPECT_LE(rel_diff(field.snr_of(k, serving[k]), snrs[k.index()]), 1e-12)
+            << k;
     }
 }
 
@@ -80,17 +87,17 @@ TEST(SnrFieldTest, ThousandMixedDeltasMatchScratchTo1e12) {
         std::uniform_int_distribution<std::size_t> pick(0, field.rs_count() - 1);
         switch (op(rng)) {
             case 0:
-                field.move_rs(pick(rng), {coord(rng), coord(rng)});
+                field.move_rs(RsId{pick(rng)}, {coord(rng), coord(rng)});
                 break;
             case 1:
-                field.set_power(pick(rng), units::Watt{power(rng)});
+                field.set_power(RsId{pick(rng)}, units::Watt{power(rng)});
                 break;
             case 2:
                 field.add_rs({coord(rng), coord(rng)}, units::Watt{power(rng)});
                 break;
             default:
                 if (field.rs_count() > 2) {
-                    field.remove_rs(pick(rng));
+                    field.remove_rs(RsId{pick(rng)});
                 } else {
                     field.add_rs({coord(rng), coord(rng)}, units::Watt{power(rng)});
                 }
@@ -103,8 +110,9 @@ TEST(SnrFieldTest, ThousandMixedDeltasMatchScratchTo1e12) {
             round_robin_serving(s.subscriber_count(), field.rs_count());
         const auto scratch = coverage_snrs(
             s, cur_rs, cur_powers, serving);
-        for (std::size_t k = 0; k < s.subscriber_count(); ++k) {
-            ASSERT_LE(rel_diff(field.snr_of(k, serving[k]), scratch[k]), 1e-12)
+        for (const SsId k : serving.ids()) {
+            ASSERT_LE(rel_diff(field.snr_of(k, serving[k]), scratch[k.index()]),
+                      1e-12)
                 << "step " << step << " subscriber " << k;
         }
     }
@@ -117,23 +125,25 @@ TEST(SnrFieldTest, TransactionRollsBackEveryDeltaKind) {
     SnrField field = SnrField::at_max_power(s, rs);
 
     std::vector<double> before(s.subscriber_count());
-    for (std::size_t k = 0; k < before.size(); ++k) before[k] = field.total_rx(k);
+    for (std::size_t k = 0; k < before.size(); ++k) {
+        before[k] = field.total_rx(SsId{k});
+    }
 
     {
         SnrField::Transaction tx(field);
-        field.move_rs(0, {33.0, 44.0});
-        field.set_power(1, units::Watt{1.5});
+        field.move_rs(RsId{0}, {33.0, 44.0});
+        field.set_power(RsId{1}, units::Watt{1.5});
         field.add_rs({-40.0, -40.0}, units::Watt{20.0});
-        field.remove_rs(2);
-        field.move_rs(0, {-5.0, -5.0});  // second touch of the same RS
+        field.remove_rs(RsId{2});
+        field.move_rs(RsId{0}, {-5.0, -5.0});  // second touch of the same RS
         // no commit -> rollback
     }
     ASSERT_EQ(field.rs_count(), 3u);
-    EXPECT_EQ(field.rs_position(0), rs[0]);
-    EXPECT_EQ(field.rs_position(2), rs[2]);
-    EXPECT_EQ(field.rs_power(1), s.radio.max_power);
+    EXPECT_EQ(field.rs_position(RsId{0}), rs[0]);
+    EXPECT_EQ(field.rs_position(RsId{2}), rs[2]);
+    EXPECT_EQ(field.rs_power(RsId{1}), s.radio.max_power);
     for (std::size_t k = 0; k < before.size(); ++k) {
-        EXPECT_LE(rel_diff(field.total_rx(k), before[k]), 1e-13) << k;
+        EXPECT_LE(rel_diff(field.total_rx(SsId{k}), before[k]), 1e-13) << k;
     }
     EXPECT_LE(field.verify_against_scratch(), 1e-12);
 }
@@ -145,24 +155,24 @@ TEST(SnrFieldTest, NestedTransactionsCommitAndRollbackIndependently) {
 
     {
         SnrField::Transaction outer(field);
-        field.set_power(0, units::Watt{10.0});
+        field.set_power(RsId{0}, units::Watt{10.0});
         {
             SnrField::Transaction inner(field);
-            field.set_power(1, units::Watt{20.0});
+            field.set_power(RsId{1}, units::Watt{20.0});
             inner.commit();  // survives the inner scope...
         }
-        EXPECT_EQ(field.rs_power(1), units::Watt{20.0});
+        EXPECT_EQ(field.rs_power(RsId{1}), units::Watt{20.0});
         // ...but dies with the outer rollback.
     }
-    EXPECT_EQ(field.rs_power(0), s.radio.max_power);
-    EXPECT_EQ(field.rs_power(1), s.radio.max_power);
+    EXPECT_EQ(field.rs_power(RsId{0}), s.radio.max_power);
+    EXPECT_EQ(field.rs_power(RsId{1}), s.radio.max_power);
 
     {
         SnrField::Transaction outer(field);
-        field.move_rs(0, {0.0, 10.0});
+        field.move_rs(RsId{0}, {0.0, 10.0});
         outer.commit();
     }
-    EXPECT_EQ(field.rs_position(0), geom::Vec2(0.0, 10.0));
+    EXPECT_EQ(field.rs_position(RsId{0}), geom::Vec2(0.0, 10.0));
     EXPECT_LE(field.verify_against_scratch(), 1e-12);
 }
 
@@ -177,11 +187,12 @@ TEST(SnrFieldTest, ViolatedMatchesManualAudit) {
     const std::vector<double> powers(rs.size(), s.radio.max_power.watts());
     const auto snrs = coverage_snrs(s, rs, powers, serving);
     const double beta = s.snr_threshold_linear();
-    std::vector<std::size_t> expected;
-    for (std::size_t k = 0; k < s.subscriber_count(); ++k) {
-        const double d = geom::distance(rs[serving[k]], s.subscribers[k].pos);
-        if (d > s.subscribers[k].distance_request + 1e-6 ||
-            snrs[k] < beta * (1.0 - 1e-12)) {
+    std::vector<SsId> expected;
+    for (const SsId k : serving.ids()) {
+        const Subscriber& sub = s.subscriber(k);
+        const double d = geom::distance(rs[serving[k].index()], sub.pos);
+        if (d > sub.distance_request + 1e-6 ||
+            snrs[k.index()] < beta * (1.0 - 1e-12)) {
             expected.push_back(k);
         }
     }
@@ -190,16 +201,17 @@ TEST(SnrFieldTest, ViolatedMatchesManualAudit) {
 
 TEST(SnrFieldTest, TrackedSubsetOnlySeesItsSubscribers) {
     const Scenario s = random_scenario(30, 500.0, 17);
-    const std::vector<std::size_t> subset = {3, 7, 11, 19};
+    const std::vector<SsId> subset = {SsId{3}, SsId{7}, SsId{11}, SsId{19}};
     std::vector<geom::Vec2> rs = {{0.0, 0.0}, {80.0, 80.0}};
     const SnrField field = SnrField::at_max_power(s, rs, subset);
     ASSERT_EQ(field.tracked_count(), subset.size());
     const std::vector<double> powers(rs.size(), s.radio.max_power.watts());
-    const std::vector<std::size_t> serving = {0, 1, 0, 1};
+    const ids::IdVec<SsId, RsId> serving = {RsId{0}, RsId{1}, RsId{0}, RsId{1}};
     const auto scratch = coverage_snrs(s, rs, powers, subset, serving);
-    for (std::size_t k = 0; k < subset.size(); ++k) {
-        EXPECT_EQ(field.tracked_subscriber(k), subset[k]);
-        EXPECT_LE(rel_diff(field.snr_of(k, serving[k]), scratch[k]), 1e-12);
+    for (const SsId k : serving.ids()) {
+        EXPECT_EQ(field.tracked_subscriber(k), subset[k.index()]);
+        EXPECT_LE(rel_diff(field.snr_of(k, serving[k]), scratch[k.index()]),
+                  1e-12);
     }
 }
 
@@ -209,19 +221,18 @@ TEST(SnrFieldOracleTest, MatchesFreeFunctionOnRandomSubsets) {
     for (const auto& sub : s.subscribers) candidates.push_back(sub.pos);
 
     SnrFeasibilityOracle oracle(s, candidates);
-    std::vector<std::size_t> all_subs(s.subscriber_count());
-    for (std::size_t j = 0; j < all_subs.size(); ++j) all_subs[j] = j;
+    const std::vector<SsId> all_subs = ids::all_ids<SsId>(s.subscriber_count());
 
     std::mt19937 rng(77);
-    std::vector<std::size_t> chosen;
+    std::vector<CandId> chosen;
     for (int trial = 0; trial < 60; ++trial) {
         // Random walk over subsets: push/pop with stack discipline most of
         // the time, occasionally jump to an unrelated set (the oracle must
         // stay correct for arbitrary query sequences).
         const int act = std::uniform_int_distribution<int>(0, 9)(rng);
         if (act < 4 || chosen.empty()) {
-            chosen.push_back(
-                std::uniform_int_distribution<std::size_t>(0, candidates.size() - 1)(rng));
+            chosen.push_back(CandId{std::uniform_int_distribution<std::size_t>(
+                0, candidates.size() - 1)(rng)});
         } else if (act < 7) {
             chosen.pop_back();
         } else {
@@ -229,12 +240,12 @@ TEST(SnrFieldOracleTest, MatchesFreeFunctionOnRandomSubsets) {
             const std::size_t n =
                 std::uniform_int_distribution<std::size_t>(1, 6)(rng);
             for (std::size_t i = 0; i < n; ++i) {
-                chosen.push_back(std::uniform_int_distribution<std::size_t>(
-                    0, candidates.size() - 1)(rng));
+                chosen.push_back(CandId{std::uniform_int_distribution<std::size_t>(
+                    0, candidates.size() - 1)(rng)});
             }
         }
         std::vector<geom::Vec2> positions;
-        for (const std::size_t c : chosen) positions.push_back(candidates[c]);
+        for (const CandId c : chosen) positions.push_back(candidates[c.index()]);
         EXPECT_EQ(oracle.feasible(chosen),
                   snr_feasible_at_max_power(s, positions, all_subs))
             << "trial " << trial;
@@ -251,20 +262,21 @@ TEST(NearestAssignmentGridTest, GridPathMatchesLinearScan) {
     for (std::size_t i = 0; i < 48; ++i) rs.push_back({coord(rng), coord(rng)});
 
     const auto got = nearest_assignment(s, rs);
-    std::vector<std::size_t> expected(s.subscriber_count());
+    ids::IdVec<SsId, RsId> expected(s.subscriber_count(), RsId::invalid());
     bool expected_ok = true;
-    for (std::size_t j = 0; j < s.subscriber_count() && expected_ok; ++j) {
-        const Subscriber& sub = s.subscribers[j];
-        std::size_t best = rs.size();
+    for (const SsId j : s.ss_ids()) {
+        if (!expected_ok) break;
+        const Subscriber& sub = s.subscriber(j);
+        RsId best = RsId::invalid();
         double best_dist = std::numeric_limits<double>::infinity();
         for (std::size_t i = 0; i < rs.size(); ++i) {
             const double d = geom::distance(rs[i], sub.pos);
             if (d <= sub.distance_request + geom::kEps && d < best_dist) {
-                best = i;
+                best = RsId{i};
                 best_dist = d;
             }
         }
-        if (best == rs.size()) expected_ok = false;
+        if (!best.valid()) expected_ok = false;
         expected[j] = best;
     }
     ASSERT_EQ(got.has_value(), expected_ok);
@@ -282,12 +294,14 @@ TEST(SnrFieldRefreshTest, ParallelRefreshMatchesSerial) {
     SnrField field = SnrField::at_max_power(s, rs);
 
     std::vector<double> serial(field.tracked_count());
-    for (std::size_t k = 0; k < serial.size(); ++k) serial[k] = field.total_rx(k);
+    for (std::size_t k = 0; k < serial.size(); ++k) {
+        serial[k] = field.total_rx(SsId{k});
+    }
 
     sim::ThreadPool pool(4);
     sim::refresh_snr_field(field, pool);
     for (std::size_t k = 0; k < serial.size(); ++k) {
-        EXPECT_EQ(field.total_rx(k), serial[k]) << k;
+        EXPECT_EQ(field.total_rx(SsId{k}), serial[k]) << k;
     }
 }
 

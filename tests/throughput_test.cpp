@@ -3,12 +3,16 @@
 #include "sag/core/samc.h"
 #include "sag/core/throughput.h"
 #include "sag/core/ucra.h"
+#include "sag/ids/ids.h"
 #include "sag/sim/scenario_gen.h"
 #include "sag/wireless/link.h"
 #include "sag/wireless/two_ray.h"
 
 namespace sag::core {
 namespace {
+
+using ids::RsId;
+using ids::SsId;
 
 Scenario linear_scenario() {
     Scenario s;
@@ -18,21 +22,22 @@ Scenario linear_scenario() {
     return s;
 }
 
-CoveragePlan plan_of(std::vector<geom::Vec2> rs, std::vector<std::size_t> assign) {
+CoveragePlan plan_of(std::vector<geom::Vec2> rs,
+                     std::initializer_list<RsId> assign) {
     CoveragePlan p;
     p.rs_positions = std::move(rs);
-    p.assignment = std::move(assign);
+    p.assignment = ids::IdVec<SsId, RsId>(assign);
     p.feasible = true;
     return p;
 }
 
 TEST(ThroughputTest, SingleChainLoadsEqualSubscriberRate) {
     const Scenario s = linear_scenario();
-    const auto cov = plan_of({{200.0, 0.0}}, {0});
+    const auto cov = plan_of({{200.0, 0.0}}, {RsId{0}});
     auto plan = solve_mbmc(s, cov);
     allocate_power_max(s, plan);
     const auto report = analyze_throughput(s, cov, plan);
-    const double rate = wireless::shannon_capacity(s.radio, s.min_rx_power(0));
+    const double rate = wireless::shannon_capacity(s.radio, s.min_rx_power(SsId{0}));
     EXPECT_NEAR(report.total_offered_bps, rate, 1e-6);
     ASSERT_FALSE(report.links.empty());
     for (const auto& link : report.links) {
@@ -45,7 +50,7 @@ TEST(ThroughputTest, MaxPowerChainIsSustainable) {
     // Every hop is at most the subscriber's distance request, so capacity
     // at P_max is at least the subscriber's own rate requirement.
     const Scenario s = linear_scenario();
-    const auto cov = plan_of({{200.0, 0.0}}, {0});
+    const auto cov = plan_of({{200.0, 0.0}}, {RsId{0}});
     auto plan = solve_mbmc(s, cov);
     allocate_power_max(s, plan);
     const auto report = analyze_throughput(s, cov, plan);
@@ -60,12 +65,12 @@ TEST(ThroughputTest, SharedTrunkAggregatesFlows) {
     s.field = geom::Rect::centered_square(900.0);
     s.subscribers = {{{50.0, 0.0}, 40.0}, {{350.0, 0.0}, 40.0}};
     s.base_stations = {{{-250.0, 0.0}}};
-    const auto cov = plan_of({{50.0, 0.0}, {350.0, 0.0}}, {0, 1});
+    const auto cov = plan_of({{50.0, 0.0}, {350.0, 0.0}}, {RsId{0}, RsId{1}});
     auto plan = solve_mbmc(s, cov);
     allocate_power_max(s, plan);
     const auto report = analyze_throughput(s, cov, plan);
-    const double r0 = wireless::shannon_capacity(s.radio, s.min_rx_power(0));
-    const double r1 = wireless::shannon_capacity(s.radio, s.min_rx_power(1));
+    const double r0 = wireless::shannon_capacity(s.radio, s.min_rx_power(SsId{0}));
+    const double r1 = wireless::shannon_capacity(s.radio, s.min_rx_power(SsId{1}));
     // The near coverage RS's uplink must carry r0 + r1.
     const std::size_t near_node = s.base_stations.size() + 0;
     bool found = false;
@@ -91,7 +96,7 @@ TEST(ThroughputTest, PaperUcpoOverloadsSharedTrunksAndAggregationHelps) {
     s.field = geom::Rect::centered_square(900.0);
     s.subscribers = {{{50.0, 0.0}, 40.0}, {{350.0, 0.0}, 40.0}};
     s.base_stations = {{{-250.0, 0.0}}};
-    const auto cov = plan_of({{50.0, 0.0}, {350.0, 0.0}}, {0, 1});
+    const auto cov = plan_of({{50.0, 0.0}, {350.0, 0.0}}, {RsId{0}, RsId{1}});
 
     auto paper = solve_mbmc(s, cov);
     allocate_power_ucpo(s, cov, paper);
@@ -108,7 +113,7 @@ TEST(ThroughputTest, PaperUcpoOverloadsSharedTrunksAndAggregationHelps) {
 
 TEST(ThroughputTest, HeadroomIsInverseUtilization) {
     const Scenario s = linear_scenario();
-    const auto cov = plan_of({{200.0, 0.0}}, {0});
+    const auto cov = plan_of({{200.0, 0.0}}, {RsId{0}});
     auto plan = solve_mbmc(s, cov);
     allocate_power_max(s, plan);
     const auto report = analyze_throughput(s, cov, plan);
@@ -129,7 +134,7 @@ TEST(ThroughputTest, EmptyDeploymentIdle) {
 
 TEST(ThroughputTest, CoveragePowersParameterUsedForUplinks) {
     const Scenario s = linear_scenario();
-    const auto cov = plan_of({{200.0, 0.0}}, {0});
+    const auto cov = plan_of({{200.0, 0.0}}, {RsId{0}});
     auto plan = solve_mbmc(s, cov);
     allocate_power_max(s, plan);
     // Starve the coverage RS's uplink: utilization must rise vs P_max.

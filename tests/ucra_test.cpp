@@ -3,16 +3,22 @@
 #include "sag/core/feasibility.h"
 #include "sag/core/samc.h"
 #include "sag/core/ucra.h"
+#include "sag/ids/ids.h"
 #include "sag/sim/scenario_gen.h"
 #include "sag/wireless/two_ray.h"
 
 namespace sag::core {
 namespace {
 
-CoveragePlan plan_of(std::vector<geom::Vec2> rs, std::vector<std::size_t> assign) {
+using ids::BsId;
+using ids::RsId;
+using ids::SsId;
+
+CoveragePlan plan_of(std::vector<geom::Vec2> rs,
+                     std::initializer_list<RsId> assign) {
     CoveragePlan p;
     p.rs_positions = std::move(rs);
-    p.assignment = std::move(assign);
+    p.assignment = ids::IdVec<SsId, RsId>(assign);
     p.feasible = true;
     return p;
 }
@@ -38,7 +44,7 @@ TEST(MbmcTest, EmptyCoverageTrivial) {
 
 TEST(MbmcTest, SingleRsChainLengthMatchesSteinerization) {
     const Scenario s = linear_scenario();
-    const auto cov = plan_of({{200.0, 0.0}}, {0});
+    const auto cov = plan_of({{200.0, 0.0}}, {RsId{0}});
     const auto plan = solve_mbmc(s, cov);
     ASSERT_TRUE(plan.feasible);
     // Edge length 400, hop 40 -> 10 sections -> 9 connectivity RSs.
@@ -48,7 +54,7 @@ TEST(MbmcTest, SingleRsChainLengthMatchesSteinerization) {
 
 TEST(MbmcTest, NodeLayoutConvention) {
     const Scenario s = linear_scenario();
-    const auto cov = plan_of({{200.0, 0.0}}, {0});
+    const auto cov = plan_of({{200.0, 0.0}}, {RsId{0}});
     const auto plan = solve_mbmc(s, cov);
     EXPECT_EQ(plan.kinds[0], NodeKind::BaseStation);
     EXPECT_EQ(plan.kinds[1], NodeKind::CoverageRs);
@@ -59,7 +65,7 @@ TEST(MbmcTest, NodeLayoutConvention) {
 TEST(MbmcTest, PicksNearestBaseStation) {
     Scenario s = linear_scenario();
     s.base_stations = {{{-200.0, 0.0}}, {{220.0, 0.0}}};
-    const auto cov = plan_of({{200.0, 0.0}}, {0});
+    const auto cov = plan_of({{200.0, 0.0}}, {RsId{0}});
     const auto plan = solve_mbmc(s, cov);
     ASSERT_TRUE(plan.feasible);
     // Nearest BS is 20 away: a single hop (20 < 40), no relays at all.
@@ -72,7 +78,7 @@ TEST(MbmcTest, RssChainThroughEachOther) {
     // near one rather than straight to the BS.
     Scenario s = linear_scenario();
     s.subscribers = {{{0.0, 0.0}, 40.0}, {{200.0, 0.0}, 40.0}};
-    const auto cov = plan_of({{0.0, 0.0}, {200.0, 0.0}}, {0, 1});
+    const auto cov = plan_of({{0.0, 0.0}, {200.0, 0.0}}, {RsId{0}, RsId{1}});
     const auto plan = solve_mbmc(s, cov);
     ASSERT_TRUE(plan.feasible);
     // One BS: plan nodes are 0=BS, 1=near RS, 2=far RS. The far RS must
@@ -86,9 +92,9 @@ TEST(MbmcTest, RssChainThroughEachOther) {
 TEST(MustTest, RestrictsToChosenBs) {
     Scenario s = linear_scenario();
     s.base_stations = {{{-200.0, 0.0}}, {{220.0, 0.0}}};
-    const auto cov = plan_of({{200.0, 0.0}}, {0});
+    const auto cov = plan_of({{200.0, 0.0}}, {RsId{0}});
     // Force the far BS 0: long chain instead of the 20 m hop to BS 1.
-    const auto plan = solve_must(s, cov, 0);
+    const auto plan = solve_must(s, cov, BsId{0});
     ASSERT_TRUE(plan.feasible);
     EXPECT_EQ(plan.connectivity_rs_count(), 9u);
     EXPECT_TRUE(verify_connectivity(s, cov, plan).feasible);
@@ -96,8 +102,8 @@ TEST(MustTest, RestrictsToChosenBs) {
 
 TEST(MustTest, RejectsBadBsIndex) {
     const Scenario s = linear_scenario();
-    const auto cov = plan_of({{200.0, 0.0}}, {0});
-    EXPECT_THROW((void)solve_must(s, cov, 5), std::out_of_range);
+    const auto cov = plan_of({{200.0, 0.0}}, {RsId{0}});
+    EXPECT_THROW((void)solve_must(s, cov, BsId{5}), std::out_of_range);
 }
 
 TEST(MbmcVsMustTest, MbmcNeverWorse) {
@@ -111,7 +117,7 @@ TEST(MbmcVsMustTest, MbmcNeverWorse) {
         ASSERT_TRUE(cov.feasible);
         const auto mbmc = solve_mbmc(s, cov);
         for (std::size_t b = 0; b < 4; ++b) {
-            const auto must = solve_must(s, cov, b);
+            const auto must = solve_must(s, cov, BsId{b});
             EXPECT_LE(mbmc.connectivity_rs_count(), must.connectivity_rs_count())
                 << "seed " << seed << " bs " << b;
         }
@@ -120,14 +126,14 @@ TEST(MbmcVsMustTest, MbmcNeverWorse) {
 
 TEST(UcpoTest, SingleChainPowerMatchesHandComputation) {
     const Scenario s = linear_scenario();
-    const auto cov = plan_of({{200.0, 0.0}}, {0});
+    const auto cov = plan_of({{200.0, 0.0}}, {RsId{0}});
     auto plan = solve_mbmc(s, cov);
     allocate_power_ucpo(s, cov, plan);
     // Edge 400, 10 sections of 40; the subscriber demands the received
     // power at its 40 m distance request -> each relay transmits at
     // exactly P_max * (40/40)^alpha = P_max... but over a 40 m segment
     // delivering P^0_ss = Pmax*G*40^-a needs Pmax again.
-    const units::Watt pss = s.min_rx_power(0);
+    const units::Watt pss = s.min_rx_power(SsId{0});
     const double expect = wireless::tx_power_for(s.radio, pss, units::Meters{40.0}).watts();
     for (std::size_t v = 0; v < plan.node_count(); ++v) {
         if (plan.kinds[v] == NodeKind::ConnectivityRs) {
@@ -164,7 +170,7 @@ TEST(UcpoTest, ShorterSegmentsNeedLessPower) {
     // Same edge, but a stricter subscriber (smaller distance request)
     // forces shorter hops; per-relay power must drop.
     Scenario s = linear_scenario();
-    const auto cov40 = plan_of({{200.0, 0.0}}, {0});
+    const auto cov40 = plan_of({{200.0, 0.0}}, {RsId{0}});
     auto plan40 = solve_mbmc(s, cov40);
     allocate_power_ucpo(s, cov40, plan40);
     double p40 = 0.0;
@@ -173,7 +179,7 @@ TEST(UcpoTest, ShorterSegmentsNeedLessPower) {
     }
 
     s.subscribers[0].distance_request = 20.0;
-    const auto cov20 = plan_of({{200.0, 0.0}}, {0});
+    const auto cov20 = plan_of({{200.0, 0.0}}, {RsId{0}});
     auto plan20 = solve_mbmc(s, cov20);
     allocate_power_ucpo(s, cov20, plan20);
     double p20 = 0.0;

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# cppcheck gate, run by the CI `cppcheck` job (and locally).
+#
+# Complements clang-tidy (tools/check_static.sh) with cppcheck's
+# whole-program dataflow checks: out-of-bounds access, uninitialized
+# reads, null dereference, resource leaks. Any finding of severity
+# error/warning fails the run (--error-exitcode=1); style/performance
+# noise is left to clang-tidy's curated profile.
+#
+# Suppressions live in tools/cppcheck-suppressions.txt and each one must
+# carry a justification comment there -- an unexplained suppression is a
+# review defect.
+#
+# Usage: tools/check_cppcheck.sh [build-dir]   (default: build)
+#
+# Prefers the compilation database ($build_dir/compile_commands.json) so
+# cppcheck sees the real include paths and -D flags; without one it falls
+# back to scanning the source tree with the project include roots, so the
+# gate still runs on a fresh checkout. Skips with a notice when cppcheck
+# itself is not installed (the container ships GCC only).
+set -u
+cd "$(dirname "$0")/.."
+
+build_dir=${1:-build}
+
+if ! command -v cppcheck >/dev/null 2>&1; then
+    echo "check_cppcheck: cppcheck not installed; skipping" >&2
+    exit 0
+fi
+
+common_args=(
+    --enable=warning,portability
+    --inline-suppr
+    --suppressions-list=tools/cppcheck-suppressions.txt
+    --error-exitcode=1
+    --inconclusive
+    --std=c++20
+    --quiet
+    # Parallel across the source set; cppcheck analyzes files
+    # independently at this --enable level.
+    -j "$(nproc 2>/dev/null || echo 2)"
+)
+
+if [ -f "$build_dir/compile_commands.json" ]; then
+    cppcheck "${common_args[@]}" --project="$build_dir/compile_commands.json" \
+        "--cppcheck-build-dir=$build_dir" || {
+        echo "check_cppcheck: FAILED" >&2
+        exit 1
+    }
+else
+    echo "check_cppcheck: no $build_dir/compile_commands.json;" \
+         "falling back to tree scan with project include roots" >&2
+    includes=()
+    for inc in src/*/include; do
+        includes+=("-I$inc")
+    done
+    cppcheck "${common_args[@]}" "${includes[@]}" src tools examples || {
+        echo "check_cppcheck: FAILED" >&2
+        exit 1
+    }
+fi
+echo "check_cppcheck: OK"

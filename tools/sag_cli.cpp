@@ -172,7 +172,8 @@ int cmd_verify(const Args& args) {
         powers.push_back(rs.at("power").as_number());
     }
     for (const auto& a : report.at("assignment").as_array()) {
-        coverage.assignment.push_back(static_cast<std::size_t>(a.as_number()));
+        coverage.assignment.push_back(
+            sag::ids::RsId{static_cast<std::size_t>(a.as_number())});
     }
 
     const auto check = core::verify_coverage(scenario, coverage, powers);
