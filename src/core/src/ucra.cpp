@@ -47,6 +47,18 @@ ConnectivityPlan build_connectivity(const Scenario& scenario,
         plan.feasible = true;
         return plan;
     }
+    if (usable_bs.empty()) {
+        // No usable BS root: nothing can be rooted. Return an explicit
+        // infeasible plan (each coverage RS its own parent) instead of
+        // letting the MST run rootless — with nb == 0 the nearest-BS edge
+        // write below would alias a coverage-RS slot and the Prim pass
+        // would end in a logic_error deep inside the solver.
+        for (std::size_t i = 0; i < cov_count; ++i) {
+            plan.parent[bs_count + i] = bs_count + i;
+        }
+        plan.feasible = false;
+        return plan;
+    }
 
     // MST vertices: 0 = virtual super-root, 1..B' = usable BSs, then the
     // coverage RSs. The super-root ties the BS roots together with

@@ -1,0 +1,24 @@
+#pragma once
+
+#include "sag/io/json.h"
+#include "sag/resilience/damage.h"
+#include "sag/resilience/failure.h"
+#include "sag/resilience/repair.h"
+
+namespace sag::io {
+
+/// Survivability report -> JSON (schema in docs/RESILIENCE.md,
+/// "format": 1). One-way, deterministic: object keys are sorted and all
+/// ID lists are ascending, so a fixed (scenario, failures, repair) run
+/// serializes byte-identically.
+Json failure_set_to_json(const resilience::FailureSet& failures);
+Json damage_report_to_json(const resilience::DamageReport& damage);
+Json repair_outcome_to_json(const resilience::RepairOutcome& outcome);
+
+/// The full failure -> damage -> repair record the `sag_cli resilience`
+/// subcommand and bench_resilience both emit.
+Json survivability_to_json(const resilience::FailureSet& failures,
+                           const resilience::DamageReport& damage,
+                           const resilience::RepairOutcome& outcome);
+
+}  // namespace sag::io

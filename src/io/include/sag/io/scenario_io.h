@@ -1,6 +1,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 
 #include "sag/core/deployment.h"
@@ -9,6 +10,21 @@
 #include "sag/io/json.h"
 
 namespace sag::io {
+
+/// Thrown by scenario_from_json on well-formed JSON carrying a
+/// non-physical scenario (non-finite coordinates, negative powers,
+/// duplicate station positions, ...). Carries the JSON path of the
+/// offending field (e.g. "subscribers[3].pos") so CLI users see *where*
+/// the input is broken, not just a bare exception text.
+class ScenarioFormatError : public std::runtime_error {
+public:
+    ScenarioFormatError(const std::string& path, const std::string& what)
+        : std::runtime_error(path + ": " + what), path_(path) {}
+    const std::string& path() const { return path_; }
+
+private:
+    std::string path_;
+};
 
 /// Scenario <-> JSON. The format is versioned ("format": 1) and
 /// round-trips every field, including all radio constants, so experiment

@@ -1,0 +1,77 @@
+#include "sag/io/resilience_io.h"
+
+namespace sag::io {
+
+namespace {
+
+template <typename Id>
+Json id_array(const std::vector<Id>& ids) {
+    Json::Array arr;
+    arr.reserve(ids.size());
+    for (const Id id : ids) arr.emplace_back(static_cast<std::size_t>(id.index()));
+    return Json(std::move(arr));
+}
+
+Json index_array(const std::vector<std::size_t>& idx) {
+    Json::Array arr;
+    arr.reserve(idx.size());
+    for (const std::size_t i : idx) arr.emplace_back(i);
+    return Json(std::move(arr));
+}
+
+}  // namespace
+
+Json failure_set_to_json(const resilience::FailureSet& failures) {
+    Json j;
+    j["coverage_down"] = id_array(failures.coverage_down);
+    j["connectivity_down"] = index_array(failures.connectivity_down);
+    Json::Array degraded;
+    degraded.reserve(failures.degraded.size());
+    for (const resilience::Degradation& d : failures.degraded) {
+        Json entry;
+        entry["rs"] = static_cast<std::size_t>(d.rs.index());
+        entry["factor"] = d.factor;
+        degraded.emplace_back(std::move(entry));
+    }
+    j["degraded"] = Json(std::move(degraded));
+    return j;
+}
+
+Json damage_report_to_json(const resilience::DamageReport& damage) {
+    Json j;
+    j["orphaned"] = id_array(damage.orphaned);
+    j["cut_off"] = id_array(damage.cut_off);
+    j["dead_coverage_rs"] = damage.dead_coverage_rs;
+    j["dead_connectivity_rs"] = damage.dead_connectivity_rs;
+    j["intact"] = damage.intact();
+    return j;
+}
+
+Json repair_outcome_to_json(const resilience::RepairOutcome& outcome) {
+    Json j;
+    j["covered"] = id_array(outcome.covered);
+    j["unrecoverable"] = id_array(outcome.unrecoverable);
+    j["reassigned"] = outcome.reassigned;
+    j["new_relays"] = outcome.new_relays;
+    j["rounds"] = outcome.rounds;
+    j["power_before"] = outcome.power_before;
+    j["power_after"] = outcome.power_after;
+    j["power_overhead"] = outcome.power_overhead();
+    j["coverage_rs"] = outcome.repaired.coverage_rs_count();
+    j["connectivity_rs"] = outcome.repaired.connectivity_rs_count();
+    j["feasible"] = outcome.repaired.feasible;
+    return j;
+}
+
+Json survivability_to_json(const resilience::FailureSet& failures,
+                           const resilience::DamageReport& damage,
+                           const resilience::RepairOutcome& outcome) {
+    Json j;
+    j["format"] = 1;
+    j["failures"] = failure_set_to_json(failures);
+    j["damage"] = damage_report_to_json(damage);
+    j["repair"] = repair_outcome_to_json(outcome);
+    return j;
+}
+
+}  // namespace sag::io

@@ -1,5 +1,6 @@
 #include "sag/io/scenario_io.h"
 
+#include <cmath>
 #include <fstream>
 #include <ostream>
 #include <sstream>
@@ -15,6 +16,43 @@ Json vec2_to_json(const geom::Vec2& v) {
 geom::Vec2 vec2_from_json(const Json& j) {
     if (j.size() != 2) throw std::runtime_error("point must be [x, y]");
     return {j.at(std::size_t{0}).as_number(), j.at(std::size_t{1}).as_number()};
+}
+
+// --- Input hardening: well-formed JSON can still carry a non-physical
+// scenario (the strict parser rejects NaN literals, but 1e999 parses to
+// Inf, and RadioParams::validate's comparisons are all false on NaN).
+// Every check below throws ScenarioFormatError with the JSON path.
+
+double require_finite(double v, const std::string& path) {
+    if (!std::isfinite(v)) throw ScenarioFormatError(path, "non-finite number");
+    return v;
+}
+
+geom::Vec2 finite_vec2(const Json& j, const std::string& path) {
+    const geom::Vec2 v = vec2_from_json(j);
+    require_finite(v.x, path + "[0]");
+    require_finite(v.y, path + "[1]");
+    return v;
+}
+
+double require_non_negative(double v, const std::string& path) {
+    require_finite(v, path);
+    if (v < 0.0) throw ScenarioFormatError(path, "must be non-negative");
+    return v;
+}
+
+void reject_duplicate_positions(const std::vector<geom::Vec2>& positions,
+                                const std::string& what) {
+    for (std::size_t a = 0; a < positions.size(); ++a) {
+        for (std::size_t b = a + 1; b < positions.size(); ++b) {
+            if (positions[a] == positions[b]) {
+                throw ScenarioFormatError(
+                    what + "[" + std::to_string(b) + "]",
+                    "duplicate position (same as " + what + "[" +
+                        std::to_string(a) + "])");
+            }
+        }
+    }
 }
 
 const char* kind_name(core::NodeKind kind) {
@@ -72,8 +110,10 @@ core::Scenario scenario_from_json(const Json& j) {
     }
     core::Scenario s;
     const Json& field = j.at("field");
-    s.field = {vec2_from_json(field.at("min")), vec2_from_json(field.at("max"))};
-    s.snr_threshold_db = units::Decibel{j.at("snr_threshold_db").as_number()};
+    s.field = {finite_vec2(field.at("min"), "field.min"),
+               finite_vec2(field.at("max"), "field.max")};
+    s.snr_threshold_db = units::Decibel{
+        require_finite(j.at("snr_threshold_db").as_number(), "snr_threshold_db")};
 
     const Json& radio = j.at("radio");
     s.radio.tx_gain = radio.get_number("tx_gain", s.radio.tx_gain);
@@ -83,25 +123,55 @@ core::Scenario scenario_from_json(const Json& j) {
     s.radio.rx_height =
         units::Meters{radio.get_number("rx_height", s.radio.rx_height.meters())};
     s.radio.alpha = radio.get_number("alpha", s.radio.alpha);
-    s.radio.max_power =
-        units::Watt{radio.get_number("max_power", s.radio.max_power.watts())};
-    s.radio.noise_floor =
-        units::Watt{radio.get_number("noise_floor", s.radio.noise_floor.watts())};
+    s.radio.max_power = units::Watt{require_non_negative(
+        radio.get_number("max_power", s.radio.max_power.watts()),
+        "radio.max_power")};
+    s.radio.noise_floor = units::Watt{require_non_negative(
+        radio.get_number("noise_floor", s.radio.noise_floor.watts()),
+        "radio.noise_floor")};
     s.radio.bandwidth_hz = radio.get_number("bandwidth_hz", s.radio.bandwidth_hz);
     s.radio.reference_distance = units::Meters{
         radio.get_number("reference_distance", s.radio.reference_distance.meters())};
-    s.radio.ignorable_noise = units::Watt{
-        radio.get_number("ignorable_noise", s.radio.ignorable_noise.watts())};
-    s.radio.snr_ambient_noise = units::Watt{
-        radio.get_number("snr_ambient_noise", s.radio.snr_ambient_noise.watts())};
+    s.radio.ignorable_noise = units::Watt{require_non_negative(
+        radio.get_number("ignorable_noise", s.radio.ignorable_noise.watts()),
+        "radio.ignorable_noise")};
+    s.radio.snr_ambient_noise = units::Watt{require_non_negative(
+        radio.get_number("snr_ambient_noise", s.radio.snr_ambient_noise.watts()),
+        "radio.snr_ambient_noise")};
+    // The remaining radio constants pass through RadioParams::validate
+    // below, which rejects every non-positive value; NaN sneaks past its
+    // comparisons, so pin finiteness here.
+    require_finite(s.radio.tx_gain, "radio.tx_gain");
+    require_finite(s.radio.rx_gain, "radio.rx_gain");
+    require_finite(s.radio.tx_height.meters(), "radio.tx_height");
+    require_finite(s.radio.rx_height.meters(), "radio.rx_height");
+    require_finite(s.radio.alpha, "radio.alpha");
+    require_finite(s.radio.bandwidth_hz, "radio.bandwidth_hz");
+    require_finite(s.radio.reference_distance.meters(),
+                   "radio.reference_distance");
 
+    std::size_t index = 0;
     for (const Json& sub : j.at("subscribers").as_array()) {
+        const std::string path = "subscribers[" + std::to_string(index++) + "]";
         s.subscribers.push_back(
-            {vec2_from_json(sub.at("pos")), sub.at("distance_request").as_number()});
+            {finite_vec2(sub.at("pos"), path + ".pos"),
+             require_non_negative(sub.at("distance_request").as_number(),
+                                  path + ".distance_request")});
     }
+    index = 0;
     for (const Json& bs : j.at("base_stations").as_array()) {
-        s.base_stations.push_back({vec2_from_json(bs)});
+        s.base_stations.push_back(
+            {finite_vec2(bs, "base_stations[" + std::to_string(index++) + "]")});
     }
+
+    std::vector<geom::Vec2> positions;
+    positions.reserve(s.subscribers.size());
+    for (const auto& sub : s.subscribers) positions.push_back(sub.pos);
+    reject_duplicate_positions(positions, "subscribers");
+    positions.clear();
+    for (const auto& bs : s.base_stations) positions.push_back(bs.pos);
+    reject_duplicate_positions(positions, "base_stations");
+
     s.validate();
     return s;
 }

@@ -29,14 +29,26 @@ struct MilpOptions {
     /// (objective granularity; 1 - eps is right for pure cardinality
     /// objectives, 0 for general ones).
     double bound_gap = 0.0;
+    /// Wall-clock budget in seconds; 0 disables. Checked once per node
+    /// (every node pays an LP solve, so per-node polling is cheap
+    /// relative to the work it bounds). Mirrors
+    /// SetCoverBnBOptions::time_budget_seconds: on expiry the search
+    /// stops and reports the incumbent found so far.
+    double time_budget_seconds = 0.0;
 };
 
 struct MilpResult {
+    /// NodeLimit covers both budget kinds (node count and wall clock);
+    /// `budget_exhausted` distinguishes a timed-out search from a
+    /// completed one, matching SetCoverResult's reporting.
     enum class Status { Optimal, Infeasible, NodeLimit };
     Status status = Status::Infeasible;
     double objective = 0.0;
     std::vector<double> x;
     std::size_t nodes = 0;
+    /// True when the node limit or the wall-clock budget stopped the
+    /// search before it proved optimality/infeasibility.
+    bool budget_exhausted = false;
 
     bool optimal() const { return status == Status::Optimal; }
 };

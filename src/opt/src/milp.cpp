@@ -1,6 +1,7 @@
 #include "sag/opt/milp.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <optional>
@@ -49,11 +50,23 @@ MilpResult solve_milp(const MilpProblem& problem, const MilpOptions& options) {
     double incumbent = std::numeric_limits<double>::infinity();
     std::vector<double> incumbent_x;
 
+    // Wall-clock deadline, mirroring set_cover's handling. Each node
+    // pays a full LP solve, so the clock is polled every node rather
+    // than every 1024th.
+    std::chrono::steady_clock::time_point deadline{};
+    const bool has_deadline = options.time_budget_seconds > 0.0;
+    if (has_deadline) {
+        deadline = std::chrono::steady_clock::now() +
+                   std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                       std::chrono::duration<double>(options.time_budget_seconds));
+    }
+
     std::vector<Node> stack{Node{}};
     while (!stack.empty()) {
-        if (++result.nodes > options.node_limit) {
-            result.status = incumbent_x.empty() ? MilpResult::Status::NodeLimit
-                                                : MilpResult::Status::NodeLimit;
+        if (++result.nodes > options.node_limit ||
+            (has_deadline && std::chrono::steady_clock::now() > deadline)) {
+            result.status = MilpResult::Status::NodeLimit;
+            result.budget_exhausted = true;
             result.objective = incumbent;
             result.x = incumbent_x;
             return result;

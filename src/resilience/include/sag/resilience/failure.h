@@ -1,0 +1,104 @@
+#pragma once
+
+// sag::resilience — relay-failure resilience for deployed SAG networks.
+//
+// The paper's output is a static deployment plan; a green network running
+// at minimized power has no slack when a relay station dies. This module
+// models *runtime* RS failures (the solvers' outputs are corrupted by the
+// physical world, not by bugs — contrast tests/failure_injection_test.cpp,
+// which corrupts solver outputs to exercise the verifiers), assesses the
+// damage, and drives a staged self-healing repair (damage.h, repair.h).
+//
+// Failure domain: the transmitters the pipeline *placed* — coverage RSs
+// (addressed by their RsId into CoveragePlan) and connectivity RSs
+// (addressed by their node index into ConnectivityPlan). Base stations
+// and subscribers are infrastructure/demand and do not fail here.
+//
+// Every injection is seeded and deterministic: the same (deployment,
+// model, seed) triple always yields the same FailureSet, so every
+// degradation curve in results/ is replayable.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sag/core/sag.h"
+#include "sag/core/scenario.h"
+#include "sag/geometry/vec2.h"
+#include "sag/ids/ids.h"
+#include "sag/units/units.h"
+
+namespace sag::resilience {
+
+/// Partial power degradation of a surviving coverage RS: its transmit
+/// power is capped at `factor * P_max` (hardware fault, thermal
+/// throttling, battery droop) instead of dying outright.
+struct Degradation {
+    ids::RsId rs = ids::RsId::invalid();
+    double factor = 1.0;  ///< surviving power cap as a fraction of P_max, in (0, 1]
+};
+
+/// A concrete set of runtime failures against one deployed SagResult.
+struct FailureSet {
+    /// Failed coverage RSs (IDs into CoveragePlan::rs_positions).
+    std::vector<ids::RsId> coverage_down;
+    /// Failed connectivity RSs (node indices into ConnectivityPlan;
+    /// only NodeKind::ConnectivityRs nodes appear here).
+    std::vector<std::size_t> connectivity_down;
+    /// Surviving coverage RSs running at reduced power.
+    std::vector<Degradation> degraded;
+
+    bool empty() const {
+        return coverage_down.empty() && connectivity_down.empty() && degraded.empty();
+    }
+    std::size_t failure_count() const {
+        return coverage_down.size() + connectivity_down.size();
+    }
+};
+
+/// Independent random knockout: every deployed RS fails i.i.d. with
+/// `probability` (the classic reliability model; DARP-style survivability
+/// analyses sweep exactly this knob).
+struct IndependentFailureModel {
+    double probability = 0.1;
+    bool include_connectivity = true;  ///< also knock out connectivity RSs
+};
+
+/// Spatially correlated disc outage: every deployed RS inside the disc
+/// fails together (storm cell, localized power loss, jamming). When
+/// `center` is unset a center is drawn uniformly in the field per seed.
+struct DiscOutageModel {
+    units::Meters radius{100.0};
+    std::optional<geom::Vec2> center;
+    bool include_connectivity = true;
+};
+
+/// Partial power degradation: each coverage RS is degraded i.i.d. with
+/// `probability` to a `factor * P_max` cap. Models brown-outs rather than
+/// hard failures; no RS leaves the deployment.
+struct PowerDegradationModel {
+    double probability = 0.1;
+    double factor = 0.5;
+};
+
+/// Seeded injections. Deterministic for a fixed (deployment, model, seed).
+FailureSet inject_independent(const core::SagResult& deployment,
+                              const IndependentFailureModel& model,
+                              std::uint64_t seed);
+FailureSet inject_disc_outage(const core::Scenario& scenario,
+                              const core::SagResult& deployment,
+                              const DiscOutageModel& model, std::uint64_t seed);
+FailureSet inject_power_degradation(const core::SagResult& deployment,
+                                    const PowerDegradationModel& model,
+                                    std::uint64_t seed);
+
+/// The lower-tier power vector after the failures: failed coverage RSs at
+/// zero, degraded RSs clamped to factor * P_max, everything else at its
+/// allocated power. Positions/IDs are unchanged (a dead RS keeps its slot
+/// so SsId->RsId assignments stay stable); feed this to verify_coverage
+/// for an independent end-to-end audit of the damaged network.
+std::vector<double> damaged_powers(const core::Scenario& scenario,
+                                   const core::SagResult& deployment,
+                                   const FailureSet& failures);
+
+}  // namespace sag::resilience

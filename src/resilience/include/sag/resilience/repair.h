@@ -1,0 +1,84 @@
+#pragma once
+
+// Staged self-healing repair: turn a damaged deployment back into a
+// verified-feasible (possibly smaller) network.
+//
+// Stages, in order:
+//   1. reassign — orphaned SSs are re-homed onto surviving RSs via
+//      incremental SNR probes against a core::SnrField held at the
+//      post-failure power caps;
+//   2. patch — orphans no surviving RS can reach are served by new
+//      relays drawn greedily from the unused IAC candidate pool
+//      (bounded by RepairOptions::max_new_relays);
+//   3. re-escalate power — the Yates fixed point (opt::
+//      fixed_point_power_control) recomputes the minimal lower-tier
+//      vector under per-RS caps: P_max for healthy and patched RSs,
+//      factor * P_max for degraded survivors;
+//   4. re-steinerize — MBMC rebuilds the whole upper tier over the
+//      surviving + patched coverage RSs, then UCPO re-optimizes the
+//      connectivity powers.
+//
+// Subscribers that still cannot be served are reported in
+// `unrecoverable` — never asserted on. Everything the engine keeps is
+// re-verified: RepairOutcome::repaired is a SagResult over
+// `covered_scenario`, so verify_coverage / verify_topology run on it
+// directly.
+
+#include <limits>
+#include <vector>
+
+#include "sag/core/sag.h"
+#include "sag/core/scenario.h"
+#include "sag/ids/ids.h"
+#include "sag/resilience/damage.h"
+#include "sag/resilience/failure.h"
+
+namespace sag::resilience {
+
+struct RepairOptions {
+    /// Power/verify rounds: a failed verification drops the offending
+    /// newly-added SSs and retries, so each round strictly shrinks the
+    /// instance toward the guaranteed-feasible surviving core.
+    int max_rounds = 4;
+    /// Stage-2 budget of patched-in relays; 0 disables patching.
+    std::size_t max_new_relays = 8;
+};
+
+/// Result of one repair run. `repaired` and its verification live in the
+/// SsId space of `covered_scenario`; `covered[k]` maps its subscriber k
+/// back to the original scenario's SsId.
+struct RepairOutcome {
+    /// The original scenario restricted to the subscribers the repaired
+    /// network serves (ascending original-SsId order).
+    core::Scenario covered_scenario;
+    /// Original SsIds of covered_scenario's subscribers, ascending.
+    std::vector<ids::SsId> covered;
+    /// The repaired two-tier network over covered_scenario.
+    core::SagResult repaired;
+    /// Original SsIds the engine could not restore, ascending.
+    std::vector<ids::SsId> unrecoverable;
+
+    std::size_t reassigned = 0;   ///< orphans re-homed onto surviving RSs
+    std::size_t new_relays = 0;   ///< stage-2 relays patched in
+    int rounds = 0;               ///< power/verify rounds executed
+    double power_before = 0.0;    ///< P_total of the intact deployment
+    double power_after = 0.0;     ///< P_total of the repaired network
+
+    bool full_recovery() const { return unrecoverable.empty(); }
+    /// Repaired-over-intact total power (the bench's overhead curve);
+    /// 0/0 reports 1 (an empty network repaired to an empty network).
+    double power_overhead() const {
+        return power_before > 0.0 ? power_after / power_before
+                                  : (power_after > 0.0 ? std::numeric_limits<
+                                                             double>::infinity()
+                                                       : 1.0);
+    }
+};
+
+/// Runs the staged repair. Deterministic: no randomness, all stages are
+/// greedy over sorted orders.
+RepairOutcome repair(const core::Scenario& scenario,
+                     const core::SagResult& deployment,
+                     const FailureSet& failures, const RepairOptions& options = {});
+
+}  // namespace sag::resilience

@@ -1,0 +1,107 @@
+#include "sag/resilience/failure.h"
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+
+namespace sag::resilience {
+
+namespace {
+
+void validate_probability(double p, const char* what) {
+    if (!(p >= 0.0 && p <= 1.0))
+        throw std::invalid_argument(std::string(what) + " must be in [0, 1]");
+}
+
+}  // namespace
+
+FailureSet inject_independent(const core::SagResult& deployment,
+                              const IndependentFailureModel& model,
+                              std::uint64_t seed) {
+    validate_probability(model.probability, "IndependentFailureModel::probability");
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<double> coin(0.0, 1.0);
+    FailureSet out;
+    // Draw order is part of the determinism contract: coverage RSs by
+    // ascending RsId first, then connectivity nodes by ascending index —
+    // the same order every other injector uses.
+    for (ids::RsId rs : deployment.coverage.rs_ids())
+        if (coin(rng) < model.probability) out.coverage_down.push_back(rs);
+    if (model.include_connectivity) {
+        const auto& conn = deployment.connectivity;
+        for (std::size_t node = 0; node < conn.node_count(); ++node) {
+            if (conn.kinds[node] != core::NodeKind::ConnectivityRs) continue;
+            if (coin(rng) < model.probability) out.connectivity_down.push_back(node);
+        }
+    }
+    return out;
+}
+
+FailureSet inject_disc_outage(const core::Scenario& scenario,
+                              const core::SagResult& deployment,
+                              const DiscOutageModel& model, std::uint64_t seed) {
+    if (model.radius < units::Meters{0.0})
+        throw std::invalid_argument("DiscOutageModel::radius must be non-negative");
+    geom::Vec2 center;
+    if (model.center) {
+        center = *model.center;
+    } else {
+        std::mt19937_64 rng(seed);
+        std::uniform_real_distribution<double> ux(scenario.field.min.x,
+                                                  scenario.field.max.x);
+        std::uniform_real_distribution<double> uy(scenario.field.min.y,
+                                                  scenario.field.max.y);
+        center = {ux(rng), uy(rng)};
+    }
+    const double r = model.radius.meters();
+    FailureSet out;
+    for (ids::RsId rs : deployment.coverage.rs_ids())
+        if (geom::distance(deployment.coverage.rs_position(rs), center) <= r)
+            out.coverage_down.push_back(rs);
+    if (model.include_connectivity) {
+        const auto& conn = deployment.connectivity;
+        for (std::size_t node = 0; node < conn.node_count(); ++node) {
+            if (conn.kinds[node] != core::NodeKind::ConnectivityRs) continue;
+            if (geom::distance(conn.positions[node], center) <= r)
+                out.connectivity_down.push_back(node);
+        }
+    }
+    return out;
+}
+
+FailureSet inject_power_degradation(const core::SagResult& deployment,
+                                    const PowerDegradationModel& model,
+                                    std::uint64_t seed) {
+    validate_probability(model.probability, "PowerDegradationModel::probability");
+    if (!(model.factor > 0.0 && model.factor <= 1.0))
+        throw std::invalid_argument("PowerDegradationModel::factor must be in (0, 1]");
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<double> coin(0.0, 1.0);
+    FailureSet out;
+    for (ids::RsId rs : deployment.coverage.rs_ids())
+        if (coin(rng) < model.probability)
+            out.degraded.push_back({rs, model.factor});
+    return out;
+}
+
+std::vector<double> damaged_powers(const core::Scenario& scenario,
+                                   const core::SagResult& deployment,
+                                   const FailureSet& failures) {
+    std::vector<double> powers = deployment.lower_power.powers;
+    const double p_max = scenario.radio.max_power.watts();
+    for (const Degradation& d : failures.degraded) {
+        if (d.rs.index() >= powers.size())
+            throw std::out_of_range("degraded RS id outside deployment");
+        powers[d.rs.index()] = std::min(powers[d.rs.index()], d.factor * p_max);
+    }
+    // Dead overrides degraded: a knocked-out RS radiates nothing even if
+    // the same id also appears in the degradation list.
+    for (ids::RsId rs : failures.coverage_down) {
+        if (rs.index() >= powers.size())
+            throw std::out_of_range("failed RS id outside deployment");
+        powers[rs.index()] = 0.0;
+    }
+    return powers;
+}
+
+}  // namespace sag::resilience

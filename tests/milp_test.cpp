@@ -101,6 +101,56 @@ TEST(MilpTest, NodeLimitReported) {
     EXPECT_EQ(r.status, MilpResult::Status::NodeLimit);
 }
 
+TEST(MilpTest, NodeLimitSetsBudgetExhausted) {
+    MilpProblem p;
+    const std::size_t n = 12;
+    p.lp.objective.assign(n, 1.0);
+    std::vector<double> row(n, 1.0);
+    p.lp.add_constraint(std::move(row), Rel::GreaterEq, 5.5);
+    p.binary.assign(n, true);
+    MilpOptions opts;
+    opts.node_limit = 1;
+    const auto r = solve_milp(p, opts);
+    EXPECT_TRUE(r.budget_exhausted);
+
+    const auto full = solve_milp(p);
+    EXPECT_TRUE(full.optimal());
+    EXPECT_FALSE(full.budget_exhausted);
+}
+
+TEST(MilpTest, TimeBudgetStopsSearch) {
+    // An already-expired wall-clock budget must stop the search on the
+    // first node and report the exhaustion, exactly like set_cover's
+    // deadline handling.
+    MilpProblem p;
+    const std::size_t n = 14;
+    p.lp.objective.assign(n, 1.0);
+    std::vector<double> row(n, 1.0);
+    p.lp.add_constraint(std::move(row), Rel::GreaterEq, 6.5);
+    p.binary.assign(n, true);
+    MilpOptions opts;
+    opts.time_budget_seconds = 1e-9;
+    const auto r = solve_milp(p, opts);
+    EXPECT_EQ(r.status, MilpResult::Status::NodeLimit);
+    EXPECT_TRUE(r.budget_exhausted);
+    EXPECT_LE(r.nodes, 2u);
+}
+
+TEST(MilpTest, GenerousTimeBudgetStillOptimal) {
+    MilpProblem p;
+    p.lp.objective = {1.0, 1.0, 1.0};
+    p.lp.add_constraint({1.0, 1.0, 0.0}, Rel::GreaterEq, 1.0);
+    p.lp.add_constraint({0.0, 1.0, 1.0}, Rel::GreaterEq, 1.0);
+    p.lp.add_constraint({1.0, 0.0, 1.0}, Rel::GreaterEq, 1.0);
+    p.binary = {true, true, true};
+    MilpOptions opts;
+    opts.time_budget_seconds = 60.0;
+    const auto r = solve_milp(p, opts);
+    ASSERT_TRUE(r.optimal());
+    EXPECT_FALSE(r.budget_exhausted);
+    EXPECT_NEAR(r.objective, 2.0, 1e-6);
+}
+
 TEST(MilpTest, RejectsBadMask) {
     MilpProblem p;
     p.lp.objective = {1.0, 1.0};

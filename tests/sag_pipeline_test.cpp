@@ -95,6 +95,56 @@ TEST(SagPipelineTest, CountsAreConsistent) {
                   result.connectivity_rs_count());
 }
 
+// --- Degenerate scenarios: the solver must stay well-defined (trivially
+// feasible or explicitly infeasible, never a crash) even on inputs that
+// Scenario::validate would reject, because callers like the resilience
+// repair engine build reduced scenarios programmatically.
+
+TEST(SagDegenerateTest, ZeroSubscribersSolvesTrivially) {
+    Scenario s;
+    s.field = geom::Rect::centered_square(300.0);
+    s.base_stations = {{{0.0, 0.0}}};
+    s.validate();  // zero subscribers is a legal scenario
+    const auto result = solve_sag(s);
+    EXPECT_TRUE(result.feasible);
+    EXPECT_EQ(result.coverage_rs_count(), 0u);
+    EXPECT_EQ(result.connectivity_rs_count(), 0u);
+    EXPECT_NEAR(result.total_power(), 0.0, 1e-12);
+    EXPECT_TRUE(verify_coverage(s, result.coverage, result.lower_power.powers).feasible);
+    EXPECT_TRUE(verify_connectivity(s, result.coverage, result.connectivity).feasible);
+}
+
+TEST(SagDegenerateTest, ZeroBaseStationsReportsInfeasible) {
+    // validate() rejects a BS-less scenario, but the solver itself must
+    // still terminate with an explicit infeasible plan: there is no root
+    // to hang the backhaul tree from.
+    Scenario s;
+    s.field = geom::Rect::centered_square(300.0);
+    s.subscribers = {{{-40.0, 0.0}, 35.0}, {{40.0, 0.0}, 35.0}};
+    const auto result = solve_sag(s);
+    EXPECT_FALSE(result.feasible);
+    EXPECT_FALSE(result.connectivity.feasible);
+}
+
+TEST(SagDegenerateTest, ZeroCandidatesReportsInfeasible) {
+    Scenario s;
+    s.field = geom::Rect::centered_square(300.0);
+    s.subscribers = {{{-40.0, 0.0}, 35.0}};
+    s.base_stations = {{{0.0, 100.0}}};
+    const auto cov = solve_ilpqc_coverage(s, {});
+    EXPECT_FALSE(cov.feasible);
+    EXPECT_EQ(cov.rs_count(), 0u);
+    const auto result = green_pipeline(s, cov);
+    EXPECT_FALSE(result.feasible);
+}
+
+TEST(SagDegenerateTest, ZeroSubscribersYieldNoCandidates) {
+    Scenario s;
+    s.field = geom::Rect::centered_square(300.0);
+    s.base_stations = {{{0.0, 0.0}}};
+    EXPECT_TRUE(iac_candidates(s).empty());
+}
+
 /// Integration sweep across fields, sizes and seeds: the full pipeline
 /// must stay feasible and verifiable, and green must never cost more than
 /// the max-power baseline.

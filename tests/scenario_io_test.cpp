@@ -1,5 +1,7 @@
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <limits>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -55,6 +57,90 @@ TEST(ScenarioIoTest, RejectsMalformedPoint) {
     Json j = scenario_to_json(sample_scenario());
     j["base_stations"].as_array()[0] = Json(Json::Array{Json(1.0)});  // 1-element
     EXPECT_THROW((void)scenario_from_json(j), std::runtime_error);
+}
+
+// --- Negative paths: well-formed JSON carrying a non-physical scenario
+// must throw ScenarioFormatError naming the offending field, never crash
+// or silently construct a poisoned Scenario.
+
+TEST(ScenarioIoTest, RejectsNanSubscriberCoordinate) {
+    Json j = scenario_to_json(sample_scenario());
+    j["subscribers"].as_array()[3].as_object()["pos"] =
+        Json(Json::Array{Json(std::nan("")), Json(0.0)});
+    try {
+        (void)scenario_from_json(j);
+        FAIL() << "expected ScenarioFormatError";
+    } catch (const ScenarioFormatError& e) {
+        EXPECT_EQ(e.path(), "subscribers[3].pos[0]");
+    }
+}
+
+TEST(ScenarioIoTest, RejectsInfiniteBaseStationCoordinate) {
+    Json j = scenario_to_json(sample_scenario());
+    j["base_stations"].as_array()[1] = Json(
+        Json::Array{Json(std::numeric_limits<double>::infinity()), Json(0.0)});
+    try {
+        (void)scenario_from_json(j);
+        FAIL() << "expected ScenarioFormatError";
+    } catch (const ScenarioFormatError& e) {
+        EXPECT_EQ(e.path(), "base_stations[1][0]");
+    }
+}
+
+TEST(ScenarioIoTest, RejectsNanFieldCorner) {
+    Json j = scenario_to_json(sample_scenario());
+    j["field"].as_object()["max"] =
+        Json(Json::Array{Json(250.0), Json(std::nan(""))});
+    EXPECT_THROW((void)scenario_from_json(j), ScenarioFormatError);
+}
+
+TEST(ScenarioIoTest, RejectsNegativeMaxPower) {
+    Json j = scenario_to_json(sample_scenario());
+    j["radio"].as_object()["max_power"] = Json(-50.0);
+    try {
+        (void)scenario_from_json(j);
+        FAIL() << "expected ScenarioFormatError";
+    } catch (const ScenarioFormatError& e) {
+        EXPECT_EQ(e.path(), "radio.max_power");
+    }
+}
+
+TEST(ScenarioIoTest, RejectsNanMaxPower) {
+    // RadioParams::validate cannot catch this one itself: every NaN
+    // comparison is false, so "max_power <= 0" passes vacuously.
+    Json j = scenario_to_json(sample_scenario());
+    j["radio"].as_object()["max_power"] = Json(std::nan(""));
+    EXPECT_THROW((void)scenario_from_json(j), ScenarioFormatError);
+}
+
+TEST(ScenarioIoTest, RejectsNegativeDistanceRequest) {
+    Json j = scenario_to_json(sample_scenario());
+    j["subscribers"].as_array()[0].as_object()["distance_request"] = Json(-5.0);
+    try {
+        (void)scenario_from_json(j);
+        FAIL() << "expected ScenarioFormatError";
+    } catch (const ScenarioFormatError& e) {
+        EXPECT_EQ(e.path(), "subscribers[0].distance_request");
+    }
+}
+
+TEST(ScenarioIoTest, RejectsDuplicateSubscriberPositions) {
+    Json j = scenario_to_json(sample_scenario());
+    auto& subs = j["subscribers"].as_array();
+    subs[4].as_object()["pos"] = subs[1].as_object()["pos"];
+    try {
+        (void)scenario_from_json(j);
+        FAIL() << "expected ScenarioFormatError";
+    } catch (const ScenarioFormatError& e) {
+        EXPECT_EQ(e.path(), "subscribers[4]");
+    }
+}
+
+TEST(ScenarioIoTest, RejectsDuplicateBaseStationPositions) {
+    Json j = scenario_to_json(sample_scenario());
+    auto& bss = j["base_stations"].as_array();
+    bss[1] = bss[0];
+    EXPECT_THROW((void)scenario_from_json(j), ScenarioFormatError);
 }
 
 TEST(ScenarioIoTest, FileSaveLoad) {

@@ -12,6 +12,13 @@
 //
 //   sag_cli verify --scenario scenario.json --result result.json
 //       Re-check a previously produced deployment against its scenario.
+//
+//   sag_cli resilience --scenario scenario.json [--model independent|disc|degrade]
+//                      [--fraction F] [--radius R] [--factor F] [--seed K]
+//                      [--out report.json]
+//       Solve the scenario, inject seeded RS failures, assess the damage,
+//       run the staged self-healing repair, and report coverage survival
+//       and power overhead (survivability JSON schema in docs/RESILIENCE.md).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -24,8 +31,12 @@
 #include "sag/core/ilpqc.h"
 #include "sag/core/sag.h"
 #include "sag/io/report_io.h"
+#include "sag/io/resilience_io.h"
 #include "sag/io/scenario_io.h"
 #include "sag/obs/obs.h"
+#include "sag/resilience/damage.h"
+#include "sag/resilience/failure.h"
+#include "sag/resilience/repair.h"
 #include "sag/sim/scenario_gen.h"
 
 namespace {
@@ -70,7 +81,10 @@ int usage() {
                  " [--snr DB] [--seed K] [--bs-layout uniform|corners|center]\n"
                  "  sag_cli solve --scenario FILE [--out FILE] [--csv FILE]"
                  " [--coverage samc|iac|gac] [--grid SIZE] [--trace-json FILE]\n"
-                 "  sag_cli verify --scenario FILE --result FILE\n");
+                 "  sag_cli verify --scenario FILE --result FILE\n"
+                 "  sag_cli resilience --scenario FILE"
+                 " [--model independent|disc|degrade] [--fraction F]"
+                 " [--radius R] [--factor F] [--seed K] [--out FILE]\n");
     return 2;
 }
 
@@ -183,6 +197,72 @@ int cmd_verify(const Args& args) {
     return check.feasible ? 0 : 1;
 }
 
+int cmd_resilience(const Args& args) {
+    const auto scenario_path = args.get("scenario");
+    if (!scenario_path) return usage();
+    const core::Scenario scenario = io::load_scenario(*scenario_path);
+
+    const core::SagResult deployment = core::solve_sag(scenario);
+    if (!deployment.feasible) {
+        std::fprintf(stderr,
+                     "scenario is infeasible for the intact pipeline; "
+                     "nothing to damage\n");
+        return 1;
+    }
+
+    const auto seed = static_cast<std::uint64_t>(args.num_or("seed", 1));
+    const std::string model = args.get_or("model", "independent");
+    resilience::FailureSet failures;
+    if (model == "independent") {
+        resilience::IndependentFailureModel m;
+        m.probability = args.num_or("fraction", 0.1);
+        failures = resilience::inject_independent(deployment, m, seed);
+    } else if (model == "disc") {
+        resilience::DiscOutageModel m;
+        m.radius = units::Meters{args.num_or("radius", 100.0)};
+        failures = resilience::inject_disc_outage(scenario, deployment, m, seed);
+    } else if (model == "degrade") {
+        resilience::PowerDegradationModel m;
+        m.probability = args.num_or("fraction", 0.1);
+        m.factor = args.num_or("factor", 0.5);
+        failures = resilience::inject_power_degradation(deployment, m, seed);
+    } else {
+        std::fprintf(stderr, "unknown failure model '%s'\n", model.c_str());
+        return usage();
+    }
+
+    const auto damage = resilience::assess_damage(scenario, deployment, failures);
+    const auto outcome = resilience::repair(scenario, deployment, failures);
+
+    std::printf("failure model   : %s (seed %llu)\n", model.c_str(),
+                static_cast<unsigned long long>(seed));
+    std::printf("failed RSs      : %zu coverage, %zu connectivity"
+                " (%zu degraded)\n",
+                failures.coverage_down.size(), failures.connectivity_down.size(),
+                failures.degraded.size());
+    std::printf("damage          : %zu orphaned SSs, %zu cut-off RSs\n",
+                damage.orphaned.size(), damage.cut_off.size());
+    std::printf("repair          : %zu reassigned, %zu new relays, "
+                "%zu unrecoverable (%d rounds)\n",
+                outcome.reassigned, outcome.new_relays,
+                outcome.unrecoverable.size(), outcome.rounds);
+    std::printf("verified        : %s\n",
+                outcome.repaired.feasible ? "yes" : "no");
+    std::printf("coverage kept   : %zu / %zu\n", outcome.covered.size(),
+                scenario.subscriber_count());
+    std::printf("P_total         : %.2f -> %.2f (overhead %.3f)\n",
+                outcome.power_before, outcome.power_after,
+                outcome.power_overhead());
+
+    if (const auto out = args.get("out")) {
+        io::write_text_file(
+            *out,
+            io::survivability_to_json(failures, damage, outcome).dump(2) + "\n");
+        std::printf("wrote %s\n", out->c_str());
+    }
+    return outcome.repaired.feasible ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -193,6 +273,7 @@ int main(int argc, char** argv) {
         if (cmd == "generate") return cmd_generate(args);
         if (cmd == "solve") return cmd_solve(args);
         if (cmd == "verify") return cmd_verify(args);
+        if (cmd == "resilience") return cmd_resilience(args);
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
