@@ -169,6 +169,11 @@ private:
     void after_mutation();
 
     const Scenario* scenario_;
+    /// The scenario's propagation kernel, resolved once at construction:
+    /// the one virtual call this class ever makes. Every delta and every
+    /// scratch recompute evaluates this same kernel, which is both the
+    /// model-consistency invariant and the hot-loop devirtualization.
+    wireless::GainKernel kernel_;
     std::vector<geom::Vec2> rs_pos_;
     std::vector<double> rs_power_;
     ids::IdVec<ids::SsId, ids::SsId> sub_ids_;  // tracked-local -> global SsId

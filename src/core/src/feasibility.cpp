@@ -7,7 +7,6 @@
 #include "sag/core/snr_field.h"
 #include "sag/units/units.h"
 #include "sag/wireless/link.h"
-#include "sag/wireless/two_ray.h"
 
 namespace sag::core {
 
@@ -43,9 +42,8 @@ CoverageReport verify_coverage(const Scenario& scenario, const CoveragePlan& pla
         const geom::Vec2& rs = plan.rs_position(check.serving_rs);
         check.access_distance = geom::distance(rs, s.pos);
         check.distance_ok = check.access_distance <= s.distance_request + 1e-6;
-        const units::Watt rx = wireless::received_power(
-            scenario.radio, units::Watt{powers[check.serving_rs.index()]},
-            units::Meters{check.access_distance});
+        const units::Watt rx = scenario.received_power(
+            units::Watt{powers[check.serving_rs.index()]}, rs, s.pos);
         check.rate_ok = rx >= scenario.min_rx_power(j) * (1.0 - 1e-9);
         const double snr = field.snr_of(j, check.serving_rs);
         check.snr_ok = snr >= beta * (1.0 - 1e-9);
@@ -61,7 +59,7 @@ CoverageReport verify_coverage(const Scenario& scenario, const CoveragePlan& pla
 CoverageReport verify_coverage_max_power(const Scenario& scenario,
                                          const CoveragePlan& plan) {
     const std::vector<double> powers(plan.rs_count(),
-                                     scenario.radio.max_power.watts());
+                                     scenario.rs_max_power().watts());
     return verify_coverage(scenario, plan, powers);
 }
 

@@ -22,11 +22,10 @@ namespace {
 /// a sound tightening that also detects infeasible thresholds instantly
 /// (the Fig. 3d regime).
 double noise_only_service_radius(const Scenario& scenario) {
-    const auto& r = scenario.radio;
-    const units::Watt floor = scenario.snr_threshold() * r.snr_ambient_noise;
+    const units::Watt floor =
+        scenario.snr_threshold() * scenario.radio.snr_ambient_noise;
     if (floor <= units::Watt{0.0}) return std::numeric_limits<double>::infinity();
-    return std::pow(r.max_power.watts() * r.combined_gain() / floor.watts(),
-                    1.0 / r.alpha);
+    return scenario.range_for(scenario.rs_max_power(), floor).meters();
 }
 
 }  // namespace

@@ -8,7 +8,6 @@
 #include "sag/core/snr_field.h"
 #include "sag/ids/ids.h"
 #include "sag/obs/obs.h"
-#include "sag/wireless/two_ray.h"
 
 namespace sag::core {
 
@@ -96,10 +95,10 @@ opt::MilpProblem build_ilpqc_milp(const Scenario& scenario,
                                        std::vector<double>(scenario.subscriber_count()));
     for (std::size_t k = 0; k < layout.m; ++k) {
         for (const ids::SsId j : scenario.ss_ids()) {
-            g[k][j.index()] = wireless::received_power(
-                                  scenario.radio, scenario.radio.max_power,
-                                  units::Meters{geom::distance(
-                                      candidates[k], scenario.subscriber(j).pos)})
+            g[k][j.index()] = scenario
+                                  .received_power(scenario.rs_max_power(),
+                                                  candidates[k],
+                                                  scenario.subscriber(j).pos)
                                   .watts();
         }
     }

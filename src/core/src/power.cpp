@@ -9,24 +9,25 @@
 #include "sag/obs/obs.h"
 #include "sag/opt/lp.h"
 #include "sag/opt/power_control.h"
-#include "sag/wireless/two_ray.h"
 
 namespace sag::core {
 
 namespace {
 
-/// Path gains g[rs][sub] = G * d^-alpha between every RS and subscriber.
-/// A bulk double matrix: IDs cross into it via .index().
+/// Per-link path gains g[rs][sub] under the scenario's propagation model
+/// (kernel resolved once; shadowing models fade each link
+/// deterministically). A bulk double matrix: IDs cross into it via
+/// .index().
 std::vector<std::vector<double>> gain_matrix(const Scenario& scenario,
                                              const CoveragePlan& plan) {
+    const wireless::GainKernel kernel = scenario.gain_kernel();
     std::vector<std::vector<double>> g(plan.rs_count(),
                                        std::vector<double>(scenario.subscriber_count()));
     for (const ids::RsId i : plan.rs_ids()) {
         for (const ids::SsId j : scenario.ss_ids()) {
-            g[i.index()][j.index()] = wireless::path_gain(
-                scenario.radio,
-                units::Meters{geom::distance(plan.rs_position(i),
-                                             scenario.subscriber(j).pos)});
+            const geom::Vec2& rs = plan.rs_position(i);
+            const geom::Vec2& ss = scenario.subscriber(j).pos;
+            g[i.index()][j.index()] = kernel.gain(rs, ss, geom::distance(rs, ss));
         }
     }
     return g;
@@ -57,10 +58,9 @@ bool allocation_feasible(const Scenario& scenario, const CoveragePlan& plan,
     const double beta = scenario.snr_threshold_linear();
     for (const ids::SsId j : scenario.ss_ids()) {
         const ids::RsId i = plan.assignment[j];
-        const units::Watt rx = wireless::received_power(
-            scenario.radio, units::Watt{powers[i.index()]},
-            units::Meters{geom::distance(plan.rs_position(i),
-                                         scenario.subscriber(j).pos)});
+        const units::Watt rx = scenario.received_power(
+            units::Watt{powers[i.index()]}, plan.rs_position(i),
+            scenario.subscriber(j).pos);
         if (rx < scenario.min_rx_power(j) * (1.0 - 1e-9)) return false;
         if (snrs[j.index()] < beta * (1.0 - 1e-9)) return false;
     }
@@ -74,10 +74,10 @@ units::Watt coverage_power_floor(const Scenario& scenario, const CoveragePlan& p
     units::Watt floor{0.0};
     for (const ids::SsId j : scenario.ss_ids()) {
         if (plan.assignment[j] != rs) continue;
-        const units::Meters d{
-            geom::distance(plan.rs_position(rs), scenario.subscriber(j).pos)};
-        floor = std::max(floor, wireless::tx_power_for(scenario.radio,
-                                                       scenario.min_rx_power(j), d));
+        floor = std::max(floor,
+                         scenario.tx_power_for(scenario.min_rx_power(j),
+                                               plan.rs_position(rs),
+                                               scenario.subscriber(j).pos));
     }
     return floor;
 }
@@ -93,7 +93,8 @@ PowerAllocation allocate_power_pro(const Scenario& scenario, const CoveragePlan&
     SAG_OBS_SPAN("pro.allocate");
     PowerAllocation out;
     const std::size_t n = plan.rs_count();
-    const units::Watt pmax = scenario.radio.max_power;
+    const units::Watt pmax = scenario.rs_max_power();
+    const wireless::GainKernel kernel = scenario.gain_kernel();
     const double beta = scenario.snr_threshold_linear();
 
     ids::IdVec<ids::RsId, units::Watt> p_min(n, units::Watt{0.0});
@@ -134,14 +135,13 @@ PowerAllocation allocate_power_pro(const Scenario& scenario, const CoveragePlan&
     const auto snr_floor = [&](ids::RsId i) {
         units::Watt need{0.0};
         for (const ids::SsId j : served[i]) {
-            const units::Meters d{
-                geom::distance(plan.rs_position(i), scenario.subscriber(j).pos)};
-            const units::Watt own =
-                wireless::received_power(scenario.radio, field.rs_power(i), d);
+            const geom::Vec2& rs = plan.rs_position(i);
+            const geom::Vec2& ss = scenario.subscriber(j).pos;
+            const double g = kernel.gain(rs, ss, geom::distance(rs, ss));
+            const units::Watt own{field.rs_power(i).watts() * g};
             const units::Watt interference =
                 units::Watt{field.total_rx(j)} - own + scenario.radio.snr_ambient_noise;
-            need = std::max(need, scenario.snr_threshold() * interference /
-                                      wireless::path_gain(scenario.radio, d));
+            need = std::max(need, scenario.snr_threshold() * interference / g);
         }
         return need;
     };
@@ -211,7 +211,7 @@ PowerAllocation allocate_power_optimal(const Scenario& scenario,
     const std::size_t n = plan.rs_count();
     const auto g = gain_matrix(scenario, plan);
 
-    std::vector<double> floors(n), caps(n, scenario.radio.max_power.watts());
+    std::vector<double> floors(n), caps(n, scenario.rs_max_power().watts());
     for (const ids::RsId i : plan.rs_ids()) {
         floors[i.index()] = coverage_power_floor(scenario, plan, i).watts();
     }
@@ -240,7 +240,7 @@ PowerAllocation allocate_power_optimal_lp(const Scenario& scenario,
 
     opt::LinearProgram lp;
     lp.objective.assign(n, 1.0);
-    lp.upper_bounds.assign(n, scenario.radio.max_power.watts());
+    lp.upper_bounds.assign(n, scenario.rs_max_power().watts());
     const double beta = scenario.snr_threshold_linear();
     for (const ids::SsId j : scenario.ss_ids()) {
         const ids::RsId i = plan.assignment[j];
@@ -264,8 +264,8 @@ PowerAllocation allocate_power_optimal_lp(const Scenario& scenario,
         out.total = result.objective;
         out.feasible = true;
     } else {
-        out.powers.assign(n, scenario.radio.max_power.watts());
-        out.total = static_cast<double>(n) * scenario.radio.max_power.watts();
+        out.powers.assign(n, scenario.rs_max_power().watts());
+        out.total = static_cast<double>(n) * scenario.rs_max_power().watts();
     }
     return out;
 }
@@ -273,9 +273,9 @@ PowerAllocation allocate_power_optimal_lp(const Scenario& scenario,
 PowerAllocation allocate_power_baseline(const Scenario& scenario,
                                         const CoveragePlan& plan) {
     PowerAllocation out;
-    out.powers.assign(plan.rs_count(), scenario.radio.max_power.watts());
+    out.powers.assign(plan.rs_count(), scenario.rs_max_power().watts());
     out.total =
-        static_cast<double>(plan.rs_count()) * scenario.radio.max_power.watts();
+        static_cast<double>(plan.rs_count()) * scenario.rs_max_power().watts();
     out.feasible = allocation_feasible(scenario, plan, out.powers);
     out.iterations = 0;
     return out;

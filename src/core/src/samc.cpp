@@ -12,7 +12,6 @@
 #include "sag/core/zone_partition.h"
 #include "sag/obs/obs.h"
 #include "sag/geometry/region.h"
-#include "sag/wireless/two_ray.h"
 
 namespace sag::core {
 namespace samc_detail {
@@ -98,8 +97,7 @@ struct Proposal {
 double interference_at(const ZoneState& st, ids::SsId k, ids::RsId skip) {
     const geom::Vec2& rx = st.scenario.subscriber(st.subs[k.index()]).pos;
     const double skipped =
-        wireless::received_power(st.scenario.radio, st.scenario.radio.max_power,
-                                 units::Meters{geom::distance(st.point(skip), rx)})
+        st.scenario.received_power(st.scenario.rs_max_power(), st.point(skip), rx)
             .watts();
     return st.field.total_rx(k) - skipped +
            st.scenario.radio.snr_ambient_noise.watts();
@@ -110,7 +108,6 @@ double interference_at(const ZoneState& st, ids::SsId k, ids::RsId skip) {
 /// serves inside both coverage range and the SNR "virtual circle".
 std::optional<geom::Vec2> relocation_target(const ZoneState& st, ids::RsId p,
                                             const std::vector<bool>& is_violated) {
-    const auto& radio = st.scenario.radio;
     const double beta = st.scenario.snr_threshold_linear();
     std::vector<geom::Circle> region;
     for (const ids::SsId k : st.serving.ids()) {
@@ -120,12 +117,13 @@ std::optional<geom::Vec2> relocation_target(const ZoneState& st, ids::RsId p,
         if (is_violated[k.index()]) {
             const double interference = interference_at(st, k, p);
             if (interference > 0.0) {
-                // SNR >= beta  <=>  Pmax*G*d^-alpha >= beta*I
-                // <=>  d <= (Pmax*G / (beta*I))^(1/alpha)
+                // SNR >= beta  <=>  gain(d) >= beta*I/Pmax: the model's
+                // range inversion is the SNR "virtual circle" radius.
                 const double r_snr =
-                    std::pow(radio.max_power.watts() * radio.combined_gain() /
-                                 (beta * interference),
-                             1.0 / radio.alpha);
+                    st.scenario
+                        .range_for(st.scenario.rs_max_power(),
+                                   units::Watt{beta * interference})
+                        .meters();
                 radius = std::min(radius, r_snr);
             }
         }

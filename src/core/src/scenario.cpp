@@ -4,7 +4,6 @@
 #include <limits>
 #include <stdexcept>
 
-#include "sag/wireless/two_ray.h"
 
 namespace sag::core {
 
@@ -24,9 +23,24 @@ std::vector<geom::Circle> Scenario::feasible_circles() const {
     return circles;
 }
 
+const wireless::RadioProfile& Scenario::profile(ids::ProfileId id) const {
+    static const wireless::RadioProfile kDefault;
+    if (!id.valid() || id.index() >= profiles.size()) return kDefault;
+    return profiles[id.index()];
+}
+
 units::Watt Scenario::min_rx_power(ids::SsId j) const {
-    return wireless::received_power(radio, radio.max_power,
-                                    units::Meters{subscribers.at(j.index()).distance_request});
+    units::Watt p = received_power(
+        radio.max_power, units::Meters{subscribers.at(j.index()).distance_request});
+    const wireless::RadioProfile& prof = subscriber_profile(j);
+    // A noisier receiver front end needs proportionally more power for the
+    // same effective rate; 0 dB (the default) leaves the paper value
+    // bit-for-bit untouched.
+    if (prof.noise_figure.db() != 0.0) p = p * prof.noise_figure_factor();
+    // Link-budget models additionally impose an absolute sensitivity floor.
+    if (const auto floor = model().rx_sensitivity(radio, prof); floor && *floor > p)
+        p = *floor;
+    return p;
 }
 
 double Scenario::min_distance_request() const {
@@ -37,6 +51,10 @@ double Scenario::min_distance_request() const {
 
 void Scenario::validate() const {
     radio.validate();
+    model().validate(radio);
+    for (const wireless::RadioProfile& p : profiles) p.validate(radio);
+    if (relay_profile.valid() && relay_profile.index() >= profiles.size())
+        throw std::invalid_argument("relay_profile references no profile");
     if (base_stations.empty())
         throw std::invalid_argument("scenario needs at least one base station");
     if (field.width() <= 0.0 || field.height() <= 0.0)
@@ -46,6 +64,8 @@ void Scenario::validate() const {
             throw std::invalid_argument("distance request must be positive");
         if (!field.contains(s.pos, 1e-6))
             throw std::invalid_argument("subscriber outside the field");
+        if (s.profile.valid() && s.profile.index() >= profiles.size())
+            throw std::invalid_argument("subscriber references no profile");
     }
     for (const BaseStation& b : base_stations) {
         if (!field.contains(b.pos, 1e-6))

@@ -5,7 +5,6 @@
 #include "sag/core/snr_field.h"
 #include "sag/geometry/spatial_grid.h"
 #include "sag/wireless/link.h"
-#include "sag/wireless/two_ray.h"
 
 namespace sag::core {
 

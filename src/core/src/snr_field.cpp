@@ -7,13 +7,13 @@
 
 #include "sag/core/snr.h"
 #include "sag/obs/obs.h"
-#include "sag/wireless/two_ray.h"
 
 namespace sag::core {
 
 SnrField::SnrField(const Scenario& scenario, std::span<const geom::Vec2> rs_positions,
                    std::span<const double> powers, std::span<const ids::SsId> subs)
     : scenario_(&scenario),
+      kernel_(scenario.gain_kernel()),
       rs_pos_(rs_positions.begin(), rs_positions.end()),
       rs_power_(powers.begin(), powers.end()),
       sub_ids_(std::vector<ids::SsId>(subs.begin(), subs.end())) {
@@ -37,7 +37,7 @@ SnrField::SnrField(const Scenario& scenario, std::span<const geom::Vec2> rs_posi
 SnrField SnrField::at_max_power(const Scenario& scenario,
                                 std::span<const geom::Vec2> rs_positions) {
     const std::vector<double> powers(rs_positions.size(),
-                                     scenario.radio.max_power.watts());
+                                     scenario.rs_max_power().watts());
     return SnrField(scenario, rs_positions, powers);
 }
 
@@ -45,7 +45,7 @@ SnrField SnrField::at_max_power(const Scenario& scenario,
                                 std::span<const geom::Vec2> rs_positions,
                                 std::span<const ids::SsId> subs) {
     const std::vector<double> powers(rs_positions.size(),
-                                     scenario.radio.max_power.watts());
+                                     scenario.rs_max_power().watts());
     return SnrField(scenario, rs_positions, powers, subs);
 }
 
@@ -64,11 +64,11 @@ void SnrField::accumulate(std::size_t k, double term) {
 
 void SnrField::apply_rs_contribution(const geom::Vec2& pos, units::Watt power,
                                      double sign) {
-    const auto& radio = scenario_->radio;
     for (std::size_t k = 0; k < sub_pos_.size(); ++k) {
-        const units::Watt term = wireless::received_power(
-            radio, power, units::Meters{geom::distance(pos, sub_pos_[k])});
-        accumulate(k, sign * term.watts());
+        const double term =
+            power.watts() *
+            kernel_.gain(pos, sub_pos_[k], geom::distance(pos, sub_pos_[k]));
+        accumulate(k, sign * term);
     }
 }
 
@@ -89,12 +89,12 @@ void SnrField::set_power(ids::RsId i, units::Watt power) {
     // Subtract the old term and add the new one per subscriber (rather
     // than adding a fused difference) so both are the exact doubles a
     // from-scratch evaluation would produce.
-    const auto& radio = scenario_->radio;
     const units::Watt old_power = rs_power(i);
     for (std::size_t k = 0; k < sub_pos_.size(); ++k) {
-        const units::Meters d{geom::distance(rs_pos_[i.index()], sub_pos_[k])};
-        accumulate(k, -wireless::received_power(radio, old_power, d).watts());
-        accumulate(k, wireless::received_power(radio, power, d).watts());
+        const double g = kernel_.gain(rs_pos_[i.index()], sub_pos_[k],
+                                      geom::distance(rs_pos_[i.index()], sub_pos_[k]));
+        accumulate(k, -(old_power.watts() * g));
+        accumulate(k, power.watts() * g);
     }
     rs_power_[i.index()] = power.watts();
     after_mutation();
@@ -130,9 +130,10 @@ void SnrField::insert_rs(ids::RsId i, const geom::Vec2& pos, units::Watt power) 
 
 double SnrField::snr_of(ids::SsId k, ids::RsId serving) const {
     assert(k.index() < sub_pos_.size() && serving.index() < rs_pos_.size());
-    const units::Watt signal = wireless::received_power(
-        scenario_->radio, rs_power(serving),
-        units::Meters{geom::distance(rs_pos_[serving.index()], sub_pos_[k.index()])});
+    const units::Watt signal{
+        rs_power(serving).watts() *
+        kernel_.gain(rs_pos_[serving.index()], sub_pos_[k.index()],
+                     geom::distance(rs_pos_[serving.index()], sub_pos_[k.index()]))};
     if (signal <= units::Watt{0.0}) return 0.0;  // a silent server delivers no SNR
     const units::Watt interference =
         units::Watt{total_rx(k)} - signal + scenario_->radio.snr_ambient_noise;
@@ -175,14 +176,11 @@ bool SnrField::all_meet_threshold(ids::IdSpan<ids::SsId, const ids::RsId> servin
 
 void SnrField::recompute_subscriber(ids::SsId kk) {
     const std::size_t k = kk.index();
-    const auto& radio = scenario_->radio;
     double sum = 0.0, comp = 0.0;
     for (std::size_t i = 0; i < rs_pos_.size(); ++i) {
         const double term =
-            wireless::received_power(
-                radio, units::Watt{rs_power_[i]},
-                units::Meters{geom::distance(rs_pos_[i], sub_pos_[k])})
-                .watts();
+            rs_power_[i] * kernel_.gain(rs_pos_[i], sub_pos_[k],
+                                        geom::distance(rs_pos_[i], sub_pos_[k]));
         const double next = sum + term;
         if (std::abs(sum) >= std::abs(term)) {
             comp += (sum - next) + term;
@@ -201,14 +199,12 @@ void SnrField::refresh() {
 
 double SnrField::verify_against_scratch() const {
     double worst = 0.0;
-    const auto& radio = scenario_->radio;
     for (std::size_t k = 0; k < sub_pos_.size(); ++k) {
         double scratch = 0.0;
         for (std::size_t i = 0; i < rs_pos_.size(); ++i) {
-            scratch += wireless::received_power(
-                           radio, units::Watt{rs_power_[i]},
-                           units::Meters{geom::distance(rs_pos_[i], sub_pos_[k])})
-                           .watts();
+            scratch += rs_power_[i] *
+                       kernel_.gain(rs_pos_[i], sub_pos_[k],
+                                    geom::distance(rs_pos_[i], sub_pos_[k]));
         }
         const double incr = total_[k] + comp_[k];
         const double scale =
@@ -294,7 +290,7 @@ bool SnrFeasibilityOracle::feasible(std::span<const ids::CandId> chosen) {
         current_.pop_back();
     }
     for (std::size_t c = prefix; c < chosen.size(); ++c) {
-        field_.add_rs(candidates_[chosen[c].index()], scenario_->radio.max_power);
+        field_.add_rs(candidates_[chosen[c].index()], scenario_->rs_max_power());
         current_.push_back(chosen[c]);
     }
 

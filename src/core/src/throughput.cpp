@@ -4,7 +4,6 @@
 #include <limits>
 
 #include "sag/wireless/link.h"
-#include "sag/wireless/two_ray.h"
 
 namespace sag::core {
 
@@ -63,12 +62,12 @@ ThroughputReport analyze_throughput(const Scenario& scenario,
             const std::size_t cov_index = v - bs_count;
             tx_power = cov_index < coverage_powers.size()
                            ? coverage_powers[cov_index]
-                           : scenario.radio.max_power.watts();
+                           : scenario.rs_max_power().watts();
         }
         link.capacity_bps = wireless::shannon_capacity(
             scenario.radio,
-            wireless::received_power(scenario.radio, units::Watt{tx_power},
-                                     units::Meters{link.length}));
+            scenario.received_power(units::Watt{tx_power}, plan.positions[v],
+                                    plan.positions[link.parent]));
         link.utilization = link.capacity_bps > 0.0
                                ? link.offered_bps / link.capacity_bps
                                : (link.offered_bps > 0.0

@@ -12,7 +12,6 @@
 #include "sag/graph/tree.h"
 #include "sag/obs/obs.h"
 #include "sag/wireless/link.h"
-#include "sag/wireless/two_ray.h"
 
 namespace sag::core {
 
@@ -213,9 +212,9 @@ void allocate_power_ucpo(const Scenario& scenario, const CoveragePlan& coverage,
             geom::distance(plan.positions[bs_count + i], plan.positions[cur]);
         const std::size_t sections = chain.size() + 1;  // N_i segments
         const units::Meters seg{edge_len / static_cast<double>(sections)};
-        const units::Watt p_need = wireless::tx_power_for(scenario.radio, p_rs, seg);
-        if (p_need > scenario.radio.max_power) SAG_OBS_COUNT("ucra.ucpo.clamped");
-        const units::Watt p = std::min(p_need, scenario.radio.max_power);
+        const units::Watt p_need = scenario.tx_power_for(p_rs, seg);
+        if (p_need > scenario.rs_max_power()) SAG_OBS_COUNT("ucra.ucpo.clamped");
+        const units::Watt p = std::min(p_need, scenario.rs_max_power());
         for (const std::size_t v : chain) plan.powers[v] = p.watts();
     }
 }
@@ -284,8 +283,7 @@ void allocate_power_ucpo_aggregated(const Scenario& scenario,
         const units::Watt p_req =
             wireless::min_rx_power_for_rate(scenario.radio, subtree_rate[i]);
         const units::Watt p =
-            std::min(wireless::tx_power_for(scenario.radio, p_req, seg),
-                     scenario.radio.max_power);
+            std::min(scenario.tx_power_for(p_req, seg), scenario.rs_max_power());
         for (const std::size_t v : chain) plan.powers[v] = p.watts();
     }
 }
@@ -293,7 +291,7 @@ void allocate_power_ucpo_aggregated(const Scenario& scenario,
 void allocate_power_max(const Scenario& scenario, ConnectivityPlan& plan) {
     for (std::size_t v = 0; v < plan.node_count(); ++v) {
         if (plan.kinds[v] == NodeKind::ConnectivityRs) {
-            plan.powers[v] = scenario.radio.max_power.watts();
+            plan.powers[v] = scenario.rs_max_power().watts();
         }
     }
 }

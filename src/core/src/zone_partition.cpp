@@ -4,12 +4,13 @@
 
 #include "sag/geometry/spatial_grid.h"
 #include "sag/graph/graph.h"
-#include "sag/wireless/two_ray.h"
 
 namespace sag::core {
 
 double zone_partition_dmax(const Scenario& scenario) {
-    return wireless::ignorable_noise_distance(scenario.radio).meters();
+    return wireless::ignorable_noise_distance(scenario.model(), scenario.radio,
+                                              scenario.rs_max_power())
+        .meters();
 }
 
 ids::IdVec<ids::ZoneId, std::vector<ids::SsId>> zone_partition(

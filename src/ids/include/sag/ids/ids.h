@@ -111,6 +111,7 @@ using RsId = EntityId<struct RsTag>;      ///< relay station (coverage or zone-l
 using BsId = EntityId<struct BsTag>;      ///< macro base station bs_b
 using CandId = EntityId<struct CandTag>;  ///< ILPQC candidate position
 using ZoneId = EntityId<struct ZoneTag>;  ///< Zone Partition component
+using ProfileId = EntityId<struct ProfileTag>;  ///< RadioProfile index (radio class)
 
 /// Half-open ID interval [begin, end) for range-for loops:
 /// `for (const SsId j : scenario.ss_ids())`.
@@ -292,6 +293,7 @@ static_assert(detail::kZeroOverheadId<RsId>);
 static_assert(detail::kZeroOverheadId<BsId>);
 static_assert(detail::kZeroOverheadId<CandId>);
 static_assert(detail::kZeroOverheadId<ZoneId>);
+static_assert(detail::kZeroOverheadId<ProfileId>);
 
 }  // namespace sag::ids
 

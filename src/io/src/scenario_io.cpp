@@ -55,6 +55,133 @@ void reject_duplicate_positions(const std::vector<geom::Vec2>& positions,
     }
 }
 
+/// Satellite hardening: a typo'd key ("radioparams", "snr_treshold_db")
+/// used to be silently ignored, making the file lie about what was loaded.
+/// Every object the reader consumes is now checked against its schema.
+void reject_unknown_keys(const Json& obj, const std::string& path,
+                         std::initializer_list<const char*> allowed) {
+    for (const auto& [key, value] : obj.as_object()) {
+        bool known = false;
+        for (const char* a : allowed) {
+            if (key == a) {
+                known = true;
+                break;
+            }
+        }
+        if (!known) {
+            throw ScenarioFormatError(path.empty() ? key : path + "." + key,
+                                      "unknown key");
+        }
+    }
+}
+
+Json propagation_to_json(const wireless::PropagationModel& model) {
+    Json::Object p;
+    p["model"] = Json(std::string(model.kind()));
+    if (const auto* ld = dynamic_cast<const wireless::LogDistanceModel*>(&model)) {
+        p["path_loss_at_ref_db"] = Json(ld->path_loss_at_ref.db());
+        p["exponent"] = Json(ld->exponent);
+        p["ref_distance"] = Json(ld->ref_distance.meters());
+        p["shadowing_sigma_db"] = Json(ld->shadowing_sigma.db());
+        // Seeds round-trip exactly through the JSON double up to 2^53.
+        p["shadowing_seed"] = Json(static_cast<double>(ld->shadowing_seed));
+    } else if (const auto* lora =
+                   dynamic_cast<const wireless::LoRaLinkBudgetModel*>(&model)) {
+        p["spreading_factor"] = Json(lora->spreading_factor);
+        p["bandwidth_hz"] = Json(lora->bandwidth_hz);
+        p["noise_figure_db"] = Json(lora->noise_figure.db());
+        p["path_exponent"] = Json(lora->path_exponent);
+        p["ref_distance"] = Json(lora->ref_distance.meters());
+        p["frequency_hz"] = Json(lora->frequency_hz);
+    }
+    return Json(std::move(p));
+}
+
+std::shared_ptr<const wireless::PropagationModel> propagation_from_json(
+    const Json& j) {
+    const std::string kind = j.at("model").as_string();
+    if (kind == "two_ray") {
+        reject_unknown_keys(j, "propagation", {"model"});
+        return std::make_shared<wireless::TwoRayModel>();
+    }
+    if (kind == "log_distance") {
+        reject_unknown_keys(j, "propagation",
+                            {"model", "path_loss_at_ref_db", "exponent",
+                             "ref_distance", "shadowing_sigma_db",
+                             "shadowing_seed"});
+        auto m = std::make_shared<wireless::LogDistanceModel>();
+        m->path_loss_at_ref = units::Decibel{require_finite(
+            j.get_number("path_loss_at_ref_db", m->path_loss_at_ref.db()),
+            "propagation.path_loss_at_ref_db")};
+        m->exponent = require_finite(j.get_number("exponent", m->exponent),
+                                     "propagation.exponent");
+        m->ref_distance = units::Meters{
+            require_finite(j.get_number("ref_distance", m->ref_distance.meters()),
+                           "propagation.ref_distance")};
+        m->shadowing_sigma = units::Decibel{require_non_negative(
+            j.get_number("shadowing_sigma_db", m->shadowing_sigma.db()),
+            "propagation.shadowing_sigma_db")};
+        m->shadowing_seed = static_cast<std::uint64_t>(require_non_negative(
+            j.get_number("shadowing_seed",
+                         static_cast<double>(m->shadowing_seed)),
+            "propagation.shadowing_seed"));
+        return m;
+    }
+    if (kind == "lora") {
+        reject_unknown_keys(j, "propagation",
+                            {"model", "spreading_factor", "bandwidth_hz",
+                             "noise_figure_db", "path_exponent", "ref_distance",
+                             "frequency_hz"});
+        auto m = std::make_shared<wireless::LoRaLinkBudgetModel>();
+        m->spreading_factor = static_cast<int>(require_finite(
+            j.get_number("spreading_factor", m->spreading_factor),
+            "propagation.spreading_factor"));
+        m->bandwidth_hz = require_finite(
+            j.get_number("bandwidth_hz", m->bandwidth_hz),
+            "propagation.bandwidth_hz");
+        m->noise_figure = units::Decibel{require_non_negative(
+            j.get_number("noise_figure_db", m->noise_figure.db()),
+            "propagation.noise_figure_db")};
+        m->path_exponent = require_finite(
+            j.get_number("path_exponent", m->path_exponent),
+            "propagation.path_exponent");
+        m->ref_distance = units::Meters{
+            require_finite(j.get_number("ref_distance", m->ref_distance.meters()),
+                           "propagation.ref_distance")};
+        m->frequency_hz = require_finite(
+            j.get_number("frequency_hz", m->frequency_hz),
+            "propagation.frequency_hz");
+        return m;
+    }
+    throw ScenarioFormatError("propagation.model",
+                              "unknown propagation model '" + kind + "'");
+}
+
+Json profile_to_json(const wireless::RadioProfile& p) {
+    Json::Object o;
+    o["name"] = Json(p.name);
+    if (p.max_power) o["max_power"] = Json(p.max_power->watts());
+    o["noise_figure_db"] = Json(p.noise_figure.db());
+    o["duty_cycle"] = Json(p.duty_cycle);
+    return Json(std::move(o));
+}
+
+wireless::RadioProfile profile_from_json(const Json& j, const std::string& path) {
+    reject_unknown_keys(j, path,
+                        {"name", "max_power", "noise_figure_db", "duty_cycle"});
+    wireless::RadioProfile p;
+    if (j.contains("name")) p.name = j.at("name").as_string();
+    if (j.contains("max_power")) {
+        p.max_power = units::Watt{require_non_negative(
+            j.at("max_power").as_number(), path + ".max_power")};
+    }
+    p.noise_figure = units::Decibel{require_non_negative(
+        j.get_number("noise_figure_db", 0.0), path + ".noise_figure_db")};
+    p.duty_cycle =
+        require_finite(j.get_number("duty_cycle", 1.0), path + ".duty_cycle");
+    return p;
+}
+
 const char* kind_name(core::NodeKind kind) {
     switch (kind) {
         case core::NodeKind::BaseStation: return "BS";
@@ -67,8 +194,19 @@ const char* kind_name(core::NodeKind kind) {
 }  // namespace
 
 Json scenario_to_json(const core::Scenario& s) {
+    // Format versioning: plain two-ray scenarios without profiles keep
+    // emitting the original format 1 byte-for-byte (archived goldens and
+    // external tooling keep working); the propagation/profiles extensions
+    // bump the file to format 2.
+    bool has_subscriber_profiles = false;
+    for (const auto& sub : s.subscribers) {
+        if (sub.profile.valid()) has_subscriber_profiles = true;
+    }
+    const bool extended = s.propagation != nullptr || !s.profiles.empty() ||
+                          s.relay_profile.valid() || has_subscriber_profiles;
+
     Json j;
-    j["format"] = Json(1);
+    j["format"] = Json(extended ? 2 : 1);
     j["field"] = Json(Json::Object{{"min", vec2_to_json(s.field.min)},
                                    {"max", vec2_to_json(s.field.max)}});
     j["snr_threshold_db"] = Json(s.snr_threshold_db.db());
@@ -90,11 +228,24 @@ Json scenario_to_json(const core::Scenario& s) {
     radio["snr_ambient_noise"] = Json(s.radio.snr_ambient_noise.watts());
     j["radio"] = Json(std::move(radio));
 
+    if (extended) {
+        if (s.propagation) j["propagation"] = propagation_to_json(*s.propagation);
+        if (!s.profiles.empty()) {
+            Json::Array profiles;
+            for (const auto& p : s.profiles) profiles.push_back(profile_to_json(p));
+            j["profiles"] = Json(std::move(profiles));
+        }
+        if (s.relay_profile.valid()) {
+            j["relay_profile"] = Json(s.relay_profile.index());
+        }
+    }
+
     Json::Array subs;
     for (const auto& sub : s.subscribers) {
-        subs.push_back(Json(Json::Object{
-            {"pos", vec2_to_json(sub.pos)},
-            {"distance_request", Json(sub.distance_request)}}));
+        Json::Object o{{"pos", vec2_to_json(sub.pos)},
+                       {"distance_request", Json(sub.distance_request)}};
+        if (sub.profile.valid()) o["profile"] = Json(sub.profile.index());
+        subs.push_back(Json(std::move(o)));
     }
     j["subscribers"] = Json(std::move(subs));
 
@@ -105,10 +256,24 @@ Json scenario_to_json(const core::Scenario& s) {
 }
 
 core::Scenario scenario_from_json(const Json& j) {
-    if (static_cast<int>(j.get_number("format", 0)) != 1) {
+    const int format = static_cast<int>(j.get_number("format", 0));
+    if (format != 1 && format != 2) {
         throw std::runtime_error("unsupported scenario format version");
     }
+    if (format == 1) {
+        // The legacy schema: format-2 blocks in a format-1 file are typos,
+        // not extensions.
+        reject_unknown_keys(j, "",
+                            {"format", "field", "snr_threshold_db", "radio",
+                             "subscribers", "base_stations"});
+    } else {
+        reject_unknown_keys(j, "",
+                            {"format", "field", "snr_threshold_db", "radio",
+                             "subscribers", "base_stations", "propagation",
+                             "profiles", "relay_profile"});
+    }
     core::Scenario s;
+    reject_unknown_keys(j.at("field"), "field", {"min", "max"});
     const Json& field = j.at("field");
     s.field = {finite_vec2(field.at("min"), "field.min"),
                finite_vec2(field.at("max"), "field.max")};
@@ -116,6 +281,11 @@ core::Scenario scenario_from_json(const Json& j) {
         require_finite(j.at("snr_threshold_db").as_number(), "snr_threshold_db")};
 
     const Json& radio = j.at("radio");
+    reject_unknown_keys(radio, "radio",
+                        {"tx_gain", "rx_gain", "tx_height", "rx_height",
+                         "alpha", "max_power", "noise_floor", "bandwidth_hz",
+                         "reference_distance", "ignorable_noise",
+                         "snr_ambient_noise"});
     s.radio.tx_gain = radio.get_number("tx_gain", s.radio.tx_gain);
     s.radio.rx_gain = radio.get_number("rx_gain", s.radio.rx_gain);
     s.radio.tx_height =
@@ -150,13 +320,36 @@ core::Scenario scenario_from_json(const Json& j) {
     require_finite(s.radio.reference_distance.meters(),
                    "radio.reference_distance");
 
+    if (j.contains("propagation")) {
+        s.propagation = propagation_from_json(j.at("propagation"));
+    }
+    if (j.contains("profiles")) {
+        std::size_t pi = 0;
+        for (const Json& prof : j.at("profiles").as_array()) {
+            s.profiles.push_back(profile_from_json(
+                prof, "profiles[" + std::to_string(pi++) + "]"));
+        }
+    }
+    if (j.contains("relay_profile")) {
+        s.relay_profile = ids::ProfileId{static_cast<std::size_t>(
+            require_non_negative(j.at("relay_profile").as_number(),
+                                 "relay_profile"))};
+    }
+
     std::size_t index = 0;
     for (const Json& sub : j.at("subscribers").as_array()) {
         const std::string path = "subscribers[" + std::to_string(index++) + "]";
-        s.subscribers.push_back(
-            {finite_vec2(sub.at("pos"), path + ".pos"),
-             require_non_negative(sub.at("distance_request").as_number(),
-                                  path + ".distance_request")});
+        reject_unknown_keys(sub, path, {"pos", "distance_request", "profile"});
+        core::Subscriber parsed;
+        parsed.pos = finite_vec2(sub.at("pos"), path + ".pos");
+        parsed.distance_request = require_non_negative(
+            sub.at("distance_request").as_number(), path + ".distance_request");
+        if (sub.contains("profile")) {
+            parsed.profile = ids::ProfileId{static_cast<std::size_t>(
+                require_non_negative(sub.at("profile").as_number(),
+                                     path + ".profile"))};
+        }
+        s.subscribers.push_back(parsed);
     }
     index = 0;
     for (const Json& bs : j.at("base_stations").as_array()) {

@@ -3,7 +3,6 @@
 #include <algorithm>
 
 #include "sag/obs/obs.h"
-#include "sag/wireless/two_ray.h"
 
 namespace sag::resilience {
 
@@ -73,8 +72,8 @@ DamageReport assess_damage(const core::Scenario& scenario,
         bool ok = is_dead(failures, serving) == false;
         ok = ok && dist <= s.distance_request + 1e-6;
         if (ok) {
-            const units::Watt rx = wireless::received_power(
-                scenario.radio, units::Watt{power}, units::Meters{dist});
+            const units::Watt rx = scenario.received_power(
+                units::Watt{power}, plan.rs_position(serving), s.pos);
             ok = rx >= scenario.min_rx_power(j) * (1.0 - 1e-9);
         }
         ok = ok && field.snr_of(j, serving) >= beta * (1.0 - 1e-9);

@@ -88,7 +88,7 @@ std::vector<double> damaged_powers(const core::Scenario& scenario,
                                    const core::SagResult& deployment,
                                    const FailureSet& failures) {
     std::vector<double> powers = deployment.lower_power.powers;
-    const double p_max = scenario.radio.max_power.watts();
+    const double p_max = scenario.rs_max_power().watts();
     for (const Degradation& d : failures.degraded) {
         if (d.rs.index() >= powers.size())
             throw std::out_of_range("degraded RS id outside deployment");

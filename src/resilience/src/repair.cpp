@@ -10,7 +10,6 @@
 #include "sag/core/ucra.h"
 #include "sag/obs/obs.h"
 #include "sag/opt/power_control.h"
-#include "sag/wireless/two_ray.h"
 
 namespace sag::resilience {
 
@@ -41,25 +40,25 @@ bool can_serve(const core::Scenario& scenario, const core::SnrField& field,
     const core::Subscriber& s = scenario.subscriber(j);
     const double dist = geom::distance(pool.positions[rs], s.pos);
     if (dist > s.distance_request + 1e-6) return false;
-    const units::Watt rx = wireless::received_power(
-        scenario.radio, units::Watt{pool.caps[rs]}, units::Meters{dist});
+    const units::Watt rx = scenario.received_power(
+        units::Watt{pool.caps[rs]}, pool.positions[rs], s.pos);
     if (rx < scenario.min_rx_power(j) * (1.0 - 1e-9)) return false;
     const double beta = scenario.snr_threshold_linear();
     return field.snr_of(j, ids::RsId{rs}) >= beta * (1.0 - 1e-9);
 }
 
-/// Path gains pool-RS x covered-SS for the fixed-point stage.
+/// Per-link path gains pool-RS x covered-SS for the fixed-point stage,
+/// under the scenario's propagation model (kernel resolved once).
 std::vector<std::vector<double>> gain_matrix(const core::Scenario& scenario,
                                              const std::vector<geom::Vec2>& rs_pos,
                                              const std::vector<ids::SsId>& subs) {
+    const wireless::GainKernel kernel = scenario.gain_kernel();
     std::vector<std::vector<double>> g(rs_pos.size(),
                                        std::vector<double>(subs.size()));
     for (std::size_t i = 0; i < rs_pos.size(); ++i) {
         for (std::size_t k = 0; k < subs.size(); ++k) {
-            g[i][k] = wireless::path_gain(
-                scenario.radio,
-                units::Meters{geom::distance(
-                    rs_pos[i], scenario.subscriber(subs[k]).pos)});
+            const geom::Vec2& ss = scenario.subscriber(subs[k]).pos;
+            g[i][k] = kernel.gain(rs_pos[i], ss, geom::distance(rs_pos[i], ss));
         }
     }
     return g;
@@ -75,7 +74,7 @@ RepairOutcome repair(const core::Scenario& scenario,
     out.power_before = deployment.total_power();
 
     const DamageReport damage = assess_damage(scenario, deployment, failures);
-    const double p_max = scenario.radio.max_power.watts();
+    const double p_max = scenario.rs_max_power().watts();
 
     // --- Build the surviving pool: compact out the dead coverage RSs and
     // record each survivor's cap.

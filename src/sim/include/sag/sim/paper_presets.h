@@ -31,6 +31,19 @@ GeneratorConfig snr_sweep_point(units::Decibel snr_threshold);
 /// Fig. 6: 600x600 (plot axes +-300), 30 users, 4 corner BSs.
 GeneratorConfig topology_showcase();
 
+/// Log-distance channel calibrated to the two-ray median (PL(d0) =
+/// -10 log10 G, same exponent) plus `sigma` of seeded lognormal
+/// shadowing: the paper environment with fading, for robustness studies.
+GeneratorConfig log_distance_shadowed(std::size_t users, units::Decibel sigma,
+                                      std::uint64_t shadowing_seed);
+
+/// LoRa link-budget family: 500x500 in real meters, SF9/125 kHz at
+/// 868 MHz, 20 dBm (0.1 W) caps, thermal-noise-scale power constants, and
+/// router-class relays serving client-class (6 dB noise-figure)
+/// subscribers with 150-250 m distance requests. The non-two-ray
+/// end-to-end scenario family.
+GeneratorConfig lora_field(std::size_t users);
+
 }  // namespace presets
 
 }  // namespace sag::sim

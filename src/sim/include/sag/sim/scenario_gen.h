@@ -25,6 +25,15 @@ struct GeneratorConfig {
     units::Decibel snr_threshold_db{-15.0};
     BsLayout bs_layout = BsLayout::Uniform;
     wireless::RadioParams radio{};
+    /// Propagation model of the generated scenarios; null keeps the
+    /// paper's two-ray default.
+    std::shared_ptr<const wireless::PropagationModel> propagation;
+    /// Radio classes copied into every generated scenario.
+    std::vector<wireless::RadioProfile> profiles;
+    /// Class of the placed relay stations (invalid = default).
+    ids::ProfileId relay_profile;
+    /// Class assigned to every generated subscriber (invalid = default).
+    ids::ProfileId subscriber_profile;
 };
 
 /// Generates a scenario; the same (config, seed) pair always yields the

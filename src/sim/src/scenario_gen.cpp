@@ -17,6 +17,9 @@ core::Scenario generate_scenario(const GeneratorConfig& config, std::uint64_t se
     scenario.field = geom::Rect::centered_square(config.field_side);
     scenario.radio = config.radio;
     scenario.snr_threshold_db = config.snr_threshold_db;
+    scenario.propagation = config.propagation;
+    scenario.profiles = config.profiles;
+    scenario.relay_profile = config.relay_profile;
 
     std::mt19937_64 rng(seed);
     const double half = config.field_side / 2.0;
@@ -29,7 +32,11 @@ core::Scenario generate_scenario(const GeneratorConfig& config, std::uint64_t se
         // Draw in a fixed order so subscriber i is identical across runs
         // regardless of how later fields evolve.
         const double x = coord(rng), y = coord(rng), d = dist_req(rng);
-        scenario.subscribers.push_back({{x, y}, d});
+        core::Subscriber sub;
+        sub.pos = {x, y};
+        sub.distance_request = d;
+        sub.profile = config.subscriber_profile;
+        scenario.subscribers.push_back(sub);
     }
 
     scenario.base_stations.reserve(config.base_station_count);

@@ -8,7 +8,9 @@
 
 #include "sag/core/sag.h"
 #include "sag/io/scenario_io.h"
+#include "sag/sim/paper_presets.h"
 #include "sag/sim/scenario_gen.h"
+#include "sag/wireless/propagation.h"
 
 namespace sag::io {
 namespace {
@@ -141,6 +143,170 @@ TEST(ScenarioIoTest, RejectsDuplicateBaseStationPositions) {
     auto& bss = j["base_stations"].as_array();
     bss[1] = bss[0];
     EXPECT_THROW((void)scenario_from_json(j), ScenarioFormatError);
+}
+
+// --- Schema strictness: a typo'd key must throw with its JSON path, not
+// be silently ignored (the file would otherwise lie about what loaded).
+
+TEST(ScenarioIoTest, RejectsUnknownTopLevelKey) {
+    Json j = scenario_to_json(sample_scenario());
+    j["radioparams"] = Json(1.0);  // typo of "radio"
+    try {
+        (void)scenario_from_json(j);
+        FAIL() << "expected ScenarioFormatError";
+    } catch (const ScenarioFormatError& e) {
+        EXPECT_EQ(e.path(), "radioparams");
+    }
+}
+
+TEST(ScenarioIoTest, RejectsUnknownRadioKey) {
+    Json j = scenario_to_json(sample_scenario());
+    j["radio"].as_object()["tx_power"] = Json(5.0);  // typo of "max_power"
+    try {
+        (void)scenario_from_json(j);
+        FAIL() << "expected ScenarioFormatError";
+    } catch (const ScenarioFormatError& e) {
+        EXPECT_EQ(e.path(), "radio.tx_power");
+    }
+}
+
+TEST(ScenarioIoTest, RejectsUnknownSubscriberKey) {
+    Json j = scenario_to_json(sample_scenario());
+    j["subscribers"].as_array()[2].as_object()["nickname"] = Json(1.0);
+    try {
+        (void)scenario_from_json(j);
+        FAIL() << "expected ScenarioFormatError";
+    } catch (const ScenarioFormatError& e) {
+        EXPECT_EQ(e.path(), "subscribers[2].nickname");
+    }
+}
+
+TEST(ScenarioIoTest, RejectsFormat2BlocksInFormat1File) {
+    // "profiles" in a format-1 file is a typo/corruption, not an extension.
+    Json j = scenario_to_json(sample_scenario());
+    ASSERT_EQ(static_cast<int>(j.at("format").as_number()), 1);
+    j["profiles"] = Json(Json::Array{});
+    try {
+        (void)scenario_from_json(j);
+        FAIL() << "expected ScenarioFormatError";
+    } catch (const ScenarioFormatError& e) {
+        EXPECT_EQ(e.path(), "profiles");
+    }
+}
+
+// --- Format 2: propagation + profile blocks -------------------------------
+
+core::Scenario lora_scenario() {
+    return sim::generate_scenario(sim::presets::lora_field(8), 4);
+}
+
+TEST(ScenarioIoTest, PlainScenarioStillEmitsFormat1) {
+    // Byte-compat guard: scenarios that don't use the extensions keep the
+    // original schema, so archived goldens and external tooling still parse.
+    const Json j = scenario_to_json(sample_scenario());
+    EXPECT_EQ(static_cast<int>(j.at("format").as_number()), 1);
+    EXPECT_FALSE(j.contains("propagation"));
+    EXPECT_FALSE(j.contains("profiles"));
+    EXPECT_FALSE(j.contains("relay_profile"));
+    EXPECT_FALSE(j.at("subscribers").as_array()[0].contains("profile"));
+}
+
+TEST(ScenarioIoTest, Format2RoundTripLoRa) {
+    const core::Scenario original = lora_scenario();
+    const Json j = scenario_to_json(original);
+    EXPECT_EQ(static_cast<int>(j.at("format").as_number()), 2);
+    const core::Scenario copy = scenario_from_json(j);
+
+    ASSERT_TRUE(copy.propagation);
+    const auto& lora =
+        dynamic_cast<const wireless::LoRaLinkBudgetModel&>(*copy.propagation);
+    const auto& orig =
+        dynamic_cast<const wireless::LoRaLinkBudgetModel&>(*original.propagation);
+    EXPECT_EQ(lora.spreading_factor, orig.spreading_factor);
+    EXPECT_EQ(lora.bandwidth_hz, orig.bandwidth_hz);
+    EXPECT_EQ(lora.noise_figure.db(), orig.noise_figure.db());
+    EXPECT_EQ(lora.path_exponent, orig.path_exponent);
+    EXPECT_EQ(lora.frequency_hz, orig.frequency_hz);
+
+    ASSERT_EQ(copy.profiles.size(), original.profiles.size());
+    for (std::size_t i = 0; i < copy.profiles.size(); ++i) {
+        EXPECT_EQ(copy.profiles[i].name, original.profiles[i].name);
+        EXPECT_EQ(copy.profiles[i].max_power.has_value(),
+                  original.profiles[i].max_power.has_value());
+        EXPECT_EQ(copy.profiles[i].noise_figure.db(),
+                  original.profiles[i].noise_figure.db());
+        EXPECT_EQ(copy.profiles[i].duty_cycle, original.profiles[i].duty_cycle);
+    }
+    EXPECT_EQ(copy.relay_profile, original.relay_profile);
+    for (std::size_t k = 0; k < copy.subscriber_count(); ++k) {
+        EXPECT_EQ(copy.subscribers[k].profile, original.subscribers[k].profile);
+    }
+    // The physics survive the trip: same sensitivity-floored requirements.
+    for (const ids::SsId k : original.ss_ids()) {
+        EXPECT_EQ(copy.min_rx_power(k).watts(), original.min_rx_power(k).watts());
+    }
+}
+
+TEST(ScenarioIoTest, Format2RoundTripShadowedLogDistance) {
+    const core::Scenario original = sim::generate_scenario(
+        sim::presets::log_distance_shadowed(10, units::Decibel{8.0}, 424242), 6);
+    const core::Scenario copy = scenario_from_json(scenario_to_json(original));
+    ASSERT_TRUE(copy.propagation);
+    const auto& ld =
+        dynamic_cast<const wireless::LogDistanceModel&>(*copy.propagation);
+    const auto& orig =
+        dynamic_cast<const wireless::LogDistanceModel&>(*original.propagation);
+    EXPECT_EQ(ld.path_loss_at_ref.db(), orig.path_loss_at_ref.db());
+    EXPECT_EQ(ld.exponent, orig.exponent);
+    EXPECT_EQ(ld.ref_distance.meters(), orig.ref_distance.meters());
+    EXPECT_EQ(ld.shadowing_sigma.db(), orig.shadowing_sigma.db());
+    EXPECT_EQ(ld.shadowing_seed, orig.shadowing_seed);
+    // Seed round-trip exactness is what makes a reloaded scenario replay
+    // the identical shadowing realization.
+    const geom::Vec2 a{10.0, 20.0}, b{-120.0, 55.0};
+    EXPECT_EQ(copy.received_power(copy.radio.max_power, a, b).watts(),
+              original.received_power(original.radio.max_power, a, b).watts());
+}
+
+TEST(ScenarioIoTest, RejectsUnknownPropagationKey) {
+    Json j = scenario_to_json(sim::generate_scenario(
+        sim::presets::log_distance_shadowed(6, units::Decibel{4.0}, 1), 2));
+    j["propagation"].as_object()["sigma"] = Json(2.0);  // typo of shadowing_sigma_db
+    try {
+        (void)scenario_from_json(j);
+        FAIL() << "expected ScenarioFormatError";
+    } catch (const ScenarioFormatError& e) {
+        EXPECT_EQ(e.path(), "propagation.sigma");
+    }
+}
+
+TEST(ScenarioIoTest, RejectsUnknownPropagationModel) {
+    Json j = scenario_to_json(lora_scenario());
+    j["propagation"].as_object().clear();
+    j["propagation"].as_object()["model"] = Json(std::string("okumura_hata"));
+    try {
+        (void)scenario_from_json(j);
+        FAIL() << "expected ScenarioFormatError";
+    } catch (const ScenarioFormatError& e) {
+        EXPECT_EQ(e.path(), "propagation.model");
+    }
+}
+
+TEST(ScenarioIoTest, RejectsUnknownProfileKey) {
+    Json j = scenario_to_json(lora_scenario());
+    j["profiles"].as_array()[1].as_object()["tx_cap"] = Json(0.5);
+    try {
+        (void)scenario_from_json(j);
+        FAIL() << "expected ScenarioFormatError";
+    } catch (const ScenarioFormatError& e) {
+        EXPECT_EQ(e.path(), "profiles[1].tx_cap");
+    }
+}
+
+TEST(ScenarioIoTest, RejectsDanglingRelayProfile) {
+    Json j = scenario_to_json(lora_scenario());
+    j["relay_profile"] = Json(17.0);
+    EXPECT_THROW((void)scenario_from_json(j), std::invalid_argument);
 }
 
 TEST(ScenarioIoTest, FileSaveLoad) {

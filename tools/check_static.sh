@@ -17,6 +17,10 @@
 #     counts/sizes/budgets keep size_t and simply must not be named like
 #     an entity index. Justified exceptions live in
 #     tools/check_static_allowlist.txt.
+#  4. Domain lint: no NEW bare-double path-gain/attenuation parameter may
+#     appear outside src/wireless. Channel gains flow through
+#     sag::wireless::GainKernel / PropagationModel so every solver,
+#     verifier, and the SnrField evaluate the one true channel.
 #
 # Usage: tools/check_static.sh [build-dir]   (default: build)
 #
@@ -92,6 +96,24 @@ if [ -n "$id_hits" ]; then
     err "raw size_t entity-index parameter(s); use sag::ids strong IDs" \
         "(or add a justified entry to $allowlist):"
     echo "$id_hits" >&2
+fi
+
+# --- 4. raw-double path-gain parameters outside src/wireless ---------------
+# Matches a scalar `double` function parameter carrying a channel gain,
+# attenuation, or path loss. Channel physics must flow through
+# sag::wireless::PropagationModel / GainKernel (the single gain authority
+# of the scenario) -- a function elsewhere accepting a bare gain double is
+# a second channel model waiting to drift from the first. Bulk matrices
+# (std::vector<double>) do not match; the kernel structs themselves live
+# in src/wireless, which is exempt.
+gain_pattern='[(,][[:space:]]*(const[[:space:]]+)?double[[:space:]]+[a-zA-Z_]*(gain|atten|path_loss)[a-zA-Z_]*[[:space:]]*[,)=]'
+gain_hits=$(grep -rnE "$gain_pattern" src tools examples \
+                --include='*.h' --include='*.cpp' 2>/dev/null |
+            grep -v '^src/wireless/') || true
+if [ -n "$gain_hits" ]; then
+    err "bare-double path-gain parameter(s); route the channel through" \
+        "sag::wireless::GainKernel / PropagationModel instead:"
+    echo "$gain_hits" >&2
 fi
 
 if [ "$fail" -ne 0 ]; then

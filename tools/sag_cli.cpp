@@ -2,7 +2,12 @@
 //
 //   sag_cli generate --out scenario.json [--users N] [--bs N] [--field S]
 //                    [--snr DB] [--seed K] [--bs-layout uniform|corners|center]
-//       Generate a random scenario and write it as JSON.
+//                    [--propagation two_ray|log_distance|lora]
+//                    [--shadowing-sigma DB] [--shadowing-seed K]
+//       Generate a random scenario and write it as JSON. --propagation
+//       log_distance adds seeded lognormal shadowing on the two-ray-
+//       calibrated median; lora switches to the SF9/125kHz link-budget
+//       preset (real-meter power scale, router/client profiles).
 //
 //   sag_cli solve --scenario scenario.json [--out result.json] [--csv tree.csv]
 //                 [--coverage samc|iac|gac] [--grid SIZE] [--trace-json FILE]
@@ -37,6 +42,7 @@
 #include "sag/resilience/damage.h"
 #include "sag/resilience/failure.h"
 #include "sag/resilience/repair.h"
+#include "sag/sim/paper_presets.h"
 #include "sag/sim/scenario_gen.h"
 
 namespace {
@@ -78,7 +84,9 @@ int usage() {
     std::fprintf(stderr,
                  "usage:\n"
                  "  sag_cli generate --out FILE [--users N] [--bs N] [--field S]"
-                 " [--snr DB] [--seed K] [--bs-layout uniform|corners|center]\n"
+                 " [--snr DB] [--seed K] [--bs-layout uniform|corners|center]"
+                 " [--propagation two_ray|log_distance|lora]"
+                 " [--shadowing-sigma DB] [--shadowing-seed K]\n"
                  "  sag_cli solve --scenario FILE [--out FILE] [--csv FILE]"
                  " [--coverage samc|iac|gac] [--grid SIZE] [--trace-json FILE]\n"
                  "  sag_cli verify --scenario FILE --result FILE\n"
@@ -91,20 +99,36 @@ int usage() {
 int cmd_generate(const Args& args) {
     const auto out = args.get("out");
     if (!out) return usage();
+    const std::string propagation = args.get_or("propagation", "two_ray");
     sim::GeneratorConfig cfg;
-    cfg.field_side = args.num_or("field", 500.0);
+    if (propagation == "log_distance") {
+        cfg = sim::presets::log_distance_shadowed(
+            30, units::Decibel{args.num_or("shadowing-sigma", 4.0)},
+            static_cast<std::uint64_t>(args.num_or("shadowing-seed", 1)));
+    } else if (propagation == "lora") {
+        cfg = sim::presets::lora_field(30);
+    } else if (propagation != "two_ray") {
+        std::fprintf(stderr, "unknown propagation model '%s'\n",
+                     propagation.c_str());
+        return usage();
+    }
+    cfg.field_side = args.num_or("field", cfg.field_side);
     cfg.subscriber_count = static_cast<std::size_t>(args.num_or("users", 30));
     cfg.base_station_count = static_cast<std::size_t>(args.num_or("bs", 4));
-    cfg.snr_threshold_db = sag::units::Decibel{args.num_or("snr", -15.0)};
+    cfg.snr_threshold_db =
+        sag::units::Decibel{args.num_or("snr", cfg.snr_threshold_db.db())};
     const std::string layout = args.get_or("bs-layout", "uniform");
     cfg.bs_layout = layout == "corners"  ? sim::BsLayout::Corners
                     : layout == "center" ? sim::BsLayout::Center
                                          : sim::BsLayout::Uniform;
     const auto seed = static_cast<std::uint64_t>(args.num_or("seed", 1));
-    io::save_scenario(*out, sim::generate_scenario(cfg, seed));
-    std::printf("wrote %s (%zu subscribers, %zu base stations, %.0fx%.0f)\n",
-                out->c_str(), cfg.subscriber_count, cfg.base_station_count,
-                cfg.field_side, cfg.field_side);
+    const core::Scenario scenario = sim::generate_scenario(cfg, seed);
+    io::save_scenario(*out, scenario);
+    std::printf(
+        "wrote %s (%zu subscribers, %zu base stations, %.0fx%.0f, %s)\n",
+        out->c_str(), cfg.subscriber_count, cfg.base_station_count,
+        cfg.field_side, cfg.field_side,
+        std::string(scenario.model().kind()).c_str());
     return 0;
 }
 
@@ -147,6 +171,8 @@ int cmd_solve(const Args& args) {
         std::printf("wrote %s\n", trace_path->c_str());
     }
     std::printf("coverage method : %s\n", method.c_str());
+    std::printf("propagation     : %s\n",
+                std::string(scenario.model().kind()).c_str());
     std::printf("feasible        : %s\n", result.feasible ? "yes" : "no");
     if (result.feasible) {
         std::printf("coverage RSs    : %zu\n", result.coverage_rs_count());
