@@ -131,9 +131,7 @@ void BM_SnrFieldDeltaIncremental(benchmark::State& state) {
     for (auto _ : state) {
         field.move_rs(ids::RsId{0}, flip ? f.away : f.home);
         flip = !flip;
-        for (const ids::SsId k : f.serving.ids()) {
-            snrs[k.index()] = field.snr_of(k, f.serving[k]);
-        }
+        field.snrs(f.serving, snrs);
         benchmark::DoNotOptimize(snrs);
     }
 }
@@ -156,9 +154,7 @@ void BM_SnrFieldDeltaWithRecorder(benchmark::State& state) {
     for (auto _ : state) {
         field.move_rs(ids::RsId{0}, flip ? f.away : f.home);
         flip = !flip;
-        for (const ids::SsId k : f.serving.ids()) {
-            snrs[k.index()] = field.snr_of(k, f.serving[k]);
-        }
+        field.snrs(f.serving, snrs);
         benchmark::DoNotOptimize(snrs);
     }
     const auto report = recorder.snapshot();

@@ -29,6 +29,17 @@ namespace sag::core {
 /// many deltas were applied. A debug-only full-recompute assert
 /// (`set_check_interval`) makes that equivalence checkable on every path.
 ///
+/// Layout and speed: subscriber and RS state live in structure-of-arrays
+/// double columns (x, y, reach, power), and every O(tracked) loop runs
+/// through the wireless::kernel_eval batch evaluators — 4-lane AVX2 when
+/// the runtime `SAG_SIMD` dispatch and the kernel's shape allow it,
+/// otherwise a scalar path byte-identical to the historical per-link
+/// loop. A given buffer index always takes the same instructions, so the
+/// add/subtract-the-same-double invariant holds in every mode; vector
+/// and scalar totals agree to the docs/PERFORMANCE.md contract (1e-12
+/// per term). The active vector width is exported once per field as the
+/// `snr_field.simd_lanes` gauge.
+///
 /// ID spaces: RSs are addressed by RsId (position within this field's RS
 /// array — `remove_rs` shifts later IDs down by one, exactly like the
 /// vector it wraps). Zone-local solvers construct the field over a
@@ -118,6 +129,16 @@ public:
     bool all_meet_threshold(ids::IdSpan<ids::SsId, const ids::RsId> serving,
                             double rel_slack = 1e-12) const;
 
+    /// Bulk snr_of: out[k] = snr_of(k, serving[k]) for every tracked
+    /// subscriber, through the batch (SIMD-dispatched) kernel — the read
+    /// side of the Fig. 3-7 sweep loops. Agrees with per-element snr_of
+    /// to 1e-9 relative (docs/PERFORMANCE.md: the interference
+    /// subtraction amplifies the per-term bound by the SNR magnitude);
+    /// byte-identical under the scalar mode. `out` must have
+    /// tracked_count() entries.
+    void snrs(ids::IdSpan<ids::SsId, const ids::RsId> serving,
+              std::span<double> out) const;
+
     // --- Maintenance.
 
     /// Exact from-scratch rebuild of tracked slot k's total. Safe to call
@@ -159,14 +180,19 @@ private:
         units::Watt power{0.0};  // Power: old power;   Remove: erased power
     };
 
-    /// Neumaier-compensated `total_[k] += term` (term is watts).
-    void accumulate(std::size_t k, double term);
-    /// Subtract/add RS (pos, power)'s contribution at every tracked sub.
+    /// Subtract/add RS (pos, power)'s contribution at every tracked sub
+    /// (one batch accumulate_rx sweep over the subscriber columns).
     void apply_rs_contribution(const geom::Vec2& pos, units::Watt power, double sign);
     void insert_rs(ids::RsId i, const geom::Vec2& pos, units::Watt power);
     void journal(UndoRecord rec);
     void rollback_to(std::size_t mark);
     void after_mutation();
+
+    geom::Vec2 sub_pos(std::size_t k) const { return {sub_x_[k], sub_y_[k]}; }
+    units::MetersSpan sub_xs() const { return units::MetersSpan{sub_x_}; }
+    units::MetersSpan sub_ys() const { return units::MetersSpan{sub_y_}; }
+    units::MetersSpan rs_xs() const { return units::MetersSpan{rs_x_}; }
+    units::MetersSpan rs_ys() const { return units::MetersSpan{rs_y_}; }
 
     const Scenario* scenario_;
     /// The scenario's propagation kernel, resolved once at construction:
@@ -174,10 +200,14 @@ private:
     /// scratch recompute evaluates this same kernel, which is both the
     /// model-consistency invariant and the hot-loop devirtualization.
     wireless::GainKernel kernel_;
+    /// RS state: the Vec2 vector is the API master (rs_positions() hands
+    /// out a span of it); the x/y columns mirror it for the gather-indexed
+    /// batch reads and are updated by every mutation in lockstep.
     std::vector<geom::Vec2> rs_pos_;
+    std::vector<double> rs_x_, rs_y_;
     std::vector<double> rs_power_;
     ids::IdVec<ids::SsId, ids::SsId> sub_ids_;  // tracked-local -> global SsId
-    std::vector<geom::Vec2> sub_pos_;    // cached subscriber positions
+    std::vector<double> sub_x_, sub_y_;  // subscriber positions, SoA columns
     std::vector<double> sub_reach_;      // cached distance requests
     std::vector<double> total_;          // compensated sums...
     std::vector<double> comp_;           // ...and their residuals

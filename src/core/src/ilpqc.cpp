@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <vector>
 
 #include "sag/core/snr.h"
@@ -69,24 +70,47 @@ CoveragePlan solve_ilpqc_coverage(const Scenario& scenario,
     // interference sums from scratch at every node. Retyping the opt
     // layer's raw chosen set is O(depth) per query — noise next to the
     // field deltas.
-    SnrFeasibilityOracle snr_oracle(scenario, candidates);
-    std::vector<ids::CandId> chosen_ids;
-    const opt::CoverOracle oracle = [&](std::span<const std::size_t> chosen) {
-        chosen_ids.clear();
-        chosen_ids.reserve(chosen.size());
-        for (const std::size_t c : chosen) chosen_ids.push_back(ids::CandId{c});
-        return snr_oracle.feasible(chosen_ids);
-    };
-
     opt::SetCoverBnBOptions bnb;
     bnb.node_budget = options.node_budget;
     bnb.time_budget_seconds = options.time_budget_seconds;
     bnb.allow_padding = options.allow_padding;
+    bnb.threads = options.threads;
     // A placement larger than one RS per subscriber (plus a little padding
     // slack) is never useful; capping the search keeps infeasibility
     // proofs from enumerating absurd cover sizes.
     bnb.max_size = n + 4;
-    const auto result = opt::solve_set_cover_bnb(inst, oracle, bnb);
+
+    opt::SetCoverBnBResult result;
+    if (options.threads == 1) {
+        SnrFeasibilityOracle snr_oracle(scenario, candidates);
+        std::vector<ids::CandId> chosen_ids;
+        const opt::CoverOracle oracle = [&](std::span<const std::size_t> chosen) {
+            chosen_ids.clear();
+            chosen_ids.reserve(chosen.size());
+            for (const std::size_t c : chosen) chosen_ids.push_back(ids::CandId{c});
+            return snr_oracle.feasible(chosen_ids);
+        };
+        result = opt::solve_set_cover_bnb(inst, oracle, bnb);
+    } else {
+        // Parallel search: every root branch builds its own incremental
+        // oracle (the SnrFeasibilityOracle diffs against *its* previous
+        // query, so sharing one across subtrees would corrupt the diff).
+        const opt::CoverOracleFactory factory = [&scenario, candidates]() {
+            auto snr_oracle =
+                std::make_shared<SnrFeasibilityOracle>(scenario, candidates);
+            auto chosen_ids = std::make_shared<std::vector<ids::CandId>>();
+            return opt::CoverOracle(
+                [snr_oracle, chosen_ids](std::span<const std::size_t> chosen) {
+                    chosen_ids->clear();
+                    chosen_ids->reserve(chosen.size());
+                    for (const std::size_t c : chosen) {
+                        chosen_ids->push_back(ids::CandId{c});
+                    }
+                    return snr_oracle->feasible(*chosen_ids);
+                });
+        };
+        result = opt::solve_set_cover_bnb_parallel(inst, factory, bnb);
+    }
 
     plan.search_nodes = result.nodes_explored;
     SAG_OBS_COUNT_ADD("ilpqc.bnb.nodes", result.nodes_explored);

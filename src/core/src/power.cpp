@@ -9,6 +9,7 @@
 #include "sag/obs/obs.h"
 #include "sag/opt/lp.h"
 #include "sag/opt/power_control.h"
+#include "sag/wireless/kernel_eval.h"
 
 namespace sag::core {
 
@@ -17,18 +18,24 @@ namespace {
 /// Per-link path gains g[rs][sub] under the scenario's propagation model
 /// (kernel resolved once; shadowing models fade each link
 /// deterministically). A bulk double matrix: IDs cross into it via
-/// .index().
+/// .index(). Each row is one batch_gain sweep of the subscriber SoA
+/// columns (SIMD-dispatched; see docs/PERFORMANCE.md).
 std::vector<std::vector<double>> gain_matrix(const Scenario& scenario,
                                              const CoveragePlan& plan) {
     const wireless::GainKernel kernel = scenario.gain_kernel();
-    std::vector<std::vector<double>> g(plan.rs_count(),
-                                       std::vector<double>(scenario.subscriber_count()));
+    const std::size_t n = scenario.subscriber_count();
+    std::vector<double> ss_x, ss_y;
+    ss_x.reserve(n);
+    ss_y.reserve(n);
+    for (const ids::SsId j : scenario.ss_ids()) {
+        ss_x.push_back(scenario.subscriber(j).pos.x);
+        ss_y.push_back(scenario.subscriber(j).pos.y);
+    }
+    std::vector<std::vector<double>> g(plan.rs_count(), std::vector<double>(n));
     for (const ids::RsId i : plan.rs_ids()) {
-        for (const ids::SsId j : scenario.ss_ids()) {
-            const geom::Vec2& rs = plan.rs_position(i);
-            const geom::Vec2& ss = scenario.subscriber(j).pos;
-            g[i.index()][j.index()] = kernel.gain(rs, ss, geom::distance(rs, ss));
-        }
+        wireless::batch_gain(kernel, plan.rs_position(i),
+                             units::MetersSpan{ss_x}, units::MetersSpan{ss_y},
+                             g[i.index()]);
     }
     return g;
 }

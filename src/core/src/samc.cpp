@@ -317,13 +317,25 @@ SamcResult solve_samc(const Scenario& scenario, const SamcOptions& options) {
     result.plan.assignment.assign(scenario.subscriber_count(), ids::RsId{0});
     result.plan.feasible = true;
 
+    // Stage 1+2: build every zone's disk family, then solve all hitting
+    // sets in one batch — the zone fan-out seam (options.threads). The
+    // repair stages below depend on each zone's own points only, but stay
+    // serial: their SnrField probes dominate only on pathological zones.
+    std::vector<std::vector<geom::Circle>> zone_disks;
+    zone_disks.reserve(result.zones.size());
     for (const auto& zone : result.zones) {
-        SAG_OBS_SPAN("samc.zone");
         std::vector<geom::Circle> disks;
         disks.reserve(zone.size());
         for (const ids::SsId j : zone) disks.push_back(scenario.feasible_circle(j));
+        zone_disks.push_back(std::move(disks));
+    }
+    const auto zone_points =
+        opt::geometric_hitting_sets(zone_disks, options.hitting_set, options.threads);
 
-        const auto points = opt::geometric_hitting_set(disks, options.hitting_set);
+    for (const ids::ZoneId z : result.zones.ids()) {
+        SAG_OBS_SPAN("samc.zone");
+        const auto& zone = result.zones[z];
+        const auto& points = zone_points[z.index()];
         const auto assignment =
             samc_detail::coverage_link_escape(scenario, zone, points);
         const auto slide =

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 
 #include "sag/core/snr.h"
 #include "sag/obs/obs.h"
+#include "sag/wireless/kernel_eval.h"
 
 namespace sag::core {
 
@@ -18,14 +20,23 @@ SnrField::SnrField(const Scenario& scenario, std::span<const geom::Vec2> rs_posi
       rs_power_(powers.begin(), powers.end()),
       sub_ids_(std::vector<ids::SsId>(subs.begin(), subs.end())) {
     assert(rs_pos_.size() == rs_power_.size());
-    sub_pos_.reserve(sub_ids_.size());
+    rs_x_.reserve(rs_pos_.size());
+    rs_y_.reserve(rs_pos_.size());
+    for (const geom::Vec2& p : rs_pos_) {
+        rs_x_.push_back(p.x);
+        rs_y_.push_back(p.y);
+    }
+    sub_x_.reserve(sub_ids_.size());
+    sub_y_.reserve(sub_ids_.size());
     sub_reach_.reserve(sub_ids_.size());
     for (const ids::SsId j : sub_ids_.raw()) {
-        sub_pos_.push_back(scenario.subscriber(j).pos);
+        sub_x_.push_back(scenario.subscriber(j).pos.x);
+        sub_y_.push_back(scenario.subscriber(j).pos.y);
         sub_reach_.push_back(scenario.subscriber(j).distance_request);
     }
     total_.assign(sub_ids_.size(), 0.0);
     comp_.assign(sub_ids_.size(), 0.0);
+    SAG_OBS_GAUGE("snr_field.simd_lanes", wireless::simd_lanes());
     refresh();
 }
 
@@ -49,27 +60,15 @@ SnrField SnrField::at_max_power(const Scenario& scenario,
     return SnrField(scenario, rs_positions, powers, subs);
 }
 
-void SnrField::accumulate(std::size_t k, double term) {
-    // Neumaier two-sum: the residual of each addition is captured exactly,
-    // so a term later subtracted (same double, opposite sign) cancels
-    // without leaving the usual catastrophic-cancellation residue.
-    const double sum = total_[k] + term;
-    if (std::abs(total_[k]) >= std::abs(term)) {
-        comp_[k] += (total_[k] - sum) + term;
-    } else {
-        comp_[k] += (term - sum) + total_[k];
-    }
-    total_[k] = sum;
-}
-
 void SnrField::apply_rs_contribution(const geom::Vec2& pos, units::Watt power,
                                      double sign) {
-    for (std::size_t k = 0; k < sub_pos_.size(); ++k) {
-        const double term =
-            power.watts() *
-            kernel_.gain(pos, sub_pos_[k], geom::distance(pos, sub_pos_[k]));
-        accumulate(k, sign * term);
-    }
+    // Neumaier accumulation of sign * power * gain at every tracked
+    // subscriber, one batch sweep over the SoA columns. The sign rides on
+    // the power (exact negation), so a retraction subtracts exactly the
+    // doubles the insertion added — the cancellation invariant the
+    // Transaction rollback and remove_rs depend on.
+    wireless::accumulate_rx(kernel_, pos, sign * power.watts(), sub_xs(),
+                            sub_ys(), total_, comp_);
 }
 
 void SnrField::move_rs(ids::RsId i, const geom::Vec2& to) {
@@ -78,6 +77,8 @@ void SnrField::move_rs(ids::RsId i, const geom::Vec2& to) {
     journal({UndoRecord::Kind::Move, i, rs_pos_[i.index()], units::Watt{0.0}});
     apply_rs_contribution(rs_pos_[i.index()], rs_power(i), -1.0);
     rs_pos_[i.index()] = to;
+    rs_x_[i.index()] = to.x;
+    rs_y_[i.index()] = to.y;
     apply_rs_contribution(rs_pos_[i.index()], rs_power(i), +1.0);
     after_mutation();
 }
@@ -88,14 +89,12 @@ void SnrField::set_power(ids::RsId i, units::Watt power) {
     journal({UndoRecord::Kind::Power, i, {}, rs_power(i)});
     // Subtract the old term and add the new one per subscriber (rather
     // than adding a fused difference) so both are the exact doubles a
-    // from-scratch evaluation would produce.
+    // from-scratch evaluation would produce. Two batch sweeps: the gain
+    // for a given subscriber is the same double in both, so the per-slot
+    // operation sequence matches the historical fused loop exactly.
     const units::Watt old_power = rs_power(i);
-    for (std::size_t k = 0; k < sub_pos_.size(); ++k) {
-        const double g = kernel_.gain(rs_pos_[i.index()], sub_pos_[k],
-                                      geom::distance(rs_pos_[i.index()], sub_pos_[k]));
-        accumulate(k, -(old_power.watts() * g));
-        accumulate(k, power.watts() * g);
-    }
+    apply_rs_contribution(rs_pos_[i.index()], old_power, -1.0);
+    apply_rs_contribution(rs_pos_[i.index()], power, +1.0);
     rs_power_[i.index()] = power.watts();
     after_mutation();
 }
@@ -104,6 +103,8 @@ ids::RsId SnrField::add_rs(const geom::Vec2& pos, units::Watt power) {
     const ids::RsId i{rs_pos_.size()};
     journal({UndoRecord::Kind::Add, i, {}, units::Watt{0.0}});
     rs_pos_.push_back(pos);
+    rs_x_.push_back(pos.x);
+    rs_y_.push_back(pos.y);
     rs_power_.push_back(power.watts());
     apply_rs_contribution(pos, power, +1.0);
     after_mutation();
@@ -114,26 +115,32 @@ void SnrField::remove_rs(ids::RsId i) {
     assert(i.index() < rs_pos_.size());
     journal({UndoRecord::Kind::Remove, i, rs_pos_[i.index()], rs_power(i)});
     apply_rs_contribution(rs_pos_[i.index()], rs_power(i), -1.0);
-    rs_pos_.erase(rs_pos_.begin() + static_cast<std::ptrdiff_t>(i.index()));
-    rs_power_.erase(rs_power_.begin() + static_cast<std::ptrdiff_t>(i.index()));
+    const auto at = static_cast<std::ptrdiff_t>(i.index());
+    rs_pos_.erase(rs_pos_.begin() + at);
+    rs_x_.erase(rs_x_.begin() + at);
+    rs_y_.erase(rs_y_.begin() + at);
+    rs_power_.erase(rs_power_.begin() + at);
     after_mutation();
 }
 
 void SnrField::insert_rs(ids::RsId i, const geom::Vec2& pos, units::Watt power) {
     assert(i.index() <= rs_pos_.size());
-    rs_pos_.insert(rs_pos_.begin() + static_cast<std::ptrdiff_t>(i.index()), pos);
-    rs_power_.insert(rs_power_.begin() + static_cast<std::ptrdiff_t>(i.index()),
-                     power.watts());
+    const auto at = static_cast<std::ptrdiff_t>(i.index());
+    rs_pos_.insert(rs_pos_.begin() + at, pos);
+    rs_x_.insert(rs_x_.begin() + at, pos.x);
+    rs_y_.insert(rs_y_.begin() + at, pos.y);
+    rs_power_.insert(rs_power_.begin() + at, power.watts());
     apply_rs_contribution(pos, power, +1.0);
     after_mutation();
 }
 
 double SnrField::snr_of(ids::SsId k, ids::RsId serving) const {
-    assert(k.index() < sub_pos_.size() && serving.index() < rs_pos_.size());
+    assert(k.index() < sub_x_.size() && serving.index() < rs_pos_.size());
+    const geom::Vec2 sub = sub_pos(k.index());
     const units::Watt signal{
         rs_power(serving).watts() *
-        kernel_.gain(rs_pos_[serving.index()], sub_pos_[k.index()],
-                     geom::distance(rs_pos_[serving.index()], sub_pos_[k.index()]))};
+        kernel_.gain(rs_pos_[serving.index()], sub,
+                     geom::distance(rs_pos_[serving.index()], sub))};
     if (signal <= units::Watt{0.0}) return 0.0;  // a silent server delivers no SNR
     const units::Watt interference =
         units::Watt{total_rx(k)} - signal + scenario_->radio.snr_ambient_noise;
@@ -150,13 +157,13 @@ bool SnrField::meets_threshold(ids::SsId k, ids::RsId serving,
 
 std::vector<ids::SsId> SnrField::violated(
     ids::IdSpan<ids::SsId, const ids::RsId> serving) const {
-    assert(serving.size() == sub_pos_.size());
+    assert(serving.size() == sub_x_.size());
     const double beta = scenario_->snr_threshold_linear();
     std::vector<ids::SsId> bad;
     for (const ids::SsId k : tracked_ids()) {
         const ids::RsId rs = serving[k];
         const double d =
-            geom::distance(rs_pos_[rs.index()], sub_pos_[k.index()]);
+            geom::distance(rs_pos_[rs.index()], sub_pos(k.index()));
         if (d > sub_reach_[k.index()] + 1e-6 ||
             snr_of(k, rs) < beta * (1.0 - 1e-12)) {
             bad.push_back(k);
@@ -167,30 +174,33 @@ std::vector<ids::SsId> SnrField::violated(
 
 bool SnrField::all_meet_threshold(ids::IdSpan<ids::SsId, const ids::RsId> serving,
                                   double rel_slack) const {
-    assert(serving.size() == sub_pos_.size());
+    assert(serving.size() == sub_x_.size());
     for (const ids::SsId k : tracked_ids()) {
         if (!meets_threshold(k, serving[k], rel_slack)) return false;
     }
     return true;
 }
 
+void SnrField::snrs(ids::IdSpan<ids::SsId, const ids::RsId> serving,
+                    std::span<double> out) const {
+    assert(serving.size() == sub_x_.size() && out.size() == sub_x_.size());
+    // The batch kernel gathers RS columns through raw 32-bit indices;
+    // this is the IdSpan -> bulk-buffer boundary.
+    std::vector<std::uint32_t> raw(serving.size());
+    for (const ids::SsId k : tracked_ids()) {
+        assert(serving[k].index() < rs_pos_.size());
+        raw[k.index()] = serving[k].value();
+    }
+    wireless::batch_snr(kernel_, rs_xs(), rs_ys(),
+                        units::WattSpan{rs_power_}, raw, sub_xs(), sub_ys(),
+                        total_, comp_,
+                        scenario_->radio.snr_ambient_noise.watts(), out);
+}
+
 void SnrField::recompute_subscriber(ids::SsId kk) {
     const std::size_t k = kk.index();
-    double sum = 0.0, comp = 0.0;
-    for (std::size_t i = 0; i < rs_pos_.size(); ++i) {
-        const double term =
-            rs_power_[i] * kernel_.gain(rs_pos_[i], sub_pos_[k],
-                                        geom::distance(rs_pos_[i], sub_pos_[k]));
-        const double next = sum + term;
-        if (std::abs(sum) >= std::abs(term)) {
-            comp += (sum - next) + term;
-        } else {
-            comp += (term - next) + sum;
-        }
-        sum = next;
-    }
-    total_[k] = sum;
-    comp_[k] = comp;
+    wireless::rx_total(kernel_, sub_pos(k), rs_xs(), rs_ys(),
+                       units::WattSpan{rs_power_}, total_[k], comp_[k]);
 }
 
 void SnrField::refresh() {
@@ -199,12 +209,12 @@ void SnrField::refresh() {
 
 double SnrField::verify_against_scratch() const {
     double worst = 0.0;
-    for (std::size_t k = 0; k < sub_pos_.size(); ++k) {
+    for (std::size_t k = 0; k < sub_x_.size(); ++k) {
         double scratch = 0.0;
         for (std::size_t i = 0; i < rs_pos_.size(); ++i) {
             scratch += rs_power_[i] *
-                       kernel_.gain(rs_pos_[i], sub_pos_[k],
-                                    geom::distance(rs_pos_[i], sub_pos_[k]));
+                       kernel_.gain(rs_pos_[i], sub_pos(k),
+                                    geom::distance(rs_pos_[i], sub_pos(k)));
         }
         const double incr = total_[k] + comp_[k];
         const double scale =

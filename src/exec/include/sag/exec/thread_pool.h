@@ -1,0 +1,65 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace sag::exec {
+
+/// A minimal fixed-size worker pool. Used by parallel_for_index to spread
+/// independent work items across cores; callers stay deterministic
+/// because work items are indexed and outputs land in pre-sized slots
+/// (no order-dependent accumulation).
+///
+/// Lives in the dependency-bottom sag_exec library so that both the
+/// solver layers (opt, core) and the experiment harness (sim) can share
+/// one pool abstraction without an upward dependency.
+class ThreadPool {
+public:
+    /// `threads` == 0 picks default_thread_count().
+    explicit ThreadPool(std::size_t threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    std::size_t thread_count() const { return workers_.size(); }
+
+    /// Enqueues a task; tasks must not throw (std::terminate otherwise).
+    void submit(std::function<void()> task);
+
+    /// Blocks until every submitted task has finished.
+    void wait_idle();
+
+private:
+    void worker_loop();
+
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable task_ready_;
+    std::condition_variable all_done_;
+    std::size_t in_flight_ = 0;
+    bool stopping_ = false;
+};
+
+/// Pool width used when a caller passes `threads == 0`: the SAG_THREADS
+/// environment variable when set to a positive integer, else
+/// hardware_concurrency (minimum 1). One knob caps every parallel stage
+/// in the repo — solver fan-outs and the experiment harness alike.
+std::size_t default_thread_count();
+
+/// Resolves a per-call thread-count option: 0 -> default_thread_count(),
+/// anything else is taken literally (callers use 1 for "force serial").
+std::size_t resolve_thread_count(std::size_t requested);
+
+/// Runs fn(i) for i in [0, count) on `pool`, blocking until all complete.
+/// fn must only write to its own index's output slot.
+void parallel_for_index(ThreadPool& pool, std::size_t count,
+                        const std::function<void(std::size_t)>& fn);
+
+}  // namespace sag::exec

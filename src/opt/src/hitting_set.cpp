@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdint>
 
+#include "sag/exec/thread_pool.h"
 #include "sag/obs/obs.h"
 #include "sag/opt/set_cover.h"
 
@@ -168,6 +169,27 @@ std::vector<geom::Vec2> geometric_hitting_set(std::span<const geom::Circle> disk
     points.reserve(chosen.size());
     for (const std::size_t c : chosen) points.push_back(candidates[c]);
     return points;
+}
+
+std::vector<std::vector<geom::Vec2>> geometric_hitting_sets(
+    std::span<const std::vector<geom::Circle>> instances,
+    const HittingSetOptions& options, std::size_t threads) {
+    SAG_OBS_SPAN("opt.hitting_set.batch");
+    std::vector<std::vector<geom::Vec2>> out(instances.size());
+    if (threads == 1 || instances.size() <= 1) {
+        for (std::size_t z = 0; z < instances.size(); ++z) {
+            out[z] = geometric_hitting_set(instances[z], options);
+        }
+        return out;
+    }
+    SAG_OBS_COUNT_ADD("opt.hitting_set.parallel_zones", instances.size());
+    exec::ThreadPool pool(exec::resolve_thread_count(threads));
+    // Each zone writes only its own slot; worker-thread obs events merge
+    // at snapshot via the recorder's per-thread buffers.
+    exec::parallel_for_index(pool, instances.size(), [&](std::size_t z) {
+        out[z] = geometric_hitting_set(instances[z], options);
+    });
+    return out;
 }
 
 }  // namespace sag::opt

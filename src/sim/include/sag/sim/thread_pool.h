@@ -1,51 +1,15 @@
 #pragma once
 
-#include <condition_variable>
-#include <cstddef>
-#include <functional>
-#include <mutex>
-#include <queue>
-#include <thread>
-#include <vector>
+// The pool moved down to sag::exec so the solver layers (opt, core) can
+// parallelize without depending on sim. This shim keeps the historical
+// sag::sim spelling working for the experiment harness and tests.
+#include "sag/exec/thread_pool.h"
 
 namespace sag::sim {
 
-/// A minimal fixed-size worker pool. Used by parallel_for_index to spread
-/// independent seed evaluations across cores; experiments stay
-/// deterministic because work items are indexed and outputs land in
-/// pre-sized slots (no order-dependent accumulation).
-class ThreadPool {
-public:
-    /// `threads` == 0 picks hardware_concurrency (minimum 1).
-    explicit ThreadPool(std::size_t threads = 0);
-    ~ThreadPool();
-
-    ThreadPool(const ThreadPool&) = delete;
-    ThreadPool& operator=(const ThreadPool&) = delete;
-
-    std::size_t thread_count() const { return workers_.size(); }
-
-    /// Enqueues a task; tasks must not throw (std::terminate otherwise).
-    void submit(std::function<void()> task);
-
-    /// Blocks until every submitted task has finished.
-    void wait_idle();
-
-private:
-    void worker_loop();
-
-    std::vector<std::thread> workers_;
-    std::queue<std::function<void()>> queue_;
-    std::mutex mutex_;
-    std::condition_variable task_ready_;
-    std::condition_variable all_done_;
-    std::size_t in_flight_ = 0;
-    bool stopping_ = false;
-};
-
-/// Runs fn(i) for i in [0, count) on `pool`, blocking until all complete.
-/// fn must only write to its own index's output slot.
-void parallel_for_index(ThreadPool& pool, std::size_t count,
-                        const std::function<void(std::size_t)>& fn);
+using exec::ThreadPool;
+using exec::default_thread_count;
+using exec::parallel_for_index;
+using exec::resolve_thread_count;
 
 }  // namespace sag::sim

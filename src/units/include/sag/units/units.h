@@ -35,6 +35,8 @@
 
 #include <cmath>
 #include <compare>
+#include <cstddef>
+#include <span>
 #include <type_traits>
 
 namespace sag::units {
@@ -308,5 +310,44 @@ static_assert(detail::kZeroOverhead<Decibel>);
 static_assert(detail::kZeroOverhead<DecibelMilliwatt>);
 static_assert(detail::kZeroOverhead<Meters>);
 static_assert(detail::kZeroOverhead<SnrRatio>);
+
+// --- Typed views over bulk double buffers --------------------------------
+
+/// Read-only unit-typed view of a structure-of-arrays double buffer.
+///
+/// Bulk storage stays `std::vector<double>` / `std::span<const double>` by
+/// convention (see the header comment), but the *boundaries* that hand
+/// such a buffer to a kernel can still say what the doubles mean:
+/// `UnitSpan<Meters>` for a coordinate column, `UnitSpan<Watt>` for a
+/// power column. Element access returns the strong type; `raw()` is the
+/// explicit escape back to the double buffer for vector kernels. The view
+/// is exactly a `std::span<const double>` in memory — no overhead on the
+/// hot path (static_asserted below).
+template <class Unit>
+class UnitSpan {
+    static_assert(detail::kZeroOverhead<Unit>,
+                  "UnitSpan requires a zero-overhead unit wrapper");
+
+public:
+    constexpr UnitSpan() = default;
+    explicit constexpr UnitSpan(std::span<const double> raw) : raw_(raw) {}
+
+    constexpr std::size_t size() const { return raw_.size(); }
+    constexpr bool empty() const { return raw_.empty(); }
+    constexpr Unit operator[](std::size_t i) const { return Unit{raw_[i]}; }
+
+    /// The explicit crossing back into the bulk-buffer convention.
+    constexpr std::span<const double> raw() const { return raw_; }
+    constexpr const double* data() const { return raw_.data(); }
+
+private:
+    std::span<const double> raw_;
+};
+
+using MetersSpan = UnitSpan<Meters>;
+using WattSpan = UnitSpan<Watt>;
+
+static_assert(sizeof(MetersSpan) == sizeof(std::span<const double>));
+static_assert(sizeof(WattSpan) == sizeof(std::span<const double>));
 
 }  // namespace sag::units

@@ -1,0 +1,110 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "sag/geometry/vec2.h"
+#include "sag/units/units.h"
+#include "sag/wireless/propagation.h"
+
+namespace sag::wireless {
+
+/// Batch GainKernel evaluation over structure-of-arrays buffers: the
+/// Release-mode hot path behind SnrField deltas, SNR reads, and gain
+/// matrices.
+///
+/// Two implementations sit behind one runtime dispatch:
+///
+///   * scalar — byte-identical to the historical per-link loops
+///     (std::hypot distance, std::pow power law, branchy Neumaier).
+///     Always available; also handles the <4-element tail of every
+///     vector call, so each buffer index sees a stable code path.
+///   * avx2 — 4-lane double vectors. Distances come from sqrt(dx²+dy²),
+///     the power law from a sqrt/multiply chain (see
+///     `kernel_simd_eligible`), the compensation from a blend-select
+///     Neumaier that mirrors the scalar branches per lane. Agrees with
+///     scalar to a few ulps per term (documented contract: 1e-12
+///     relative, tested in simd_equivalence_test).
+///
+/// Dispatch is resolved once per process from the `SAG_SIMD` environment
+/// variable ("auto" default, "scalar", "avx2") intersected with compile
+/// support (CMake option SAG_SIMD) and cpuid. Kernels with shadowing or a
+/// non-half-integer alpha always take the scalar path regardless of mode.
+enum class SimdMode {
+    Scalar,  ///< reference loops only
+    Avx2,    ///< 4-lane AVX2 vectors with scalar tail
+};
+
+/// The process-wide resolved mode (SAG_SIMD env ∩ build ∩ cpuid),
+/// computed once on first use.
+SimdMode active_simd_mode();
+
+/// "scalar" / "avx2" — diagnostic name for a mode.
+std::string_view simd_mode_name(SimdMode mode);
+
+/// Doubles processed per vector operation under the active mode: 4 for
+/// AVX2, 1 for scalar. Exported as the `snr_field.simd_lanes` gauge.
+std::size_t simd_lanes();
+
+/// True when `kernel` qualifies for the vector path: no shadowing
+/// (sigma_db == 0 — faded links are per-link hashes, inherently scalar),
+/// a non-negative clamp, and alpha a half-integer in [0.5, 8] so d^-alpha
+/// reduces to an exact sqrt/multiply chain on d². Everything the paper
+/// and the bundled models use (alpha ∈ [1, 6]) qualifies.
+bool kernel_simd_eligible(const GainKernel& kernel);
+
+/// Neumaier-accumulates `signed_power_watts * gain(pos -> (xs[k], ys[k]))`
+/// into (totals[k], comps[k]) for every k. The SnrField delta kernel:
+/// sign is baked into the power (+p to add an RS contribution, -p to
+/// retract it; negation is exact, so retraction subtracts the same
+/// double). All four spans must have equal length.
+void accumulate_rx(const GainKernel& kernel, const geom::Vec2& pos,
+                   double signed_power_watts, units::MetersSpan xs,
+                   units::MetersSpan ys, std::span<double> totals,
+                   std::span<double> comps);
+
+/// gains[k] = kernel.gain(pos -> (xs[k], ys[k])): one transmitter against
+/// a subscriber column (gain-matrix rows, serving-signal columns).
+void batch_gain(const GainKernel& kernel, const geom::Vec2& pos,
+                units::MetersSpan xs, units::MetersSpan ys,
+                std::span<double> gains);
+
+/// Neumaier-compensated total received power at `rx` from the RS SoA
+/// columns (the from-scratch rebuild of one subscriber's total). Scalar
+/// path is byte-identical to the historical recompute loop.
+void rx_total(const GainKernel& kernel, const geom::Vec2& rx,
+              units::MetersSpan rs_x, units::MetersSpan rs_y,
+              units::WattSpan rs_power, double& total, double& comp);
+
+/// Definition-2 SNR for a whole subscriber column at once:
+///   signal_k = rs_power[serving[k]] * gain(rs[serving[k]] -> sub_k)
+///   out[k]   = signal_k / (totals[k] + comps[k] - signal_k + ambient)
+/// with the same edge semantics as SnrField::snr_of (zero signal -> 0,
+/// zero denominator with positive signal -> +inf). `serving` holds raw RS
+/// indices (the IdSpan boundary is the caller's); the AVX2 path gathers
+/// RS columns through them with _mm256_i32gather_pd.
+void batch_snr(const GainKernel& kernel, units::MetersSpan rs_x,
+               units::MetersSpan rs_y, units::WattSpan rs_power,
+               std::span<const std::uint32_t> serving, units::MetersSpan sub_x,
+               units::MetersSpan sub_y, std::span<const double> totals,
+               std::span<const double> comps, double ambient_watts,
+               std::span<double> out_snr);
+
+namespace detail {
+
+/// Decomposition of an eligible alpha for the vector power chain:
+/// d^alpha = (d²)^(q/4) with q = 2*alpha an integer, i.e.
+/// (d²)^a * (d²)^(b/4), a = q/4, b = q%4 — at most two square roots and
+/// a short multiply ladder. `valid` is false for ineligible kernels.
+struct PowPlan {
+    int a = 0;
+    int b = 0;
+    bool valid = false;
+};
+PowPlan plan_pow(const GainKernel& kernel);
+
+}  // namespace detail
+
+}  // namespace sag::wireless

@@ -1,0 +1,254 @@
+#include "sag/wireless/kernel_eval.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <string_view>
+
+namespace sag::wireless {
+
+namespace detail {
+
+#ifndef SAG_SIMD_DISABLED
+// Implemented in kernel_eval_avx2.cpp (compiled with -mavx2); only ever
+// called after the runtime cpuid check passes. Each handles the largest
+// multiple-of-4 prefix and returns how many elements it consumed; the
+// dispatcher finishes the tail on the exact scalar path, so a given
+// buffer index always takes the same instructions call after call.
+std::size_t accumulate_rx_avx2(const GainKernel& kernel, const geom::Vec2& pos,
+                               double signed_power_watts, const double* xs,
+                               const double* ys, double* totals, double* comps,
+                               std::size_t n);
+std::size_t batch_gain_avx2(const GainKernel& kernel, const geom::Vec2& pos,
+                            const double* xs, const double* ys, double* gains,
+                            std::size_t n);
+std::size_t rx_total_avx2(const GainKernel& kernel, const geom::Vec2& rx,
+                          const double* rs_x, const double* rs_y,
+                          const double* rs_power, std::size_t n, double& total,
+                          double& comp);
+std::size_t batch_snr_avx2(const GainKernel& kernel, const double* rs_x,
+                           const double* rs_y, const double* rs_power,
+                           const std::uint32_t* serving, const double* sub_x,
+                           const double* sub_y, const double* totals,
+                           const double* comps, double ambient_watts,
+                           double* out_snr, std::size_t n);
+bool cpu_has_avx2();
+#endif
+
+PowPlan plan_pow(const GainKernel& kernel) {
+    PowPlan plan;
+    if (kernel.sigma_db != 0.0) return plan;
+    if (!(kernel.clamp_m >= 0.0)) return plan;
+    if (!std::isfinite(kernel.alpha) || !std::isfinite(kernel.scale)) return plan;
+    const double q = kernel.alpha * 2.0;
+    const double rounded = std::nearbyint(q);
+    if (q != rounded || rounded < 1.0 || rounded > 16.0) return plan;
+    const int qi = static_cast<int>(rounded);
+    plan.a = qi / 4;
+    plan.b = qi % 4;
+    plan.valid = true;
+    return plan;
+}
+
+namespace {
+
+SimdMode resolve_mode() {
+#ifdef SAG_SIMD_DISABLED
+    return SimdMode::Scalar;
+#else
+    const char* env = std::getenv("SAG_SIMD");
+    const std::string_view requested = env == nullptr ? "auto" : env;
+    if (requested == "scalar") return SimdMode::Scalar;
+    const bool supported = cpu_has_avx2();
+    if (requested == "avx2") {
+        // An explicit request on an unsupported CPU degrades to scalar
+        // rather than crashing on an illegal instruction.
+        return supported ? SimdMode::Avx2 : SimdMode::Scalar;
+    }
+    return supported ? SimdMode::Avx2 : SimdMode::Scalar;  // "auto"
+#endif
+}
+
+/// The one historical per-link evaluation: hypot distance, pow power law.
+/// Every scalar loop below (and every vector tail) goes through this so
+/// "byte-identical to the pre-SoA SnrField" stays a single-point fact.
+inline double scalar_gain(const GainKernel& kernel, const geom::Vec2& tx,
+                          const geom::Vec2& rx) {
+    return kernel.gain(tx, rx, geom::distance(tx, rx));
+}
+
+/// Branchy Neumaier step, exactly SnrField::accumulate's arithmetic.
+inline void neumaier(double& total, double& comp, double term) {
+    const double sum = total + term;
+    if (std::abs(total) >= std::abs(term)) {
+        comp += (total - sum) + term;
+    } else {
+        comp += (term - sum) + total;
+    }
+    total = sum;
+}
+
+void accumulate_rx_scalar(const GainKernel& kernel, const geom::Vec2& pos,
+                          double signed_power_watts, const double* xs,
+                          const double* ys, double* totals, double* comps,
+                          std::size_t begin, std::size_t end) {
+    for (std::size_t k = begin; k < end; ++k) {
+        const double term =
+            signed_power_watts * scalar_gain(kernel, pos, {xs[k], ys[k]});
+        neumaier(totals[k], comps[k], term);
+    }
+}
+
+void batch_gain_scalar(const GainKernel& kernel, const geom::Vec2& pos,
+                       const double* xs, const double* ys, double* gains,
+                       std::size_t begin, std::size_t end) {
+    for (std::size_t k = begin; k < end; ++k) {
+        gains[k] = scalar_gain(kernel, pos, {xs[k], ys[k]});
+    }
+}
+
+void rx_total_scalar(const GainKernel& kernel, const geom::Vec2& rx,
+                     const double* rs_x, const double* rs_y,
+                     const double* rs_power, std::size_t begin, std::size_t end,
+                     double& total, double& comp) {
+    for (std::size_t i = begin; i < end; ++i) {
+        const double term =
+            rs_power[i] * scalar_gain(kernel, {rs_x[i], rs_y[i]}, rx);
+        neumaier(total, comp, term);
+    }
+}
+
+void batch_snr_scalar(const GainKernel& kernel, const double* rs_x,
+                      const double* rs_y, const double* rs_power,
+                      const std::uint32_t* serving, const double* sub_x,
+                      const double* sub_y, const double* totals,
+                      const double* comps, double ambient_watts,
+                      double* out_snr, std::size_t begin, std::size_t end) {
+    for (std::size_t k = begin; k < end; ++k) {
+        const std::uint32_t s = serving[k];
+        const geom::Vec2 sub{sub_x[k], sub_y[k]};
+        const double signal =
+            rs_power[s] * scalar_gain(kernel, {rs_x[s], rs_y[s]}, sub);
+        if (signal <= 0.0) {
+            out_snr[k] = 0.0;  // a silent server delivers no SNR
+            continue;
+        }
+        const double interference =
+            (totals[k] + comps[k]) - signal + ambient_watts;
+        out_snr[k] = interference > 0.0
+                         ? signal / interference
+                         : std::numeric_limits<double>::infinity();
+    }
+}
+
+/// True when this call should take the vector path.
+inline bool use_avx2(const GainKernel& kernel) {
+#ifdef SAG_SIMD_DISABLED
+    (void)kernel;
+    return false;
+#else
+    return active_simd_mode() == SimdMode::Avx2 && plan_pow(kernel).valid;
+#endif
+}
+
+}  // namespace
+
+}  // namespace detail
+
+SimdMode active_simd_mode() {
+    static const SimdMode mode = detail::resolve_mode();
+    return mode;
+}
+
+std::string_view simd_mode_name(SimdMode mode) {
+    return mode == SimdMode::Avx2 ? "avx2" : "scalar";
+}
+
+std::size_t simd_lanes() {
+    return active_simd_mode() == SimdMode::Avx2 ? 4 : 1;
+}
+
+bool kernel_simd_eligible(const GainKernel& kernel) {
+    return detail::plan_pow(kernel).valid;
+}
+
+void accumulate_rx(const GainKernel& kernel, const geom::Vec2& pos,
+                   double signed_power_watts, units::MetersSpan xs,
+                   units::MetersSpan ys, std::span<double> totals,
+                   std::span<double> comps) {
+    const std::size_t n = xs.size();
+    assert(ys.size() == n && totals.size() == n && comps.size() == n);
+    std::size_t done = 0;
+#ifndef SAG_SIMD_DISABLED
+    if (detail::use_avx2(kernel)) {
+        done = detail::accumulate_rx_avx2(kernel, pos, signed_power_watts,
+                                          xs.data(), ys.data(), totals.data(),
+                                          comps.data(), n);
+    }
+#endif
+    detail::accumulate_rx_scalar(kernel, pos, signed_power_watts, xs.data(),
+                                 ys.data(), totals.data(), comps.data(), done,
+                                 n);
+}
+
+void batch_gain(const GainKernel& kernel, const geom::Vec2& pos,
+                units::MetersSpan xs, units::MetersSpan ys,
+                std::span<double> gains) {
+    const std::size_t n = xs.size();
+    assert(ys.size() == n && gains.size() == n);
+    std::size_t done = 0;
+#ifndef SAG_SIMD_DISABLED
+    if (detail::use_avx2(kernel)) {
+        done = detail::batch_gain_avx2(kernel, pos, xs.data(), ys.data(),
+                                       gains.data(), n);
+    }
+#endif
+    detail::batch_gain_scalar(kernel, pos, xs.data(), ys.data(), gains.data(),
+                              done, n);
+}
+
+void rx_total(const GainKernel& kernel, const geom::Vec2& rx,
+              units::MetersSpan rs_x, units::MetersSpan rs_y,
+              units::WattSpan rs_power, double& total, double& comp) {
+    const std::size_t n = rs_x.size();
+    assert(rs_y.size() == n && rs_power.size() == n);
+    total = 0.0;
+    comp = 0.0;
+    std::size_t done = 0;
+#ifndef SAG_SIMD_DISABLED
+    if (detail::use_avx2(kernel)) {
+        done = detail::rx_total_avx2(kernel, rx, rs_x.data(), rs_y.data(),
+                                     rs_power.data(), n, total, comp);
+    }
+#endif
+    detail::rx_total_scalar(kernel, rx, rs_x.data(), rs_y.data(),
+                            rs_power.data(), done, n, total, comp);
+}
+
+void batch_snr(const GainKernel& kernel, units::MetersSpan rs_x,
+               units::MetersSpan rs_y, units::WattSpan rs_power,
+               std::span<const std::uint32_t> serving, units::MetersSpan sub_x,
+               units::MetersSpan sub_y, std::span<const double> totals,
+               std::span<const double> comps, double ambient_watts,
+               std::span<double> out_snr) {
+    const std::size_t n = sub_x.size();
+    assert(sub_y.size() == n && serving.size() == n && totals.size() == n &&
+           comps.size() == n && out_snr.size() == n);
+    std::size_t done = 0;
+#ifndef SAG_SIMD_DISABLED
+    if (detail::use_avx2(kernel)) {
+        done = detail::batch_snr_avx2(kernel, rs_x.data(), rs_y.data(),
+                                      rs_power.data(), serving.data(),
+                                      sub_x.data(), sub_y.data(), totals.data(),
+                                      comps.data(), ambient_watts,
+                                      out_snr.data(), n);
+    }
+#endif
+    detail::batch_snr_scalar(kernel, rs_x.data(), rs_y.data(), rs_power.data(),
+                             serving.data(), sub_x.data(), sub_y.data(),
+                             totals.data(), comps.data(), ambient_watts,
+                             out_snr.data(), done, n);
+}
+
+}  // namespace sag::wireless

@@ -1,0 +1,200 @@
+// AVX2 lanes of the batch kernel evaluators. This TU is compiled with
+// -mavx2 (CMake option SAG_SIMD) and must only be *entered* after the
+// runtime cpuid check in kernel_eval.cpp passes — except cpu_has_avx2(),
+// which is the check itself.
+//
+// Numerical contract (docs/PERFORMANCE.md): distances are sqrt(dx²+dy²)
+// instead of std::hypot, and d^-alpha is an exact-half-integer
+// sqrt/multiply chain on d² instead of std::pow, so each term agrees
+// with the scalar path to a few ulps (tested bound: 1e-12 relative).
+// The Neumaier compensation itself is branch-for-branch the scalar
+// algorithm, evaluated per lane with compare+blend.
+
+#include <immintrin.h>
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+#include "sag/wireless/kernel_eval.h"
+
+namespace sag::wireless::detail {
+
+bool cpu_has_avx2() {
+#if defined(__x86_64__) || defined(__i386__)
+    return __builtin_cpu_supports("avx2") != 0;
+#else
+    return false;
+#endif
+}
+
+namespace {
+
+/// (d²)^(q/4) for q = plan.a*4 + plan.b: integer-power ladder on d² plus
+/// at most two square roots for the fractional part.
+inline __m256d pow_chain(__m256d d2, const PowPlan& plan) {
+    __m256d acc = _mm256_set1_pd(1.0);
+    __m256d base = d2;
+    for (int e = plan.a; e > 0; e >>= 1) {
+        if (e & 1) acc = _mm256_mul_pd(acc, base);
+        if (e > 1) base = _mm256_mul_pd(base, base);
+    }
+    if (plan.b != 0) {
+        const __m256d s1 = _mm256_sqrt_pd(d2);  // d
+        if (plan.b == 2) {
+            acc = _mm256_mul_pd(acc, s1);
+        } else {
+            const __m256d s2 = _mm256_sqrt_pd(s1);  // d^(1/2)
+            acc = _mm256_mul_pd(
+                acc, plan.b == 1 ? s2 : _mm256_mul_pd(s1, s2));
+        }
+    }
+    return acc;
+}
+
+/// gain = scale / (max(d², clamp²))^(q/4) for 4 links at once.
+inline __m256d gain4(__m256d dx, __m256d dy, __m256d clamp2, __m256d scale,
+                     const PowPlan& plan) {
+    __m256d d2 = _mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy));
+    d2 = _mm256_max_pd(d2, clamp2);
+    return _mm256_div_pd(scale, pow_chain(d2, plan));
+}
+
+/// One Neumaier step on 4 independent (total, comp) pairs in memory —
+/// per lane exactly the scalar branches (abs-compare selects which
+/// operand donates the residual). The abs mask lives inside the function
+/// (not as a TU-level static) so no AVX instruction can run at load time
+/// on a CPU the runtime dispatch would have rejected.
+inline void neumaier4(__m256d term, double* totals, double* comps) {
+    const __m256d kAbsMask =
+        _mm256_castsi256_pd(_mm256_set1_epi64x(0x7fffffffffffffffLL));
+    const __m256d total = _mm256_loadu_pd(totals);
+    const __m256d comp = _mm256_loadu_pd(comps);
+    const __m256d sum = _mm256_add_pd(total, term);
+    const __m256d big_total =
+        _mm256_add_pd(_mm256_sub_pd(total, sum), term);  // |total| >= |term|
+    const __m256d big_term =
+        _mm256_add_pd(_mm256_sub_pd(term, sum), total);  // |total| <  |term|
+    const __m256d take_total =
+        _mm256_cmp_pd(_mm256_and_pd(total, kAbsMask),
+                      _mm256_and_pd(term, kAbsMask), _CMP_GE_OQ);
+    const __m256d resid = _mm256_blendv_pd(big_term, big_total, take_total);
+    _mm256_storeu_pd(totals, sum);
+    _mm256_storeu_pd(comps, _mm256_add_pd(comp, resid));
+}
+
+}  // namespace
+
+std::size_t accumulate_rx_avx2(const GainKernel& kernel, const geom::Vec2& pos,
+                               double signed_power_watts, const double* xs,
+                               const double* ys, double* totals, double* comps,
+                               std::size_t n) {
+    const PowPlan plan = plan_pow(kernel);
+    const __m256d px = _mm256_set1_pd(pos.x);
+    const __m256d py = _mm256_set1_pd(pos.y);
+    const __m256d clamp2 = _mm256_set1_pd(kernel.clamp_m * kernel.clamp_m);
+    const __m256d scale = _mm256_set1_pd(kernel.scale);
+    const __m256d power = _mm256_set1_pd(signed_power_watts);
+    std::size_t k = 0;
+    for (; k + 4 <= n; k += 4) {
+        const __m256d dx = _mm256_sub_pd(px, _mm256_loadu_pd(xs + k));
+        const __m256d dy = _mm256_sub_pd(py, _mm256_loadu_pd(ys + k));
+        const __m256d g = gain4(dx, dy, clamp2, scale, plan);
+        neumaier4(_mm256_mul_pd(power, g), totals + k, comps + k);
+    }
+    return k;
+}
+
+std::size_t batch_gain_avx2(const GainKernel& kernel, const geom::Vec2& pos,
+                            const double* xs, const double* ys, double* gains,
+                            std::size_t n) {
+    const PowPlan plan = plan_pow(kernel);
+    const __m256d px = _mm256_set1_pd(pos.x);
+    const __m256d py = _mm256_set1_pd(pos.y);
+    const __m256d clamp2 = _mm256_set1_pd(kernel.clamp_m * kernel.clamp_m);
+    const __m256d scale = _mm256_set1_pd(kernel.scale);
+    std::size_t k = 0;
+    for (; k + 4 <= n; k += 4) {
+        const __m256d dx = _mm256_sub_pd(px, _mm256_loadu_pd(xs + k));
+        const __m256d dy = _mm256_sub_pd(py, _mm256_loadu_pd(ys + k));
+        _mm256_storeu_pd(gains + k, gain4(dx, dy, clamp2, scale, plan));
+    }
+    return k;
+}
+
+std::size_t rx_total_avx2(const GainKernel& kernel, const geom::Vec2& rx,
+                          const double* rs_x, const double* rs_y,
+                          const double* rs_power, std::size_t n, double& total,
+                          double& comp) {
+    const PowPlan plan = plan_pow(kernel);
+    const __m256d px = _mm256_set1_pd(rx.x);
+    const __m256d py = _mm256_set1_pd(rx.y);
+    const __m256d clamp2 = _mm256_set1_pd(kernel.clamp_m * kernel.clamp_m);
+    const __m256d scale = _mm256_set1_pd(kernel.scale);
+    // Four independent lane accumulators, folded deterministically
+    // (lane 0 -> 3, totals then residuals) at the end; the fold order is
+    // fixed, so the same inputs always produce the same double.
+    alignas(32) double lane_total[4] = {0.0, 0.0, 0.0, 0.0};
+    alignas(32) double lane_comp[4] = {0.0, 0.0, 0.0, 0.0};
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256d dx = _mm256_sub_pd(px, _mm256_loadu_pd(rs_x + i));
+        const __m256d dy = _mm256_sub_pd(py, _mm256_loadu_pd(rs_y + i));
+        const __m256d g = gain4(dx, dy, clamp2, scale, plan);
+        const __m256d term = _mm256_mul_pd(_mm256_loadu_pd(rs_power + i), g);
+        neumaier4(term, lane_total, lane_comp);
+    }
+    for (int lane = 0; lane < 4; ++lane) {
+        const double sum = total + lane_total[lane];
+        if (std::abs(total) >= std::abs(lane_total[lane])) {
+            comp += (total - sum) + lane_total[lane];
+        } else {
+            comp += (lane_total[lane] - sum) + total;
+        }
+        total = sum;
+        comp += lane_comp[lane];
+    }
+    return i;
+}
+
+std::size_t batch_snr_avx2(const GainKernel& kernel, const double* rs_x,
+                           const double* rs_y, const double* rs_power,
+                           const std::uint32_t* serving, const double* sub_x,
+                           const double* sub_y, const double* totals,
+                           const double* comps, double ambient_watts,
+                           double* out_snr, std::size_t n) {
+    const PowPlan plan = plan_pow(kernel);
+    const __m256d clamp2 = _mm256_set1_pd(kernel.clamp_m * kernel.clamp_m);
+    const __m256d scale = _mm256_set1_pd(kernel.scale);
+    const __m256d ambient = _mm256_set1_pd(ambient_watts);
+    const __m256d zero = _mm256_setzero_pd();
+    const __m256d inf = _mm256_set1_pd(std::numeric_limits<double>::infinity());
+    std::size_t k = 0;
+    for (; k + 4 <= n; k += 4) {
+        const __m128i idx = _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(serving + k));
+        const __m256d sx = _mm256_i32gather_pd(rs_x, idx, 8);
+        const __m256d sy = _mm256_i32gather_pd(rs_y, idx, 8);
+        const __m256d sp = _mm256_i32gather_pd(rs_power, idx, 8);
+        const __m256d dx = _mm256_sub_pd(sx, _mm256_loadu_pd(sub_x + k));
+        const __m256d dy = _mm256_sub_pd(sy, _mm256_loadu_pd(sub_y + k));
+        const __m256d signal =
+            _mm256_mul_pd(sp, gain4(dx, dy, clamp2, scale, plan));
+        const __m256d rx_sum = _mm256_add_pd(_mm256_loadu_pd(totals + k),
+                                             _mm256_loadu_pd(comps + k));
+        const __m256d interference =
+            _mm256_add_pd(_mm256_sub_pd(rx_sum, signal), ambient);
+        __m256d snr = _mm256_div_pd(signal, interference);
+        // Edge semantics of SnrField::snr_of, in the same priority order:
+        // non-positive interference -> +inf, then non-positive signal -> 0.
+        snr = _mm256_blendv_pd(inf, snr,
+                               _mm256_cmp_pd(interference, zero, _CMP_GT_OQ));
+        snr = _mm256_blendv_pd(zero, snr,
+                               _mm256_cmp_pd(signal, zero, _CMP_GT_OQ));
+        _mm256_storeu_pd(out_snr + k, snr);
+    }
+    return k;
+}
+
+}  // namespace sag::wireless::detail

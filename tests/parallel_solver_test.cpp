@@ -1,0 +1,237 @@
+// Determinism contract of the parallel solver paths (docs/PERFORMANCE.md):
+// fanning work out over sag::exec::ThreadPool must produce bit-identical
+// results to the serial code path, independent of thread count and
+// scheduling. The suite name matches the TSan CI shard (Parallel*), so
+// every assertion here also runs under ThreadSanitizer.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "sag/core/candidates.h"
+#include "sag/core/feasibility.h"
+#include "sag/core/ilpqc.h"
+#include "sag/core/samc.h"
+#include "sag/geometry/circle.h"
+#include "sag/opt/hitting_set.h"
+#include "sag/opt/set_cover.h"
+#include "sag/sim/scenario_gen.h"
+
+namespace sag {
+namespace {
+
+/// Random coverable set-cover instance (padded with singletons when the
+/// random sets miss an element, so coverable() always holds).
+opt::SetCoverInstance random_instance(std::mt19937& rng, std::size_t elements,
+                                      std::size_t sets) {
+    opt::SetCoverInstance inst;
+    inst.element_count = elements;
+    std::uniform_int_distribution<std::size_t> size_dist(1, 4);
+    std::uniform_int_distribution<std::size_t> elem_dist(0, elements - 1);
+    for (std::size_t s = 0; s < sets; ++s) {
+        std::vector<bool> in(elements, false);
+        std::vector<std::size_t> set;
+        const std::size_t want = size_dist(rng);
+        while (set.size() < want) {
+            const std::size_t e = elem_dist(rng);
+            if (!in[e]) {
+                in[e] = true;
+                set.push_back(e);
+            }
+        }
+        inst.sets.push_back(std::move(set));
+    }
+    std::vector<bool> hit(elements, false);
+    for (const auto& s : inst.sets) {
+        for (const std::size_t e : s) hit[e] = true;
+    }
+    for (std::size_t e = 0; e < elements; ++e) {
+        if (!hit[e]) inst.sets.push_back({e});
+    }
+    return inst;
+}
+
+void expect_same_result(const opt::SetCoverBnBResult& a,
+                        const opt::SetCoverBnBResult& b) {
+    EXPECT_EQ(a.feasible, b.feasible);
+    EXPECT_EQ(a.proven_optimal, b.proven_optimal);
+    EXPECT_EQ(a.chosen, b.chosen);
+}
+
+TEST(ParallelSolver, BnbMatchesSerialOnRandomInstances) {
+    for (int seed = 1; seed <= 12; ++seed) {
+        std::mt19937 rng(static_cast<unsigned>(seed));
+        const auto inst = random_instance(rng, 10, 16);
+        const auto serial = opt::solve_set_cover_bnb(inst, nullptr);
+        opt::SetCoverBnBOptions par;
+        par.threads = 4;
+        const auto parallel =
+            opt::solve_set_cover_bnb_parallel(inst, nullptr, par);
+        expect_same_result(serial, parallel);
+        ASSERT_TRUE(parallel.feasible) << "seed " << seed;
+    }
+}
+
+TEST(ParallelSolver, BnbThreadsOneMatchesThreadsMany) {
+    for (int seed = 1; seed <= 8; ++seed) {
+        std::mt19937 rng(static_cast<unsigned>(seed) * 77u);
+        const auto inst = random_instance(rng, 12, 18);
+        opt::SetCoverBnBOptions one;
+        one.threads = 1;
+        opt::SetCoverBnBOptions many;
+        many.threads = 4;
+        const auto a = opt::solve_set_cover_bnb_parallel(inst, nullptr, one);
+        const auto b = opt::solve_set_cover_bnb_parallel(inst, nullptr, many);
+        expect_same_result(a, b);
+        EXPECT_EQ(a.nodes_explored, b.nodes_explored);
+    }
+}
+
+TEST(ParallelSolver, BnbStatefulOracleFactoryMatchesSerial) {
+    // The oracle keeps per-instance mutable state (a memo cache), the
+    // exact shape the factory contract exists for: each root branch gets
+    // its own cache, and results must still match the serial solver's
+    // single shared-cache oracle because the accept/reject rule is a pure
+    // function of the (sorted) cover.
+    const auto accepts = [](std::span<const std::size_t> chosen) {
+        std::size_t sum = 0;
+        for (const std::size_t s : chosen) sum += s;
+        return sum % 3 != 0;
+    };
+    for (int seed = 1; seed <= 10; ++seed) {
+        std::mt19937 rng(static_cast<unsigned>(seed) * 131u);
+        const auto inst = random_instance(rng, 9, 14);
+
+        std::map<std::vector<std::size_t>, bool> serial_memo;
+        const opt::CoverOracle serial_oracle =
+            [&](std::span<const std::size_t> chosen) {
+                std::vector<std::size_t> key(chosen.begin(), chosen.end());
+                const auto it = serial_memo.find(key);
+                if (it != serial_memo.end()) return it->second;
+                return serial_memo[key] = accepts(chosen);
+            };
+        const auto serial = opt::solve_set_cover_bnb(inst, serial_oracle);
+
+        const opt::CoverOracleFactory factory = [&accepts]() {
+            auto memo =
+                std::make_shared<std::map<std::vector<std::size_t>, bool>>();
+            return opt::CoverOracle([memo, &accepts](
+                                        std::span<const std::size_t> chosen) {
+                std::vector<std::size_t> key(chosen.begin(), chosen.end());
+                const auto it = memo->find(key);
+                if (it != memo->end()) return it->second;
+                return (*memo)[key] = accepts(chosen);
+            });
+        };
+        opt::SetCoverBnBOptions par;
+        par.threads = 4;
+        const auto parallel =
+            opt::solve_set_cover_bnb_parallel(inst, factory, par);
+        expect_same_result(serial, parallel);
+    }
+}
+
+TEST(ParallelSolver, BnbInfeasibilityIsProvenInParallel) {
+    std::mt19937 rng(7);
+    const auto inst = random_instance(rng, 6, 8);
+    const opt::CoverOracleFactory reject_all = []() {
+        return opt::CoverOracle(
+            [](std::span<const std::size_t>) { return false; });
+    };
+    opt::SetCoverBnBOptions par;
+    par.threads = 4;
+    const auto result = opt::solve_set_cover_bnb_parallel(inst, reject_all, par);
+    EXPECT_FALSE(result.feasible);
+    EXPECT_TRUE(result.proven_optimal);  // exhaustive search, proven
+}
+
+TEST(ParallelSolver, BnbBudgetExhaustionFallsBackToGreedy) {
+    std::mt19937 rng(11);
+    const auto inst = random_instance(rng, 14, 24);
+    opt::SetCoverBnBOptions par;
+    par.threads = 4;
+    par.node_budget = 1;  // every branch exhausts immediately
+    const auto result = opt::solve_set_cover_bnb_parallel(inst, nullptr, par);
+    ASSERT_TRUE(result.feasible);  // anytime greedy fallback
+    EXPECT_FALSE(result.proven_optimal);
+}
+
+TEST(ParallelSolver, HittingSetsBatchMatchesSerial) {
+    std::mt19937 rng(3);
+    std::uniform_real_distribution<double> coord(-120.0, 120.0);
+    std::uniform_real_distribution<double> radius(15.0, 45.0);
+    std::uniform_int_distribution<std::size_t> count(3, 10);
+    std::vector<std::vector<geom::Circle>> zones;
+    for (int z = 0; z < 8; ++z) {
+        std::vector<geom::Circle> disks;
+        const std::size_t n = count(rng);
+        for (std::size_t d = 0; d < n; ++d) {
+            disks.push_back({{coord(rng), coord(rng)}, radius(rng)});
+        }
+        zones.push_back(std::move(disks));
+    }
+    const auto serial = opt::geometric_hitting_sets(zones, {}, 1);
+    const auto parallel = opt::geometric_hitting_sets(zones, {}, 4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t z = 0; z < zones.size(); ++z) {
+        ASSERT_EQ(serial[z].size(), parallel[z].size()) << "zone " << z;
+        for (std::size_t p = 0; p < serial[z].size(); ++p) {
+            EXPECT_EQ(serial[z][p].x, parallel[z][p].x);
+            EXPECT_EQ(serial[z][p].y, parallel[z][p].y);
+        }
+    }
+}
+
+void expect_same_plan(const core::CoveragePlan& a, const core::CoveragePlan& b) {
+    EXPECT_EQ(a.feasible, b.feasible);
+    ASSERT_EQ(a.rs_positions.size(), b.rs_positions.size());
+    for (std::size_t i = 0; i < a.rs_positions.size(); ++i) {
+        EXPECT_EQ(a.rs_positions[i].x, b.rs_positions[i].x);
+        EXPECT_EQ(a.rs_positions[i].y, b.rs_positions[i].y);
+    }
+    ASSERT_EQ(a.assignment.size(), b.assignment.size());
+    for (const ids::SsId j : a.assignment.ids()) {
+        EXPECT_EQ(a.assignment[j], b.assignment[j]);
+    }
+}
+
+TEST(ParallelSolver, SamcZoneFanOutIsDeterministic) {
+    sim::GeneratorConfig cfg;
+    cfg.field_side = 500.0;
+    cfg.subscriber_count = 24;
+    for (int seed : {2, 9, 17}) {
+        const core::Scenario s = sim::generate_scenario(cfg, seed);
+        core::SamcOptions serial_opts;
+        core::SamcOptions par_opts;
+        par_opts.threads = 4;
+        const auto a = core::solve_samc(s, serial_opts);
+        const auto b = core::solve_samc(s, par_opts);
+        EXPECT_EQ(a.zones.size(), b.zones.size());
+        expect_same_plan(a.plan, b.plan);
+    }
+}
+
+TEST(ParallelSolver, IlpqcParallelBnbMatchesSerial) {
+    sim::GeneratorConfig cfg;
+    cfg.field_side = 400.0;
+    cfg.subscriber_count = 12;
+    for (int seed : {21, 34}) {
+        const core::Scenario s = sim::generate_scenario(cfg, seed);
+        const auto cands = core::iac_candidates(s);
+        core::IlpqcOptions par_opts;
+        par_opts.threads = 4;
+        const auto serial = core::solve_ilpqc_coverage(s, cands);
+        const auto parallel = core::solve_ilpqc_coverage(s, cands, par_opts);
+        EXPECT_EQ(serial.proven_optimal, parallel.proven_optimal);
+        expect_same_plan(serial, parallel);
+        if (parallel.feasible) {
+            EXPECT_TRUE(core::verify_coverage_max_power(s, parallel).feasible);
+        }
+    }
+}
+
+}  // namespace
+}  // namespace sag

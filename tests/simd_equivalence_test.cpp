@@ -1,0 +1,301 @@
+// Golden equivalence of the batch kernel evaluators against the
+// historical scalar loops (docs/PERFORMANCE.md contract):
+//
+//   * ineligible kernels (shadowing, general alpha) must be
+//     *byte-identical* to the reference loop through the public API —
+//     they are the same code path;
+//   * eligible kernels under the AVX2 mode must agree to 1e-12 relative
+//     per term (sqrt/multiply pow chain vs std::pow, sqrt(dx²+dy²) vs
+//     std::hypot).
+//
+// The randomized sweeps draw kernels across every half-integer alpha the
+// vector chain supports plus hostile geometry (points inside the clamp
+// radius, coincident points, huge coordinates).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "sag/geometry/vec2.h"
+#include "sag/units/units.h"
+#include "sag/wireless/kernel_eval.h"
+#include "sag/wireless/propagation.h"
+
+namespace sag {
+namespace {
+
+using geom::Vec2;
+using units::MetersSpan;
+using units::WattSpan;
+
+/// The pre-SoA SnrField arithmetic, verbatim: the golden reference.
+double reference_gain(const wireless::GainKernel& k, const Vec2& tx,
+                      const Vec2& rx) {
+    return k.gain(tx, rx, geom::distance(tx, rx));
+}
+
+void reference_neumaier(double& total, double& comp, double term) {
+    const double sum = total + term;
+    if (std::abs(total) >= std::abs(term)) {
+        comp += (total - sum) + term;
+    } else {
+        comp += (term - sum) + total;
+    }
+    total = sum;
+}
+
+struct Soa {
+    std::vector<double> x, y;
+    MetersSpan xs() const { return MetersSpan{x}; }
+    MetersSpan ys() const { return MetersSpan{y}; }
+};
+
+Soa random_points(std::mt19937_64& rng, std::size_t n, double extent) {
+    std::uniform_real_distribution<double> coord(-extent, extent);
+    Soa soa;
+    for (std::size_t i = 0; i < n; ++i) {
+        soa.x.push_back(coord(rng));
+        soa.y.push_back(coord(rng));
+    }
+    return soa;
+}
+
+wireless::GainKernel random_eligible_kernel(std::mt19937_64& rng) {
+    std::uniform_int_distribution<int> half_alpha(1, 16);  // alpha = q/2
+    std::uniform_real_distribution<double> scale(1e-3, 1e3);
+    std::uniform_real_distribution<double> clamp(0.0, 4.0);
+    wireless::GainKernel k;
+    k.scale = scale(rng);
+    k.alpha = half_alpha(rng) / 2.0;
+    k.clamp_m = clamp(rng);
+    return k;
+}
+
+double rel_err(double a, double b) {
+    if (a == b) return 0.0;  // covers ±inf and exact zeros
+    return std::abs(a - b) / std::max({std::abs(a), std::abs(b), 1e-300});
+}
+
+TEST(SimdEquivalence, EligibilityTable) {
+    wireless::GainKernel k;
+    for (int q = 1; q <= 16; ++q) {
+        k.alpha = q / 2.0;
+        EXPECT_TRUE(wireless::kernel_simd_eligible(k)) << "alpha=" << k.alpha;
+    }
+    k.alpha = 2.3;
+    EXPECT_FALSE(wireless::kernel_simd_eligible(k));
+    k.alpha = 8.5;  // q = 17: past the chain's ladder
+    EXPECT_FALSE(wireless::kernel_simd_eligible(k));
+    k.alpha = 2.0;
+    k.sigma_db = 4.0;  // shadowed links hash per endpoint: scalar only
+    EXPECT_FALSE(wireless::kernel_simd_eligible(k));
+    k.sigma_db = 0.0;
+    k.clamp_m = -1.0;
+    EXPECT_FALSE(wireless::kernel_simd_eligible(k));
+}
+
+TEST(SimdEquivalence, ModeIsResolvedAndNamed) {
+    const wireless::SimdMode mode = wireless::active_simd_mode();
+    EXPECT_TRUE(mode == wireless::SimdMode::Scalar ||
+                mode == wireless::SimdMode::Avx2);
+    EXPECT_EQ(wireless::simd_lanes(),
+              mode == wireless::SimdMode::Avx2 ? 4u : 1u);
+    EXPECT_FALSE(wireless::simd_mode_name(mode).empty());
+}
+
+TEST(SimdEquivalence, BatchGainMatchesReferenceWithin1e12) {
+    std::mt19937_64 rng(20260808);
+    for (int round = 0; round < 40; ++round) {
+        const wireless::GainKernel k = random_eligible_kernel(rng);
+        // Sizes straddle the 4-lane boundary to exercise the scalar tail.
+        const std::size_t n = 1 + static_cast<std::size_t>(rng() % 37);
+        const Soa subs = random_points(rng, n, 200.0);
+        const Vec2 pos{static_cast<double>(rng() % 100),
+                       static_cast<double>(rng() % 100)};
+        std::vector<double> gains(n);
+        wireless::batch_gain(k, pos, subs.xs(), subs.ys(), gains);
+        for (std::size_t i = 0; i < n; ++i) {
+            const double ref = reference_gain(k, pos, {subs.x[i], subs.y[i]});
+            EXPECT_LE(rel_err(gains[i], ref), 1e-12)
+                << "alpha=" << k.alpha << " i=" << i;
+        }
+    }
+}
+
+TEST(SimdEquivalence, BatchGainHostileGeometry) {
+    wireless::GainKernel k;
+    k.scale = 2.5;
+    k.alpha = 3.5;
+    k.clamp_m = 1.0;
+    // Coincident with the transmitter, inside the clamp radius, exactly
+    // on it, and far away — the clamp max() must agree with the scalar
+    // branch everywhere.
+    const Soa subs{{10.0, 10.3, 11.0, 9000.0}, {10.0, 10.0, 10.0, -400.0}};
+    std::vector<double> gains(4);
+    wireless::batch_gain(k, {10.0, 10.0}, subs.xs(), subs.ys(), gains);
+    for (std::size_t i = 0; i < 4; ++i) {
+        const double ref = reference_gain(k, {10.0, 10.0},
+                                          {subs.x[i], subs.y[i]});
+        EXPECT_LE(rel_err(gains[i], ref), 1e-12) << "i=" << i;
+    }
+}
+
+TEST(SimdEquivalence, IneligibleKernelIsByteIdentical) {
+    // sigma_db != 0 pins the public API to the scalar path, which must be
+    // the reference loop double-for-double (not merely close).
+    std::mt19937_64 rng(7);
+    wireless::GainKernel k;
+    k.scale = 3.0;
+    k.alpha = 2.7;  // general alpha: also ineligible on its own
+    k.sigma_db = 6.0;
+    k.seed = 99;
+    const std::size_t n = 23;
+    const Soa subs = random_points(rng, n, 50.0);
+    const Vec2 pos{1.0, -2.0};
+    std::vector<double> gains(n);
+    wireless::batch_gain(k, pos, subs.xs(), subs.ys(), gains);
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(gains[i], reference_gain(k, pos, {subs.x[i], subs.y[i]}));
+    }
+
+    std::vector<double> total(n, 0.0), comp(n, 0.0);
+    std::vector<double> ref_total(n, 0.0), ref_comp(n, 0.0);
+    wireless::accumulate_rx(k, pos, 7.25, subs.xs(), subs.ys(), total, comp);
+    wireless::accumulate_rx(k, pos, -7.25, subs.xs(), subs.ys(), total, comp);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double term = 7.25 * reference_gain(k, pos, {subs.x[i], subs.y[i]});
+        reference_neumaier(ref_total[i], ref_comp[i], term);
+        reference_neumaier(ref_total[i], ref_comp[i], -term);
+        EXPECT_EQ(total[i], ref_total[i]);
+        EXPECT_EQ(comp[i], ref_comp[i]);
+    }
+}
+
+TEST(SimdEquivalence, AccumulateRxMatchesReferenceWithin1e12) {
+    std::mt19937_64 rng(42);
+    for (int round = 0; round < 25; ++round) {
+        const wireless::GainKernel k = random_eligible_kernel(rng);
+        const std::size_t n = 1 + static_cast<std::size_t>(rng() % 29);
+        const Soa subs = random_points(rng, n, 300.0);
+        std::vector<double> total(n, 0.0), comp(n, 0.0);
+        std::vector<double> ref_total(n, 0.0), ref_comp(n, 0.0);
+        std::uniform_real_distribution<double> watt(0.1, 60.0);
+        // A mutation history: several RSs added, one retracted.
+        std::vector<std::pair<Vec2, double>> history;
+        for (int mut = 0; mut < 6; ++mut) {
+            history.emplace_back(Vec2{watt(rng), watt(rng)}, watt(rng));
+        }
+        history.emplace_back(history[2].first, -history[2].second);
+        for (const auto& [pos, p] : history) {
+            wireless::accumulate_rx(k, pos, p, subs.xs(), subs.ys(), total,
+                                    comp);
+            for (std::size_t i = 0; i < n; ++i) {
+                const double term =
+                    p * reference_gain(k, pos, {subs.x[i], subs.y[i]});
+                reference_neumaier(ref_total[i], ref_comp[i], term);
+            }
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            EXPECT_LE(rel_err(total[i] + comp[i], ref_total[i] + ref_comp[i]),
+                      1e-12);
+        }
+    }
+}
+
+TEST(SimdEquivalence, RxTotalMatchesReferenceWithin1e12) {
+    std::mt19937_64 rng(1234);
+    for (int round = 0; round < 25; ++round) {
+        const wireless::GainKernel k = random_eligible_kernel(rng);
+        const std::size_t rs_count = 1 + static_cast<std::size_t>(rng() % 21);
+        const Soa rs = random_points(rng, rs_count, 150.0);
+        std::uniform_real_distribution<double> watt(0.0, 50.0);
+        std::vector<double> power(rs_count);
+        for (double& p : power) p = watt(rng);
+        const Vec2 rx{3.0, 4.0};
+        double total = 0.0, comp = 0.0;
+        wireless::rx_total(k, rx, rs.xs(), rs.ys(), WattSpan{power}, total,
+                           comp);
+        double ref_total = 0.0, ref_comp = 0.0;
+        for (std::size_t i = 0; i < rs_count; ++i) {
+            reference_neumaier(
+                ref_total, ref_comp,
+                power[i] * reference_gain(k, {rs.x[i], rs.y[i]}, rx));
+        }
+        EXPECT_LE(rel_err(total + comp, ref_total + ref_comp), 1e-12);
+    }
+}
+
+TEST(SimdEquivalence, BatchSnrMatchesReferenceWithin1e12) {
+    std::mt19937_64 rng(555);
+    for (int round = 0; round < 25; ++round) {
+        const wireless::GainKernel k = random_eligible_kernel(rng);
+        const std::size_t rs_count = 1 + static_cast<std::size_t>(rng() % 9);
+        const std::size_t n = 1 + static_cast<std::size_t>(rng() % 33);
+        const Soa rs = random_points(rng, rs_count, 120.0);
+        const Soa subs = random_points(rng, n, 120.0);
+        std::uniform_real_distribution<double> watt(0.5, 50.0);
+        std::vector<double> power(rs_count);
+        for (double& p : power) p = watt(rng);
+        std::vector<std::uint32_t> serving(n);
+        for (std::uint32_t& s : serving) {
+            s = static_cast<std::uint32_t>(rng() % rs_count);
+        }
+        // Build the totals through the same accumulate path the field uses.
+        std::vector<double> total(n, 0.0), comp(n, 0.0);
+        for (std::size_t i = 0; i < rs_count; ++i) {
+            wireless::accumulate_rx(k, {rs.x[i], rs.y[i]}, power[i], subs.xs(),
+                                    subs.ys(), total, comp);
+        }
+        const double ambient = 1e-6;
+        std::vector<double> snr(n);
+        wireless::batch_snr(k, rs.xs(), rs.ys(), WattSpan{power}, serving,
+                            subs.xs(), subs.ys(), total, comp, ambient, snr);
+        for (std::size_t j = 0; j < n; ++j) {
+            const std::uint32_t s = serving[j];
+            const double signal =
+                power[s] * reference_gain(k, {rs.x[s], rs.y[s]},
+                                          {subs.x[j], subs.y[j]});
+            const double interference = (total[j] + comp[j]) - signal + ambient;
+            const double ref =
+                signal <= 0.0
+                    ? 0.0
+                    : (interference > 0.0
+                           ? signal / interference
+                           : std::numeric_limits<double>::infinity());
+            // The interference subtraction (total - signal) amplifies the
+            // per-term ulp difference by roughly the SNR magnitude, so
+            // the SNR read carries its own documented bound: 1e-9
+            // relative (PERFORMANCE.md), vs 1e-12 for raw terms.
+            EXPECT_LE(rel_err(snr[j], ref), 1e-9) << "j=" << j;
+        }
+    }
+}
+
+TEST(SimdEquivalence, BatchSnrEdgeSemantics) {
+    wireless::GainKernel k;
+    k.scale = 1.0;
+    k.alpha = 2.0;
+    k.clamp_m = 1.0;
+    const Soa rs{{0.0, 50.0}, {0.0, 0.0}};
+    const std::vector<double> power{0.0, 30.0};  // RS 0 is silent
+    const Soa subs{{5.0, 6.0, 7.0, 8.0, 9.0}, {0.0, 0.0, 0.0, 0.0, 0.0}};
+    const std::vector<std::uint32_t> serving{0, 1, 0, 1, 1};
+    // Hugely negative cached totals force interference < 0 in every
+    // arithmetic path for the positive-signal subscribers.
+    std::vector<double> total(5, -1e300), comp(5, 0.0);
+    std::vector<double> snr(5);
+    wireless::batch_snr(k, rs.xs(), rs.ys(), WattSpan{power}, serving,
+                        subs.xs(), subs.ys(), total, comp, 0.0, snr);
+    EXPECT_EQ(snr[0], 0.0);  // zero signal wins over zero denominator
+    EXPECT_TRUE(std::isinf(snr[1]));
+    EXPECT_EQ(snr[2], 0.0);
+    EXPECT_TRUE(std::isinf(snr[3]));
+    EXPECT_TRUE(std::isinf(snr[4]));
+}
+
+}  // namespace
+}  // namespace sag
