@@ -5,7 +5,7 @@
 // at P_max); the gap widens with the field size.
 #include "bench_common.h"
 
-#include "sag/sim/thread_pool.h"
+#include "sag/exec/thread_pool.h"
 
 #include "sag/core/candidates.h"
 #include "sag/core/ilpqc.h"
@@ -37,7 +37,7 @@ void field_sweep(const char* figure, double side,
     cfg.base_station_count = 4;
     cfg.snr_threshold_db = units::Decibel{-15.0};
 
-    sim::ThreadPool pool(static_cast<std::size_t>(bc.threads));
+    exec::ThreadPool pool(static_cast<std::size_t>(bc.threads));
     for (const std::size_t users : user_counts) {
         cfg.subscriber_count = users;
         // Evaluate seeds in parallel into per-seed slots (deterministic
@@ -49,7 +49,7 @@ void field_sweep(const char* figure, double side,
             double gac_darp = kInfeasible;
         };
         std::vector<SeedResult> slots(static_cast<std::size_t>(bc.seeds));
-        sim::parallel_for_index(pool, slots.size(), [&](std::size_t seed) {
+        exec::parallel_for_index(pool, slots.size(), [&](std::size_t seed) {
             const auto s =
                 sim::generate_scenario(cfg, 7000 + static_cast<int>(seed));
             SeedResult& slot = slots[seed];

@@ -95,6 +95,10 @@ CoveragePlan solve_ilpqc_coverage(const Scenario& scenario,
         // Parallel search: every root branch builds its own incremental
         // oracle (the SnrFeasibilityOracle diffs against *its* previous
         // query, so sharing one across subtrees would corrupt the diff).
+        // The factory itself captures only const state, so the fan-out
+        // (exec::ThreadPool inside solve_set_cover_bnb_parallel) shares
+        // nothing mutable across workers — by construction, and checked
+        // by the clang thread-safety build plus the §6 confinement lint.
         const opt::CoverOracleFactory factory = [&scenario, candidates]() {
             auto snr_oracle =
                 std::make_shared<SnrFeasibilityOracle>(scenario, candidates);

@@ -321,6 +321,9 @@ SamcResult solve_samc(const Scenario& scenario, const SamcOptions& options) {
     // sets in one batch — the zone fan-out seam (options.threads). The
     // repair stages below depend on each zone's own points only, but stay
     // serial: their SnrField probes dominate only on pathological zones.
+    // The fan-out itself is confined to exec::ThreadPool inside
+    // geometric_hitting_sets (zone slots, no shared mutable state), so
+    // the thread-safety/TSan gauntlets cover this path transitively.
     std::vector<std::vector<geom::Circle>> zone_disks;
     zone_disks.reserve(result.zones.size());
     for (const auto& zone : result.zones) {

@@ -1,12 +1,13 @@
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "sag/exec/mutex.h"
+#include "sag/exec/thread_annotations.h"
 
 namespace sag::exec {
 
@@ -18,6 +19,11 @@ namespace sag::exec {
 /// Lives in the dependency-bottom sag_exec library so that both the
 /// solver layers (opt, core) and the experiment harness (sim) can share
 /// one pool abstraction without an upward dependency.
+///
+/// Locking discipline is a compile-time property: every shared member is
+/// SAG_GUARDED_BY(mutex_), so an unguarded access fails the clang
+/// `thread-safety` CI build instead of waiting for a TSan interleaving
+/// (docs/STATIC_ANALYSIS.md §8).
 class ThreadPool {
 public:
     /// `threads` == 0 picks default_thread_count().
@@ -38,13 +44,13 @@ public:
 private:
     void worker_loop();
 
-    std::vector<std::thread> workers_;
-    std::queue<std::function<void()>> queue_;
-    std::mutex mutex_;
-    std::condition_variable task_ready_;
-    std::condition_variable all_done_;
-    std::size_t in_flight_ = 0;
-    bool stopping_ = false;
+    std::vector<std::thread> workers_;  // written only in ctor/dtor
+    Mutex mutex_;
+    CondVar task_ready_;
+    CondVar all_done_;
+    std::queue<std::function<void()>> queue_ SAG_GUARDED_BY(mutex_);
+    std::size_t in_flight_ SAG_GUARDED_BY(mutex_) = 0;
+    bool stopping_ SAG_GUARDED_BY(mutex_) = false;
 };
 
 /// Pool width used when a caller passes `threads == 0`: the SAG_THREADS

@@ -16,7 +16,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        const MutexLock lock(mutex_);
         stopping_ = true;
     }
     task_ready_.notify_all();
@@ -25,7 +25,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        const MutexLock lock(mutex_);
         queue_.push(std::move(task));
         ++in_flight_;
     }
@@ -33,26 +33,26 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    all_done_.wait(lock, [this] { return in_flight_ == 0; });
+    MutexLock lock(mutex_);
+    while (in_flight_ != 0) all_done_.wait(lock);
 }
 
 void ThreadPool::worker_loop() {
     while (true) {
         std::function<void()> task;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            task_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-            if (queue_.empty()) {
-                if (stopping_) return;
-                continue;
-            }
+            MutexLock lock(mutex_);
+            // Explicit predicate loop (not a wait-with-lambda): the
+            // guarded reads stay in this lock-held scope, where the
+            // thread-safety analysis can see the capability.
+            while (!stopping_ && queue_.empty()) task_ready_.wait(lock);
+            if (queue_.empty()) return;  // stopping, queue drained
             task = std::move(queue_.front());
             queue_.pop();
         }
         task();
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            const MutexLock lock(mutex_);
             --in_flight_;
             if (in_flight_ == 0) all_done_.notify_all();
         }

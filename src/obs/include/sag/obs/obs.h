@@ -22,16 +22,22 @@
 // Thread model: each thread records into its own buffer (registered
 // with the Recorder on first use); Recorder::snapshot() merges all
 // buffers — counters by sum, trace roots by name — so work done on
-// sim::ThreadPool workers lands in the same report as the main thread.
+// exec::ThreadPool workers lands in the same report as the main thread.
+// Locking goes through the annotated exec::Mutex so Clang Thread Safety
+// Analysis checks the discipline at compile time (the one deliberate
+// exemption — the owner-thread lock-free counter-cell scan — is marked
+// SAG_NO_THREAD_SAFETY_ANALYSIS in obs.cpp with its justification).
 
 #include <atomic>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "sag/exec/mutex.h"
+#include "sag/exec/thread_annotations.h"
 
 #ifndef SAG_OBS_ENABLED
 #define SAG_OBS_ENABLED 1
@@ -108,8 +114,9 @@ private:
     struct ThreadBuffer;
     ThreadBuffer& local();
 
-    std::mutex mutex_;                                   // guards buffers_
-    std::vector<std::unique_ptr<ThreadBuffer>> buffers_;  // registration order
+    exec::Mutex mutex_;
+    std::vector<std::unique_ptr<ThreadBuffer>> buffers_  // registration order
+        SAG_GUARDED_BY(mutex_);
     std::uint64_t id_;  // process-unique, defeats address-reuse aliasing
 };
 

@@ -38,6 +38,12 @@ void merge_node(std::vector<TraceNode>& siblings, const TraceNode& node) {
 /// values are atomics so snapshot() can read them concurrently with the
 /// owner's relaxed increments. The span structures are only touched
 /// under `m` (spans are phase-grained, the lock is uncontended).
+///
+/// `m` guards structure growth, spans, and snapshot reads. The cell
+/// deques are SAG_GUARDED_BY(m) for every *cross-thread* access
+/// (growth, snapshot); the owning thread's lock-free scan of its own
+/// cells is the one analysis exemption, isolated in find_counter/
+/// find_gauge below.
 struct Recorder::ThreadBuffer {
     struct CounterCell {
         const char* name;
@@ -55,11 +61,30 @@ struct Recorder::ThreadBuffer {
         std::vector<TraceNode> children;
     };
 
-    std::mutex m;  // guards structure growth, spans, and snapshot reads
-    std::deque<CounterCell> counters;
-    std::deque<GaugeCell> gauges;
-    std::vector<OpenSpan> open;
-    std::vector<TraceNode> roots;
+    exec::Mutex m;
+    std::deque<CounterCell> counters SAG_GUARDED_BY(m);
+    std::deque<GaugeCell> gauges SAG_GUARDED_BY(m);
+    std::vector<OpenSpan> open SAG_GUARDED_BY(m);
+    std::vector<TraceNode> roots SAG_GUARDED_BY(m);
+
+    /// Lock-free scan for an existing cell, called only by the buffer's
+    /// owning thread. Safe without `m`: cell names are literals, only
+    /// the owner appends (so the prefix it scans is immutable), deque
+    /// growth never moves existing cells, and the values are atomics.
+    /// This hybrid owner-thread discipline is not expressible to the
+    /// analysis, hence the one documented opt-out.
+    CounterCell* find_counter(const char* name) SAG_NO_THREAD_SAFETY_ANALYSIS {
+        for (CounterCell& cell : counters) {
+            if (cell.name == name) return &cell;
+        }
+        return nullptr;
+    }
+    GaugeCell* find_gauge(const char* name) SAG_NO_THREAD_SAFETY_ANALYSIS {
+        for (GaugeCell& cell : gauges) {
+            if (cell.name == name) return &cell;
+        }
+        return nullptr;
+    }
 };
 
 Recorder::Recorder() : id_(next_recorder_id()) {}
@@ -86,7 +111,7 @@ Recorder::ThreadBuffer& Recorder::local() {
     };
     static thread_local Tls tls;
     if (tls.owner != this || tls.id != id_) {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const exec::MutexLock lock(mutex_);
         buffers_.push_back(std::make_unique<ThreadBuffer>());
         tls = {this, id_, buffers_.back().get()};
     }
@@ -97,37 +122,33 @@ void Recorder::add_count(const char* name, std::uint64_t delta) {
     ThreadBuffer& buf = local();
     // Pointer-compare scan: names are literals, the per-thread cell list
     // is short, and only this thread appends — no lock on the hit path.
-    for (ThreadBuffer::CounterCell& cell : buf.counters) {
-        if (cell.name == name) {
-            cell.value.fetch_add(delta, std::memory_order_relaxed);
-            return;
-        }
+    if (ThreadBuffer::CounterCell* cell = buf.find_counter(name)) {
+        cell->value.fetch_add(delta, std::memory_order_relaxed);
+        return;
     }
-    const std::lock_guard<std::mutex> lock(buf.m);
+    const exec::MutexLock lock(buf.m);
     buf.counters.emplace_back(name, delta);
 }
 
 void Recorder::set_gauge(const char* name, double value) {
     ThreadBuffer& buf = local();
-    for (ThreadBuffer::GaugeCell& cell : buf.gauges) {
-        if (cell.name == name) {
-            cell.value.store(value, std::memory_order_relaxed);
-            return;
-        }
+    if (ThreadBuffer::GaugeCell* cell = buf.find_gauge(name)) {
+        cell->value.store(value, std::memory_order_relaxed);
+        return;
     }
-    const std::lock_guard<std::mutex> lock(buf.m);
+    const exec::MutexLock lock(buf.m);
     buf.gauges.emplace_back(name, value);
 }
 
 void Recorder::begin_span(const char* name) {
     ThreadBuffer& buf = local();
-    const std::lock_guard<std::mutex> lock(buf.m);
+    const exec::MutexLock lock(buf.m);
     buf.open.push_back({name, Clock::now(), {}});
 }
 
 void Recorder::end_span() {
     ThreadBuffer& buf = local();
-    const std::lock_guard<std::mutex> lock(buf.m);
+    const exec::MutexLock lock(buf.m);
     if (buf.open.empty()) return;  // unmatched end: drop defensively
     ThreadBuffer::OpenSpan span = std::move(buf.open.back());
     buf.open.pop_back();
@@ -142,9 +163,9 @@ void Recorder::end_span() {
 
 RunReport Recorder::snapshot() {
     RunReport report;
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const exec::MutexLock lock(mutex_);
     for (const std::unique_ptr<ThreadBuffer>& buf : buffers_) {
-        const std::lock_guard<std::mutex> buf_lock(buf->m);
+        const exec::MutexLock buf_lock(buf->m);
         for (const ThreadBuffer::CounterCell& cell : buf->counters) {
             report.counters[cell.name] +=
                 cell.value.load(std::memory_order_relaxed);

@@ -185,7 +185,9 @@ std::vector<std::vector<geom::Vec2>> geometric_hitting_sets(
     SAG_OBS_COUNT_ADD("opt.hitting_set.parallel_zones", instances.size());
     exec::ThreadPool pool(exec::resolve_thread_count(threads));
     // Each zone writes only its own slot; worker-thread obs events merge
-    // at snapshot via the recorder's per-thread buffers.
+    // at snapshot via the recorder's per-thread buffers. All locking
+    // lives behind exec::ThreadPool / obs::Recorder (annotated
+    // exec::Mutex — the check_static §6 confinement lint keeps it so).
     exec::parallel_for_index(pool, instances.size(), [&](std::size_t z) {
         out[z] = geometric_hitting_set(instances[z], options);
     });

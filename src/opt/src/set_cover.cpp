@@ -412,6 +412,10 @@ SetCoverBnBResult solve_set_cover_bnb_parallel(
         }
 
         SAG_OBS_COUNT_ADD("opt.set_cover.bnb.branches", branches.size());
+        // Lock-free by construction: every worker owns outcomes[b] and a
+        // private Search/oracle; the only synchronization is the pool's
+        // annotated wait_idle barrier inside parallel_for_index, so the
+        // clang thread-safety build has nothing unguarded to flag here.
         std::vector<BranchOutcome> outcomes(branches.size());
         exec::parallel_for_index(pool, branches.size(), [&](std::size_t b) {
             const CoverOracle oracle =

@@ -1,7 +1,7 @@
 #pragma once
 
 #include "sag/core/snr_field.h"
-#include "sag/sim/thread_pool.h"
+#include "sag/exec/thread_pool.h"
 
 namespace sag::sim {
 
@@ -11,6 +11,6 @@ namespace sag::sim {
 /// subscribers). Equivalent to core::SnrField::refresh(); worth it when
 /// tracked_count x rs_count is large — city-scale audits, not the paper's
 /// 70-subscriber fields.
-void refresh_snr_field(core::SnrField& field, ThreadPool& pool);
+void refresh_snr_field(core::SnrField& field, exec::ThreadPool& pool);
 
 }  // namespace sag::sim

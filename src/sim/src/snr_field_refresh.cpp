@@ -6,7 +6,7 @@
 
 namespace sag::sim {
 
-void refresh_snr_field(core::SnrField& field, ThreadPool& pool) {
+void refresh_snr_field(core::SnrField& field, exec::ThreadPool& pool) {
     SAG_OBS_SPAN("sim.refresh_snr_field");
     const std::size_t count = field.tracked_count();
     if (count == 0) return;
@@ -15,7 +15,10 @@ void refresh_snr_field(core::SnrField& field, ThreadPool& pool) {
     const std::size_t chunks =
         std::min(count, std::max<std::size_t>(1, pool.thread_count() * 4));
     const std::size_t per_chunk = (count + chunks - 1) / chunks;
-    parallel_for_index(pool, chunks, [&](std::size_t c) {
+    // No locks here by design: each chunk writes only its own
+    // subscribers' slots inside the field, so the whole fan-out stays on
+    // the annotated, TSan-covered exec::ThreadPool with nothing guarded.
+    exec::parallel_for_index(pool, chunks, [&](std::size_t c) {
         // Clamp both ends: ceil-division can leave trailing chunks fully
         // past `count`, which must contribute an empty [begin, end).
         const std::size_t begin = std::min(count, c * per_chunk);

@@ -1,0 +1,163 @@
+#!/usr/bin/env bash
+# Self-test for the tools/check_static.sh domain lints, registered as the
+# `check_static_selftest` ctest case.
+#
+# A lint that never fires is indistinguishable from a lint that works, so
+# this harness proves each grep lint both accepts and rejects: it copies
+# the script (and allowlists) into a temp tree, seeds exactly one
+# violation per lint (§2 bare-double power param, §3 raw size_t entity
+# index, §4 bare-double gain param, §5a ambient entropy, §5b unordered
+# container in a solver path, §6 raw std::mutex outside src/exec), and
+# asserts the script fails with that lint's message — then asserts it
+# passes on the clean temp tree AND on the real repository. The clang-tidy
+# pass never runs here (the temp build dir doesn't exist), so the
+# self-test exercises the grep lints identically on every toolchain.
+set -u
+cd "$(dirname "$0")/.."
+repo_root=$(pwd)
+
+fail=0
+err() { echo "check_static_selftest: $*" >&2; fail=1; }
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+# Minimal clean tree: the script cds to its own parent, so tools/ must
+# hold the script and the allowlists with their repo-relative names.
+mkdir -p "$tmp/tools" "$tmp/src/core/include/sag/core" "$tmp/src/core/src" \
+         "$tmp/src/opt/src" "$tmp/src/sim/src" "$tmp/src/exec/src"
+cp tools/check_static.sh "$tmp/tools/"
+cp tools/check_static_allowlist.txt tools/check_determinism_allowlist.txt \
+   tools/check_concurrency_allowlist.txt "$tmp/tools/"
+cat > "$tmp/src/core/src/clean.cpp" <<'EOF'
+// A benign file: typed parameters, seeded randomness, ordered containers.
+#include <cstddef>
+namespace sag::core {
+int clean_helper(int subscriber_count) { return subscriber_count + 1; }
+}  // namespace sag::core
+EOF
+
+run_script() {  # runs the copied script in the temp tree, captures output
+    out=$( cd "$tmp" && bash tools/check_static.sh no-such-build-dir 2>&1 )
+    status=$?
+}
+
+# --- positive control: the clean temp tree passes --------------------------
+run_script
+if [ "$status" -ne 0 ]; then
+    err "clean temp tree should pass, got exit $status:"; echo "$out" >&2
+fi
+
+# --- one seeded violation per lint, each must fail with its message --------
+# expect_reject <case-name> <violation-file> <message-fragment> <<'EOF' ... EOF
+expect_reject() {
+    local name=$1 file=$2 fragment=$3
+    mkdir -p "$tmp/$(dirname "$file")"
+    cat > "$tmp/$file"
+    run_script
+    if [ "$status" -eq 0 ]; then
+        err "$name: seeded violation in $file was NOT caught"
+    elif ! echo "$out" | grep -qF "$fragment"; then
+        err "$name: failed, but without the expected message '$fragment':"
+        echo "$out" >&2
+    fi
+    rm -f "$tmp/$file"
+}
+
+expect_reject "units-lint" "src/core/src/bad_units.cpp" \
+    "bare-double power/SNR parameter" <<'EOF'
+namespace sag::core {
+double scale(double tx_power, double factor) { return tx_power * factor; }
+}  // namespace sag::core
+EOF
+
+expect_reject "entity-index-lint" "src/core/include/sag/core/bad_ids.h" \
+    "raw size_t entity-index parameter" <<'EOF'
+#pragma once
+#include <cstddef>
+namespace sag::core {
+void move_relay(std::size_t rs_idx);
+}  // namespace sag::core
+EOF
+
+expect_reject "gain-lint" "src/opt/src/bad_gain.cpp" \
+    "bare-double path-gain parameter" <<'EOF'
+namespace sag::opt {
+double attenuate(double path_gain) { return path_gain * 0.5; }
+}  // namespace sag::opt
+EOF
+
+expect_reject "determinism-lint-entropy" "src/sim/src/bad_entropy.cpp" \
+    "nondeterminism source" <<'EOF'
+#include <random>
+namespace sag::sim {
+unsigned roll() {
+    std::random_device rd;
+    std::mt19937 gen;
+    return gen() ^ rd();
+}
+}  // namespace sag::sim
+EOF
+
+expect_reject "determinism-lint-unordered" "src/opt/src/bad_unordered.cpp" \
+    "unordered container(s) in solver result-construction paths" <<'EOF'
+#include <unordered_map>
+#include <vector>
+namespace sag::opt {
+std::vector<int> chosen_order(const std::unordered_map<int, int>& scores) {
+    std::vector<int> out;
+    for (const auto& [k, v] : scores) out.push_back(k);
+    return out;
+}
+}  // namespace sag::opt
+EOF
+
+expect_reject "concurrency-confinement-lint" "src/sim/src/bad_thread.cpp" \
+    "raw threading primitive(s) outside src/exec/" <<'EOF'
+#include <mutex>
+namespace sag::sim {
+std::mutex g_lock;
+void touch() { const std::lock_guard<std::mutex> lock(g_lock); }
+}  // namespace sag::sim
+EOF
+
+# The confinement lint must NOT fire on src/exec/ itself.
+cat > "$tmp/src/exec/src/pool_ok.cpp" <<'EOF'
+#include <mutex>
+#include <thread>
+namespace sag::exec {
+std::mutex g_ok;
+}  // namespace sag::exec
+EOF
+run_script
+if [ "$status" -ne 0 ]; then
+    err "src/exec/ exemption broken — raw primitives there must pass:"
+    echo "$out" >&2
+fi
+rm -f "$tmp/src/exec/src/pool_ok.cpp"
+
+# --- allowlist mechanics: an allowlisted violation passes ------------------
+cat > "$tmp/src/sim/src/allowlisted.cpp" <<'EOF'
+#include <mutex>
+namespace sag::sim { std::mutex g_special; }
+EOF
+# Whole-file exemption: path prefix matches every hit in the file.
+echo "src/sim/src/allowlisted.cpp" >> "$tmp/tools/check_concurrency_allowlist.txt"
+run_script
+if [ "$status" -ne 0 ]; then
+    err "allowlisted confinement hit should pass, got exit $status:"
+    echo "$out" >&2
+fi
+rm -f "$tmp/src/sim/src/allowlisted.cpp"
+
+# --- the real tree passes (lint-only mode) ---------------------------------
+real_out=$(bash "$repo_root/tools/check_static.sh" no-such-build-dir 2>&1)
+if [ $? -ne 0 ]; then
+    err "the real repository tree fails the lints:"; echo "$real_out" >&2
+fi
+
+if [ "$fail" -ne 0 ]; then
+    echo "check_static_selftest: FAILED" >&2
+    exit 1
+fi
+echo "check_static_selftest: OK (6 lints reject seeded violations, clean trees pass, allowlist honored)"

@@ -13,7 +13,7 @@
 #include "sag/obs/obs.h"
 #include "sag/sim/scenario_gen.h"
 #include "sag/sim/snr_field_refresh.h"
-#include "sag/sim/thread_pool.h"
+#include "sag/exec/thread_pool.h"
 
 namespace sag::obs {
 namespace {
@@ -105,9 +105,9 @@ TEST(ObsTest, OpenSpansAreExcludedFromSnapshot) {
 
 TEST(ObsTest, CountersMergeAcrossThreadPoolWorkers) {
     ScopedRecorder rec;
-    sim::ThreadPool pool(4);
+    exec::ThreadPool pool(4);
     constexpr std::size_t kTasks = 64;
-    sim::parallel_for_index(pool, kTasks, [](std::size_t i) {
+    exec::parallel_for_index(pool, kTasks, [](std::size_t i) {
         SAG_OBS_COUNT("obs_test.worker_hits");
         SAG_OBS_COUNT_ADD("obs_test.worker_sum", i);
         SAG_OBS_SPAN("worker_task");
@@ -201,7 +201,7 @@ TEST(ObsIntegrationTest, ParallelRefreshCountsEverySubscriberOnce) {
     const std::vector<geom::Vec2> rs = {{0.0, 0.0}};
     ScopedRecorder rec;
     core::SnrField field = core::SnrField::at_max_power(scenario, rs);
-    sim::ThreadPool pool(3);
+    exec::ThreadPool pool(3);
     sim::refresh_snr_field(field, pool);
     const RunReport report = rec.snapshot();
     EXPECT_EQ(report.counters.at("snr_field.parallel_recomputes"),

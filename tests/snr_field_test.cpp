@@ -12,7 +12,7 @@
 #include "sag/ids/ids.h"
 #include "sag/sim/scenario_gen.h"
 #include "sag/sim/snr_field_refresh.h"
-#include "sag/sim/thread_pool.h"
+#include "sag/exec/thread_pool.h"
 
 namespace sag::core {
 namespace {
@@ -298,7 +298,7 @@ TEST(SnrFieldRefreshTest, ParallelRefreshMatchesSerial) {
         serial[k] = field.total_rx(SsId{k});
     }
 
-    sim::ThreadPool pool(4);
+    exec::ThreadPool pool(4);
     sim::refresh_snr_field(field, pool);
     for (std::size_t k = 0; k < serial.size(); ++k) {
         EXPECT_EQ(field.total_rx(SsId{k}), serial[k]) << k;

@@ -5,13 +5,13 @@
 #include <gtest/gtest.h>
 
 #include "sag/sim/paper_presets.h"
-#include "sag/sim/thread_pool.h"
+#include "sag/exec/thread_pool.h"
 
 namespace sag::sim {
 namespace {
 
 TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce) {
-    ThreadPool pool(4);
+    exec::ThreadPool pool(4);
     EXPECT_EQ(pool.thread_count(), 4u);
     std::atomic<int> counter{0};
     for (int i = 0; i < 100; ++i) {
@@ -22,18 +22,18 @@ TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce) {
 }
 
 TEST(ThreadPoolTest, WaitIdleOnFreshPoolReturnsImmediately) {
-    ThreadPool pool(2);
+    exec::ThreadPool pool(2);
     pool.wait_idle();  // must not hang
     SUCCEED();
 }
 
 TEST(ThreadPoolTest, ZeroThreadsPicksHardwareConcurrency) {
-    ThreadPool pool(0);
+    exec::ThreadPool pool(0);
     EXPECT_GE(pool.thread_count(), 1u);
 }
 
 TEST(ThreadPoolTest, ReusableAcrossWaves) {
-    ThreadPool pool(3);
+    exec::ThreadPool pool(3);
     std::atomic<int> counter{0};
     for (int wave = 0; wave < 5; ++wave) {
         for (int i = 0; i < 20; ++i) {
@@ -45,25 +45,25 @@ TEST(ThreadPoolTest, ReusableAcrossWaves) {
 }
 
 TEST(ParallelForTest, EachIndexWritesItsSlot) {
-    ThreadPool pool(4);
+    exec::ThreadPool pool(4);
     std::vector<std::size_t> out(257, 0);
-    parallel_for_index(pool, out.size(),
+    exec::parallel_for_index(pool, out.size(),
                        [&](std::size_t i) { out[i] = i * i; });
     for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
 }
 
 TEST(ParallelForTest, ZeroCountIsNoop) {
-    ThreadPool pool(2);
-    parallel_for_index(pool, 0, [](std::size_t) { FAIL() << "must not run"; });
+    exec::ThreadPool pool(2);
+    exec::parallel_for_index(pool, 0, [](std::size_t) { FAIL() << "must not run"; });
 }
 
 TEST(ParallelForTest, DeterministicReductionViaSlots) {
     // The pattern benches use: evaluate seeds in parallel into slots,
     // reduce serially -> identical result regardless of thread count.
     const auto compute = [](std::size_t threads) {
-        ThreadPool pool(threads);
+        exec::ThreadPool pool(threads);
         std::vector<double> slot(40);
-        parallel_for_index(pool, slot.size(), [&](std::size_t i) {
+        exec::parallel_for_index(pool, slot.size(), [&](std::size_t i) {
             double acc = 0.0;
             for (std::size_t k = 0; k <= i; ++k) acc += std::sqrt(double(k + 1));
             slot[i] = acc;

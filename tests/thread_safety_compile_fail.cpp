@@ -1,0 +1,102 @@
+// Negative compile test for the Clang Thread Safety Analysis surface
+// (sag/exec/thread_annotations.h + sag/exec/mutex.h). Each guarded block
+// below must FAIL to compile under
+//   clang++ -Wthread-safety -Wthread-safety-beta -Werror -fsyntax-only
+// tests/CMakeLists.txt runs this file once per SAG_CF_* macro with
+// WILL_FAIL set — these ctests register only when a clang++ is available
+// (the annotations are no-ops on GCC, where every block is legal and the
+// analysis proves nothing). A final no-macro pass must succeed, proving
+// both the harness and the *correct* locking idioms compile cleanly.
+//
+// This is the gauntlet's negative control: if an annotation macro
+// silently decays to a no-op on clang, or the analysis stops seeing
+// exec::Mutex as a capability, every case here goes green-on-compile and
+// the WILL_FAIL tests turn red.
+//
+// Keep each block to ONE violation so a failure pinpoints exactly which
+// discipline regressed.
+
+#include "sag/exec/mutex.h"
+#include "sag/exec/thread_annotations.h"
+
+namespace {
+
+using sag::exec::Mutex;
+using sag::exec::MutexLock;
+
+/// A miniature of the repo's locked structures (exec::ThreadPool,
+/// obs::Recorder): two guarded members, one capability each.
+class Account {
+public:
+    // Correct idioms — must always compile (positive control).
+    void deposit(int amount) {
+        const MutexLock lock(mu_);
+        balance_ += amount;
+    }
+    int read_balance() {
+        const MutexLock lock(mu_);
+        return balance_;
+    }
+    void audited_add(int amount) SAG_REQUIRES(mu_) { balance_ += amount; }
+    void deposit_via_requires(int amount) {
+        const MutexLock lock(mu_);
+        audited_add(amount);
+    }
+    void manual_lock_pair() {
+        mu_.lock();
+        balance_ += 1;
+        mu_.unlock();
+    }
+    void audit() {
+        const MutexLock lock(audit_mu_);
+        ++audit_count_;
+    }
+
+    void violations() {
+#if defined(SAG_CF_UNGUARDED_READ)
+        // Reading a SAG_GUARDED_BY member without its mutex: the exact
+        // bug TSan can only catch on the interleaving it happens to see.
+        const int bad = balance_;
+        (void)bad;
+#elif defined(SAG_CF_UNGUARDED_WRITE)
+        // Writing without the mutex — a lost-update race, at compile time.
+        balance_ = 0;
+#elif defined(SAG_CF_WRONG_MUTEX)
+        // Locking *a* mutex is not locking *the* mutex: audit_mu_ does
+        // not guard balance_.
+        const MutexLock lock(audit_mu_);
+        balance_ += 1;
+#elif defined(SAG_CF_MISSING_REQUIRES)
+        // Calling a SAG_REQUIRES(mu_) function with no lock held.
+        audited_add(1);
+#elif defined(SAG_CF_LOCK_WITHOUT_UNLOCK)
+        // Manual lock with no matching unlock: capability still held at
+        // end of function.
+        mu_.lock();
+        balance_ += 1;
+#elif defined(SAG_CF_DOUBLE_LOCK)
+        // Re-acquiring a capability this scope already holds.
+        const MutexLock outer(mu_);
+        const MutexLock inner(mu_);
+        balance_ += 1;
+#endif
+    }
+
+private:
+    Mutex mu_;
+    Mutex audit_mu_;
+    int balance_ SAG_GUARDED_BY(mu_) = 0;
+    int audit_count_ SAG_GUARDED_BY(audit_mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+    Account account;
+    account.deposit(1);
+    account.deposit_via_requires(2);
+    account.manual_lock_pair();
+    account.audit();
+    account.violations();
+    return account.read_balance();
+}

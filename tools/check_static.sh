@@ -10,7 +10,8 @@
 #     power-like quantities cross API boundaries as sag::units strong
 #     types (Watt, Decibel, ...); bulk buffers (std::vector<double>,
 #     std::span<const double>) are exempt by construction since the
-#     lint only matches scalar `double` parameters.
+#     lint only matches scalar `double` parameters. Justified exceptions
+#     (like §3's) live in tools/check_static_allowlist.txt.
 #  3. Domain lint: no NEW raw size_t entity-index parameter (ss/rs/bs/
 #     sub/cand/zone) may appear in a solver header. Entity indices cross
 #     API boundaries as sag::ids strong IDs (SsId, RsId, ...); genuine
@@ -21,6 +22,19 @@
 #     appear outside src/wireless. Channel gains flow through
 #     sag::wireless::GainKernel / PropagationModel so every solver,
 #     verifier, and the SnrField evaluate the one true channel.
+#  5. Determinism lint: no nondeterminism source may enter src/ — no
+#     std::random_device, rand()/srand(), time(nullptr), or unseeded
+#     std::mt19937 (all randomness is seeded std::mt19937_64, so
+#     threads=N == serial == yesterday's run), and no unordered_map/
+#     unordered_set in the solver result-construction layers (src/core,
+#     src/opt), whose iteration order is implementation-defined.
+#     Justified exceptions: tools/check_determinism_allowlist.txt.
+#  6. Concurrency-confinement lint: no raw std::thread/std::mutex/
+#     std::condition_variable (or lock types / their headers) outside
+#     src/exec/. All parallelism flows through the one annotated
+#     (Clang Thread Safety Analysis) and TSan-covered abstraction —
+#     exec::ThreadPool + exec::Mutex/MutexLock/CondVar. Justified
+#     exceptions: tools/check_concurrency_allowlist.txt.
 #
 # Usage: tools/check_static.sh [build-dir]   (default: build)
 #
@@ -34,6 +48,19 @@ build_dir=${1:-build}
 fail=0
 err() { echo "check_static: $*" >&2; fail=1; }
 
+# Shared allowlist filter for the grep lints: fixed-string match of
+# `file:line:content` hits against the non-comment lines of an allowlist
+# file. Every allowlist entry must carry a written justification in its
+# file; an absent file (or one with no entries) filters nothing.
+apply_allowlist() {
+    # $1 = hits, $2 = allowlist path
+    if [ -n "$1" ] && [ -f "$2" ]; then
+        echo "$1" | grep -vFf <(grep -v '^[[:space:]]*\(#\|$\)' "$2") || true
+    else
+        echo "$1"
+    fi
+}
+
 # --- 1. clang-tidy ---------------------------------------------------------
 if command -v clang-tidy >/dev/null 2>&1; then
     if [ ! -f "$build_dir/compile_commands.json" ]; then
@@ -45,9 +72,14 @@ if command -v clang-tidy >/dev/null 2>&1; then
         # to fix. run-clang-tidy parallelizes over the compilation DB.
         sources=$(git ls-files 'src/*.cpp' 'tools/*.cpp' 'examples/*.cpp')
         if command -v run-clang-tidy >/dev/null 2>&1; then
+            # Capture the findings: run-clang-tidy's stdout is the only
+            # place they appear, so on failure it must be echoed, not
+            # discarded (a silent "see above" pointed at nothing).
             # shellcheck disable=SC2086
-            run-clang-tidy -quiet -p "$build_dir" $sources >/dev/null ||
-                err "clang-tidy reported findings (see above)"
+            if ! tidy_out=$(run-clang-tidy -quiet -p "$build_dir" $sources 2>&1); then
+                echo "$tidy_out" >&2
+                err "clang-tidy reported findings (echoed above)"
+            fi
         else
             for f in $sources; do
                 clang-tidy --quiet -p "$build_dir" "$f" ||
@@ -69,8 +101,10 @@ pattern='[(,][[:space:]]*(const[[:space:]]+)?double[[:space:]]+[a-zA-Z_]*(power|
 hits=$(grep -rnE "$pattern" src tools examples \
            --include='*.h' --include='*.cpp' 2>/dev/null |
        grep -v '^src/units/') || true
+hits=$(apply_allowlist "$hits" tools/check_static_allowlist.txt)
 if [ -n "$hits" ]; then
-    err "bare-double power/SNR parameter(s); use sag::units types instead:"
+    err "bare-double power/SNR parameter(s); use sag::units types" \
+        "(or add a justified entry to tools/check_static_allowlist.txt):"
     echo "$hits" >&2
 fi
 
@@ -88,10 +122,7 @@ count_pattern='(std::)?size_t[[:space:]]+[a-zA-Z0-9_]*(count|size|num|total|budg
 allowlist=tools/check_static_allowlist.txt
 id_hits=$(grep -rnE "$id_pattern" src/core/include --include='*.h' 2>/dev/null |
           grep -vE "$count_pattern") || true
-if [ -n "$id_hits" ] && [ -f "$allowlist" ]; then
-    id_hits=$(echo "$id_hits" |
-              grep -vFf <(grep -v '^[[:space:]]*\(#\|$\)' "$allowlist")) || true
-fi
+id_hits=$(apply_allowlist "$id_hits" "$allowlist")
 if [ -n "$id_hits" ]; then
     err "raw size_t entity-index parameter(s); use sag::ids strong IDs" \
         "(or add a justified entry to $allowlist):"
@@ -110,10 +141,69 @@ gain_pattern='[(,][[:space:]]*(const[[:space:]]+)?double[[:space:]]+[a-zA-Z_]*(g
 gain_hits=$(grep -rnE "$gain_pattern" src tools examples \
                 --include='*.h' --include='*.cpp' 2>/dev/null |
             grep -v '^src/wireless/') || true
+gain_hits=$(apply_allowlist "$gain_hits" tools/check_static_allowlist.txt)
 if [ -n "$gain_hits" ]; then
     err "bare-double path-gain parameter(s); route the channel through" \
         "sag::wireless::GainKernel / PropagationModel instead:"
     echo "$gain_hits" >&2
+fi
+
+# --- 5. determinism lint ----------------------------------------------------
+# The reproducibility contract (docs/PERFORMANCE.md): solver output is a
+# pure function of (scenario, options, seed) — threads=N, the serial
+# path, and yesterday's binary all agree bit-for-bit. Two sub-lints:
+#
+# 5a. No ambient-entropy source anywhere in src/: std::random_device,
+#     C rand()/srand(), wall-clock seeding via time(nullptr)/time(NULL),
+#     or a default-constructed (unseeded) std::mt19937/mt19937_64.
+#     Seeded engines (std::mt19937_64 rng(seed)) are the one sanctioned
+#     randomness and do not match.
+det_entropy_pattern='std::random_device|[^a-zA-Z0-9_](rand|srand)[[:space:]]*\(|[^a-zA-Z0-9_]time[[:space:]]*\([[:space:]]*(nullptr|NULL)[[:space:]]*\)|mt19937(_64)?[[:space:]]+[a-zA-Z_][a-zA-Z0-9_]*[[:space:]]*(;|\{[[:space:]]*\}|=[[:space:]]*\{[[:space:]]*\})'
+det_hits=$(grep -rnE "$det_entropy_pattern" src \
+               --include='*.h' --include='*.cpp' 2>/dev/null) || true
+det_hits=$(apply_allowlist "$det_hits" tools/check_determinism_allowlist.txt)
+if [ -n "$det_hits" ]; then
+    err "nondeterminism source(s) in src/; seed a std::mt19937_64 explicitly" \
+        "(or add a justified entry to tools/check_determinism_allowlist.txt):"
+    echo "$det_hits" >&2
+fi
+
+# 5b. No unordered_map/unordered_set in the solver result-construction
+#     layers (src/core, src/opt): their iteration order is
+#     implementation-defined, so any loop over one while assembling a
+#     plan/cover/assignment makes results compiler- or run-dependent.
+#     Ordered containers (std::map/set) or index-sorted vectors convey
+#     the same lookups deterministically. Spatial hashing in sag::geometry
+#     is out of scope — it never iterates its buckets into results.
+det_unord_hits=$(grep -rnE 'unordered_(map|set)' src/core src/opt \
+                     --include='*.h' --include='*.cpp' 2>/dev/null) || true
+det_unord_hits=$(apply_allowlist "$det_unord_hits" tools/check_determinism_allowlist.txt)
+if [ -n "$det_unord_hits" ]; then
+    err "unordered container(s) in solver result-construction paths" \
+        "(src/core, src/opt); use an ordered container or sorted vector" \
+        "(or add a justified entry to tools/check_determinism_allowlist.txt):"
+    echo "$det_unord_hits" >&2
+fi
+
+# --- 6. concurrency-confinement lint ----------------------------------------
+# All parallelism flows through sag::exec — the one ThreadPool plus the
+# exec::Mutex/MutexLock/CondVar wrappers that carry Clang Thread Safety
+# Analysis annotations and sit inside the TSan CI job's test scope. A raw
+# std::thread/std::mutex/std::condition_variable (or lock helper, or its
+# header) elsewhere in src/ is unanalyzed, unannotated concurrency: it
+# compiles on GCC with no thread-safety checking at all. std::atomic
+# stays allowed (lock-free leaf discipline, e.g. sag::obs cells).
+conc_pattern='std::(thread|jthread|mutex|timed_mutex|recursive_mutex|shared_mutex|shared_timed_mutex|condition_variable|condition_variable_any|lock_guard|unique_lock|scoped_lock|shared_lock|call_once|once_flag)[^a-zA-Z0-9_]|#[[:space:]]*include[[:space:]]*<(thread|mutex|shared_mutex|condition_variable)>'
+conc_hits=$(grep -rnE "$conc_pattern" src \
+                --include='*.h' --include='*.cpp' 2>/dev/null |
+            grep -v '^src/exec/') || true
+conc_hits=$(apply_allowlist "$conc_hits" tools/check_concurrency_allowlist.txt)
+if [ -n "$conc_hits" ]; then
+    err "raw threading primitive(s) outside src/exec/; route through" \
+        "exec::ThreadPool / exec::Mutex (sag/exec/mutex.h) so the locking" \
+        "is thread-safety-annotated and TSan-covered (or add a justified" \
+        "entry to tools/check_concurrency_allowlist.txt):"
+    echo "$conc_hits" >&2
 fi
 
 if [ "$fail" -ne 0 ]; then
