@@ -29,7 +29,7 @@ SnrField::SnrField(const Scenario& scenario, std::span<const geom::Vec2> rs_posi
     sub_x_.reserve(sub_ids_.size());
     sub_y_.reserve(sub_ids_.size());
     sub_reach_.reserve(sub_ids_.size());
-    for (const ids::SsId j : sub_ids_.raw()) {
+    for (const ids::SsId j : sub_ids_) {
         sub_x_.push_back(scenario.subscriber(j).pos.x);
         sub_y_.push_back(scenario.subscriber(j).pos.y);
         sub_reach_.push_back(scenario.subscriber(j).distance_request);
@@ -67,8 +67,8 @@ void SnrField::apply_rs_contribution(const geom::Vec2& pos, units::Watt power,
     // the power (exact negation), so a retraction subtracts exactly the
     // doubles the insertion added — the cancellation invariant the
     // Transaction rollback and remove_rs depend on.
-    wireless::accumulate_rx(kernel_, pos, sign * power.watts(), sub_xs(),
-                            sub_ys(), total_, comp_);
+    wireless::accumulate_rx(kernel_, pos, power * sign, sub_xs(), sub_ys(),
+                            total_, comp_);
 }
 
 void SnrField::move_rs(ids::RsId i, const geom::Vec2& to) {
@@ -189,12 +189,13 @@ void SnrField::snrs(ids::IdSpan<ids::SsId, const ids::RsId> serving,
     std::vector<std::uint32_t> raw(serving.size());
     for (const ids::SsId k : tracked_ids()) {
         assert(serving[k].index() < rs_pos_.size());
+        // SAG_RAW_OK: building the kernel's u32 gather column from RsIds.
         raw[k.index()] = serving[k].value();
     }
     wireless::batch_snr(kernel_, rs_xs(), rs_ys(),
                         units::WattSpan{rs_power_}, raw, sub_xs(), sub_ys(),
-                        total_, comp_,
-                        scenario_->radio.snr_ambient_noise.watts(), out);
+                        total_, comp_, scenario_->radio.snr_ambient_noise,
+                        out);
 }
 
 void SnrField::recompute_subscriber(ids::SsId kk) {

@@ -66,7 +66,9 @@ public:
         assert(std::in_range<underlying>(v) && "entity index out of uint32 range");
     }
 
-    /// The raw 32-bit value (also the sentinel for invalid()).
+    /// The raw 32-bit value (also the sentinel for invalid()). Outside
+    /// src/ids every call site needs a `// SAG_RAW_OK: <why>` comment
+    /// (sag_lint raw-escape); prefer index() for raw-buffer subscripts.
     constexpr underlying value() const { return v_; }
     /// The explicit crossing into raw buffers: `powers[id.index()]`.
     constexpr std::size_t index() const { return static_cast<std::size_t>(v_); }
@@ -230,7 +232,9 @@ public:
     IdRange<Id> ids() const { return IdRange<Id>{v_.size()}; }
 
     /// Explicit raw escape (serialization, bulk math); the ID discipline
-    /// ends at this call and the comment at the call site says why.
+    /// ends at this call, so outside src/ids the call site must carry a
+    /// `// SAG_RAW_OK: <why>` comment (sag_lint's raw-escape rule
+    /// enforces it). For plain iteration use begin()/end() or ids().
     const std::vector<T>& raw() const { return v_; }
     std::vector<T>& raw() { return v_; }
 

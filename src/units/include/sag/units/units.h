@@ -32,6 +32,11 @@
 //   * Decibel is a *relative* quantity (a ratio in log space);
 //     DecibelMilliwatt is *absolute* power referenced to 1 mW. They do
 //     not interconvert without saying what they are relative to.
+//   * `.value()` is the generic escape hatch back to double. Outside
+//     src/units every `.value()` call site must carry a
+//     `// SAG_RAW_OK: <why>` justification — sag_lint's raw-escape rule
+//     enforces it. The named accessors (`watts()`, `ratio()`, `db()`,
+//     ...) are the preferred crossing: they say what the double means.
 
 #include <cmath>
 #include <compare>

@@ -55,13 +55,13 @@ std::size_t simd_lanes();
 /// and the bundled models use (alpha ∈ [1, 6]) qualifies.
 bool kernel_simd_eligible(const GainKernel& kernel);
 
-/// Neumaier-accumulates `signed_power_watts * gain(pos -> (xs[k], ys[k]))`
+/// Neumaier-accumulates `signed_power * gain(pos -> (xs[k], ys[k]))`
 /// into (totals[k], comps[k]) for every k. The SnrField delta kernel:
 /// sign is baked into the power (+p to add an RS contribution, -p to
 /// retract it; negation is exact, so retraction subtracts the same
 /// double). All four spans must have equal length.
 void accumulate_rx(const GainKernel& kernel, const geom::Vec2& pos,
-                   double signed_power_watts, units::MetersSpan xs,
+                   units::Watt signed_power, units::MetersSpan xs,
                    units::MetersSpan ys, std::span<double> totals,
                    std::span<double> comps);
 
@@ -89,7 +89,7 @@ void batch_snr(const GainKernel& kernel, units::MetersSpan rs_x,
                units::MetersSpan rs_y, units::WattSpan rs_power,
                std::span<const std::uint32_t> serving, units::MetersSpan sub_x,
                units::MetersSpan sub_y, std::span<const double> totals,
-               std::span<const double> comps, double ambient_watts,
+               std::span<const double> comps, units::Watt ambient,
                std::span<double> out_snr);
 
 namespace detail {

@@ -17,7 +17,7 @@ namespace detail {
 // dispatcher finishes the tail on the exact scalar path, so a given
 // buffer index always takes the same instructions call after call.
 std::size_t accumulate_rx_avx2(const GainKernel& kernel, const geom::Vec2& pos,
-                               double signed_power_watts, const double* xs,
+                               units::Watt signed_power, const double* xs,
                                const double* ys, double* totals, double* comps,
                                std::size_t n);
 std::size_t batch_gain_avx2(const GainKernel& kernel, const geom::Vec2& pos,
@@ -31,7 +31,7 @@ std::size_t batch_snr_avx2(const GainKernel& kernel, const double* rs_x,
                            const double* rs_y, const double* rs_power,
                            const std::uint32_t* serving, const double* sub_x,
                            const double* sub_y, const double* totals,
-                           const double* comps, double ambient_watts,
+                           const double* comps, units::Watt ambient,
                            double* out_snr, std::size_t n);
 bool cpu_has_avx2();
 #endif
@@ -90,12 +90,12 @@ inline void neumaier(double& total, double& comp, double term) {
 }
 
 void accumulate_rx_scalar(const GainKernel& kernel, const geom::Vec2& pos,
-                          double signed_power_watts, const double* xs,
+                          units::Watt signed_power, const double* xs,
                           const double* ys, double* totals, double* comps,
                           std::size_t begin, std::size_t end) {
+    const double p = signed_power.watts();
     for (std::size_t k = begin; k < end; ++k) {
-        const double term =
-            signed_power_watts * scalar_gain(kernel, pos, {xs[k], ys[k]});
+        const double term = p * scalar_gain(kernel, pos, {xs[k], ys[k]});
         neumaier(totals[k], comps[k], term);
     }
 }
@@ -123,8 +123,9 @@ void batch_snr_scalar(const GainKernel& kernel, const double* rs_x,
                       const double* rs_y, const double* rs_power,
                       const std::uint32_t* serving, const double* sub_x,
                       const double* sub_y, const double* totals,
-                      const double* comps, double ambient_watts,
+                      const double* comps, units::Watt ambient,
                       double* out_snr, std::size_t begin, std::size_t end) {
+    const double ambient_w = ambient.watts();
     for (std::size_t k = begin; k < end; ++k) {
         const std::uint32_t s = serving[k];
         const geom::Vec2 sub{sub_x[k], sub_y[k]};
@@ -135,7 +136,7 @@ void batch_snr_scalar(const GainKernel& kernel, const double* rs_x,
             continue;
         }
         const double interference =
-            (totals[k] + comps[k]) - signal + ambient_watts;
+            (totals[k] + comps[k]) - signal + ambient_w;
         out_snr[k] = interference > 0.0
                          ? signal / interference
                          : std::numeric_limits<double>::infinity();
@@ -174,7 +175,7 @@ bool kernel_simd_eligible(const GainKernel& kernel) {
 }
 
 void accumulate_rx(const GainKernel& kernel, const geom::Vec2& pos,
-                   double signed_power_watts, units::MetersSpan xs,
+                   units::Watt signed_power, units::MetersSpan xs,
                    units::MetersSpan ys, std::span<double> totals,
                    std::span<double> comps) {
     const std::size_t n = xs.size();
@@ -182,12 +183,12 @@ void accumulate_rx(const GainKernel& kernel, const geom::Vec2& pos,
     std::size_t done = 0;
 #ifndef SAG_SIMD_DISABLED
     if (detail::use_avx2(kernel)) {
-        done = detail::accumulate_rx_avx2(kernel, pos, signed_power_watts,
+        done = detail::accumulate_rx_avx2(kernel, pos, signed_power,
                                           xs.data(), ys.data(), totals.data(),
                                           comps.data(), n);
     }
 #endif
-    detail::accumulate_rx_scalar(kernel, pos, signed_power_watts, xs.data(),
+    detail::accumulate_rx_scalar(kernel, pos, signed_power, xs.data(),
                                  ys.data(), totals.data(), comps.data(), done,
                                  n);
 }
@@ -230,7 +231,7 @@ void batch_snr(const GainKernel& kernel, units::MetersSpan rs_x,
                units::MetersSpan rs_y, units::WattSpan rs_power,
                std::span<const std::uint32_t> serving, units::MetersSpan sub_x,
                units::MetersSpan sub_y, std::span<const double> totals,
-               std::span<const double> comps, double ambient_watts,
+               std::span<const double> comps, units::Watt ambient,
                std::span<double> out_snr) {
     const std::size_t n = sub_x.size();
     assert(sub_y.size() == n && serving.size() == n && totals.size() == n &&
@@ -241,13 +242,13 @@ void batch_snr(const GainKernel& kernel, units::MetersSpan rs_x,
         done = detail::batch_snr_avx2(kernel, rs_x.data(), rs_y.data(),
                                       rs_power.data(), serving.data(),
                                       sub_x.data(), sub_y.data(), totals.data(),
-                                      comps.data(), ambient_watts,
+                                      comps.data(), ambient,
                                       out_snr.data(), n);
     }
 #endif
     detail::batch_snr_scalar(kernel, rs_x.data(), rs_y.data(), rs_power.data(),
                              serving.data(), sub_x.data(), sub_y.data(),
-                             totals.data(), comps.data(), ambient_watts,
+                             totals.data(), comps.data(), ambient,
                              out_snr.data(), done, n);
 }
 

@@ -87,7 +87,7 @@ inline void neumaier4(__m256d term, double* totals, double* comps) {
 }  // namespace
 
 std::size_t accumulate_rx_avx2(const GainKernel& kernel, const geom::Vec2& pos,
-                               double signed_power_watts, const double* xs,
+                               units::Watt signed_power, const double* xs,
                                const double* ys, double* totals, double* comps,
                                std::size_t n) {
     const PowPlan plan = plan_pow(kernel);
@@ -95,7 +95,7 @@ std::size_t accumulate_rx_avx2(const GainKernel& kernel, const geom::Vec2& pos,
     const __m256d py = _mm256_set1_pd(pos.y);
     const __m256d clamp2 = _mm256_set1_pd(kernel.clamp_m * kernel.clamp_m);
     const __m256d scale = _mm256_set1_pd(kernel.scale);
-    const __m256d power = _mm256_set1_pd(signed_power_watts);
+    const __m256d power = _mm256_set1_pd(signed_power.watts());
     std::size_t k = 0;
     for (; k + 4 <= n; k += 4) {
         const __m256d dx = _mm256_sub_pd(px, _mm256_loadu_pd(xs + k));
@@ -162,12 +162,12 @@ std::size_t batch_snr_avx2(const GainKernel& kernel, const double* rs_x,
                            const double* rs_y, const double* rs_power,
                            const std::uint32_t* serving, const double* sub_x,
                            const double* sub_y, const double* totals,
-                           const double* comps, double ambient_watts,
+                           const double* comps, units::Watt ambient_noise,
                            double* out_snr, std::size_t n) {
     const PowPlan plan = plan_pow(kernel);
     const __m256d clamp2 = _mm256_set1_pd(kernel.clamp_m * kernel.clamp_m);
     const __m256d scale = _mm256_set1_pd(kernel.scale);
-    const __m256d ambient = _mm256_set1_pd(ambient_watts);
+    const __m256d ambient = _mm256_set1_pd(ambient_noise.watts());
     const __m256d zero = _mm256_setzero_pd();
     const __m256d inf = _mm256_set1_pd(std::numeric_limits<double>::infinity());
     std::size_t k = 0;

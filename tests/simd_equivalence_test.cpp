@@ -164,8 +164,10 @@ TEST(SimdEquivalence, IneligibleKernelIsByteIdentical) {
 
     std::vector<double> total(n, 0.0), comp(n, 0.0);
     std::vector<double> ref_total(n, 0.0), ref_comp(n, 0.0);
-    wireless::accumulate_rx(k, pos, 7.25, subs.xs(), subs.ys(), total, comp);
-    wireless::accumulate_rx(k, pos, -7.25, subs.xs(), subs.ys(), total, comp);
+    wireless::accumulate_rx(k, pos, units::Watt{7.25}, subs.xs(), subs.ys(),
+                            total, comp);
+    wireless::accumulate_rx(k, pos, units::Watt{-7.25}, subs.xs(), subs.ys(),
+                            total, comp);
     for (std::size_t i = 0; i < n; ++i) {
         const double term = 7.25 * reference_gain(k, pos, {subs.x[i], subs.y[i]});
         reference_neumaier(ref_total[i], ref_comp[i], term);
@@ -191,8 +193,8 @@ TEST(SimdEquivalence, AccumulateRxMatchesReferenceWithin1e12) {
         }
         history.emplace_back(history[2].first, -history[2].second);
         for (const auto& [pos, p] : history) {
-            wireless::accumulate_rx(k, pos, p, subs.xs(), subs.ys(), total,
-                                    comp);
+            wireless::accumulate_rx(k, pos, units::Watt{p}, subs.xs(),
+                                    subs.ys(), total, comp);
             for (std::size_t i = 0; i < n; ++i) {
                 const double term =
                     p * reference_gain(k, pos, {subs.x[i], subs.y[i]});
@@ -247,13 +249,15 @@ TEST(SimdEquivalence, BatchSnrMatchesReferenceWithin1e12) {
         // Build the totals through the same accumulate path the field uses.
         std::vector<double> total(n, 0.0), comp(n, 0.0);
         for (std::size_t i = 0; i < rs_count; ++i) {
-            wireless::accumulate_rx(k, {rs.x[i], rs.y[i]}, power[i], subs.xs(),
+            wireless::accumulate_rx(k, {rs.x[i], rs.y[i]},
+                                    units::Watt{power[i]}, subs.xs(),
                                     subs.ys(), total, comp);
         }
         const double ambient = 1e-6;
         std::vector<double> snr(n);
         wireless::batch_snr(k, rs.xs(), rs.ys(), WattSpan{power}, serving,
-                            subs.xs(), subs.ys(), total, comp, ambient, snr);
+                            subs.xs(), subs.ys(), total, comp,
+                            units::Watt{ambient}, snr);
         for (std::size_t j = 0; j < n; ++j) {
             const std::uint32_t s = serving[j];
             const double signal =
@@ -289,7 +293,8 @@ TEST(SimdEquivalence, BatchSnrEdgeSemantics) {
     std::vector<double> total(5, -1e300), comp(5, 0.0);
     std::vector<double> snr(5);
     wireless::batch_snr(k, rs.xs(), rs.ys(), WattSpan{power}, serving,
-                        subs.xs(), subs.ys(), total, comp, 0.0, snr);
+                        subs.xs(), subs.ys(), total, comp, units::Watt{0.0},
+                        snr);
     EXPECT_EQ(snr[0], 0.0);  // zero signal wins over zero denominator
     EXPECT_TRUE(std::isinf(snr[1]));
     EXPECT_EQ(snr[2], 0.0);

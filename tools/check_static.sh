@@ -3,67 +3,145 @@
 #
 #  1. clang-tidy over the compilation database, using the curated check
 #     set in .clang-tidy (WarningsAsErrors: '*'). Skipped with a notice
-#     when clang-tidy is not installed, so the domain lint below still
-#     runs on toolchains without LLVM (the container ships GCC only).
-#  2. Domain lint: no NEW bare-double power/SNR/noise/dB parameter may
-#     appear in a function signature outside src/units. Scalar
-#     power-like quantities cross API boundaries as sag::units strong
-#     types (Watt, Decibel, ...); bulk buffers (std::vector<double>,
-#     std::span<const double>) are exempt by construction since the
-#     lint only matches scalar `double` parameters. Justified exceptions
-#     (like §3's) live in tools/check_static_allowlist.txt.
-#  3. Domain lint: no NEW raw size_t entity-index parameter (ss/rs/bs/
-#     sub/cand/zone) may appear in a solver header. Entity indices cross
-#     API boundaries as sag::ids strong IDs (SsId, RsId, ...); genuine
-#     counts/sizes/budgets keep size_t and simply must not be named like
-#     an entity index. Justified exceptions live in
-#     tools/check_static_allowlist.txt.
-#  4. Domain lint: no NEW bare-double path-gain/attenuation parameter may
-#     appear outside src/wireless. Channel gains flow through
-#     sag::wireless::GainKernel / PropagationModel so every solver,
-#     verifier, and the SnrField evaluate the one true channel.
-#  5. Determinism lint: no nondeterminism source may enter src/ — no
-#     std::random_device, rand()/srand(), time(nullptr), or unseeded
-#     std::mt19937 (all randomness is seeded std::mt19937_64, so
-#     threads=N == serial == yesterday's run), and no unordered_map/
-#     unordered_set in the solver result-construction layers (src/core,
-#     src/opt), whose iteration order is implementation-defined.
-#     Justified exceptions: tools/check_determinism_allowlist.txt.
-#  6. Concurrency-confinement lint: no raw std::thread/std::mutex/
+#     when clang-tidy is not installed, so the domain lints below still
+#     run on toolchains without LLVM (the container ships GCC only).
+#  2. sag_lint (tools/sag_lint/, python3): the domain rules as real
+#     token/AST analyses --
+#       units-param  no bare-double power/SNR/noise/dB parameter outside
+#                    src/units (sag::units strong types at boundaries);
+#       ids-param    no raw size_t entity-index parameter in solver
+#                    headers (sag::ids strong IDs);
+#       gain-param   no bare-double path-gain parameter outside
+#                    src/wireless (GainKernel / PropagationModel);
+#       raw-escape   every .raw()/.value() escape from a strong type
+#                    outside its defining module carries a
+#                    `// SAG_RAW_OK:` justification;
+#       layering     the include graph matches tools/layering.json
+#                    exactly (no undeclared and no dead edges);
+#       dead-suppression  every allowlist entry names its rule and
+#                    still matches something.
+#     The three param rules resolve typedef/using aliases and ignore
+#     comments and strings, so renaming `double` or quoting a signature
+#     cannot dodge them. In CI the libclang engine re-derives them from
+#     canonical AST types on top. Only when python3 itself is missing do
+#     the legacy grep lints (sections 2-4 below) gate instead.
+#  3. Determinism lint (grep): no nondeterminism source may enter src/
+#     -- no std::random_device, rand()/srand(), time(nullptr), or
+#     unseeded std::mt19937 (rule det-entropy: all randomness is seeded
+#     std::mt19937_64, so threads=N == serial == yesterday's run), and
+#     no unordered_map/unordered_set in the solver result-construction
+#     layers src/core, src/opt (rule det-unordered), whose iteration
+#     order is implementation-defined. Justified exceptions:
+#     tools/check_determinism_allowlist.txt.
+#  4. Concurrency-confinement lint (grep): no raw std::thread/std::mutex/
 #     std::condition_variable (or lock types / their headers) outside
-#     src/exec/. All parallelism flows through the one annotated
-#     (Clang Thread Safety Analysis) and TSan-covered abstraction —
-#     exec::ThreadPool + exec::Mutex/MutexLock/CondVar. Justified
-#     exceptions: tools/check_concurrency_allowlist.txt.
+#     src/exec/ (rule conc-raw). All parallelism flows through the one
+#     annotated (Clang Thread Safety Analysis) and TSan-covered
+#     abstraction -- exec::ThreadPool + exec::Mutex/MutexLock/CondVar.
+#     Justified exceptions: tools/check_concurrency_allowlist.txt.
 #
-# Usage: tools/check_static.sh [build-dir]   (default: build)
+# Allowlist format (all three allowlist files): `rule-id: fragment`, the
+# fragment fixed-string matched against `file:line:content` hits of that
+# rule only. An entry without a valid rule prefix is an error, and so is
+# a dead entry that matches nothing -- stale suppressions cannot linger.
 #
-# Runs without a compilation database: if $build_dir/compile_commands.json
-# is missing the clang-tidy pass degrades to a warning and the grep lints
-# (2, 3) still gate.
+# Usage: tools/check_static.sh [--strict] [--require-libclang] [build-dir]
+#        (default build dir: build)
+#
+# Degradation policy: locally, a missing compilation database skips the
+# clang-tidy pass with a notice and everything else still gates. Under
+# CI=true or --strict that hole closes: a missing database (or missing
+# python3) is a hard failure, so CI can never silently run a weaker gate
+# than the one this script documents. --require-libclang additionally
+# makes sag_lint fail unless its libclang engine actually loaded (the CI
+# static job sets it; dev containers without clang bindings do not).
 set -u
 cd "$(dirname "$0")/.."
 
-build_dir=${1:-build}
+build_dir=build
+strict=0
+require_libclang=0
+for arg in "$@"; do
+    case $arg in
+        --strict) strict=1 ;;
+        --require-libclang) require_libclang=1 ;;
+        *) build_dir=$arg ;;
+    esac
+done
+if [ "${CI:-}" = "true" ]; then
+    strict=1
+fi
+
 fail=0
 err() { echo "check_static: $*" >&2; fail=1; }
 
-# Shared allowlist filter for the grep lints: fixed-string match of
-# `file:line:content` hits against the non-comment lines of an allowlist
-# file. Every allowlist entry must carry a written justification in its
-# file; an absent file (or one with no entries) filters nothing.
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+# Rule-scoped allowlist filter for the grep lints: entries are
+# `rule-id: fragment` lines; only entries naming $3 apply, each matched
+# fixed-string against the `file:line:content` hits. Entries that fire
+# are recorded so validate_allowlist() can flag the dead ones.
 apply_allowlist() {
-    # $1 = hits, $2 = allowlist path
-    if [ -n "$1" ] && [ -f "$2" ]; then
-        echo "$1" | grep -vFf <(grep -v '^[[:space:]]*\(#\|$\)' "$2") || true
-    else
-        echo "$1"
+    # $1 = hits, $2 = allowlist path, $3 = rule id
+    local hits=$1 file=$2 rule=$3 out frag
+    out=$hits
+    if [ -z "$hits" ] || [ ! -f "$file" ]; then
+        echo "$out"
+        return
     fi
+    while IFS= read -r frag; do
+        [ -n "$frag" ] || continue
+        if echo "$hits" | grep -qF -- "$frag"; then
+            printf '%s: %s\n' "$rule" "$frag" >> "$tmpdir/used.${file##*/}"
+        fi
+        out=$(echo "$out" | grep -vF -- "$frag" || true)
+    done < <(sed -n "s/^${rule}:[[:space:]]*//p" "$file")
+    echo "$out"
 }
+
+# Validate one allowlist file after its rules ran: every non-comment
+# entry must name one of the file's rules, and every entry must have
+# suppressed at least one hit this run (dead entries mask nothing today
+# and hide violations tomorrow, so they fail the gate).
+validate_allowlist() {
+    # $1 = allowlist path, $2.. = rule ids this file may name
+    local file=$1 used line rule frag valid r
+    shift
+    [ -f "$file" ] || return 0
+    used="$tmpdir/used.${file##*/}"
+    while IFS= read -r line; do
+        rule=${line%%:*}
+        valid=0
+        for r in "$@"; do
+            [ "$rule" = "$r" ] && valid=1
+        done
+        if [ "$rule" = "$line" ] || [ "$valid" -eq 0 ]; then
+            err "$file: allowlist entry must be \`rule-id: fragment\`" \
+                "naming one of: $* -- got: $line"
+            continue
+        fi
+        frag=$(printf '%s' "${line#*:}" | sed 's/^[[:space:]]*//')
+        if [ ! -f "$used" ] || ! grep -qF -- "$rule: $frag" "$used"; then
+            err "$file: dead allowlist entry (matches nothing): $line" \
+                "-- delete it so it cannot mask a future violation"
+        fi
+    done < <(grep -v '^[[:space:]]*\(#\|$\)' "$file" || true)
+}
+
+# --- 0. degradation policy ---------------------------------------------------
+have_db=0
+if [ -f "$build_dir/compile_commands.json" ]; then
+    have_db=1
+elif [ "$strict" -eq 1 ]; then
+    err "no $build_dir/compile_commands.json under CI/--strict; the tidy" \
+        "and libclang passes would silently degrade -- configure with" \
+        "cmake (CMAKE_EXPORT_COMPILE_COMMANDS is on by default) first"
+fi
 
 # --- 1. clang-tidy ---------------------------------------------------------
 if command -v clang-tidy >/dev/null 2>&1; then
-    if [ ! -f "$build_dir/compile_commands.json" ]; then
+    if [ "$have_db" -eq 0 ]; then
         echo "check_static: no $build_dir/compile_commands.json;" \
              "skipping tidy pass (lint-only mode -- configure with cmake" \
              "to enable clang-tidy)" >&2
@@ -91,120 +169,162 @@ else
     echo "check_static: clang-tidy not installed; skipping tidy pass" >&2
 fi
 
-# --- 2. bare-double power/SNR parameters ----------------------------------
-# Matches a scalar `double` function parameter whose name says it carries
-# power, noise, SNR, watts, or dB -- the exact mixups sag::units exists to
-# prevent. Local variables and struct members do not match (no '(' or ','
-# immediately before the type), and bulk vector/span parameters carry a
-# template type, not scalar double.
-pattern='[(,][[:space:]]*(const[[:space:]]+)?double[[:space:]]+[a-zA-Z_]*(power|snr|noise|watt|_db|_dbm)[a-zA-Z_]*[[:space:]]*[,)=]'
-hits=$(grep -rnE "$pattern" src tools examples \
-           --include='*.h' --include='*.cpp' 2>/dev/null |
-       grep -v '^src/units/') || true
-hits=$(apply_allowlist "$hits" tools/check_static_allowlist.txt)
-if [ -n "$hits" ]; then
-    err "bare-double power/SNR parameter(s); use sag::units types" \
-        "(or add a justified entry to tools/check_static_allowlist.txt):"
-    echo "$hits" >&2
+# --- 2. sag_lint (param rules, raw-escape audit, layering, suppressions) ----
+sag_lint_ran=0
+if command -v python3 >/dev/null 2>&1; then
+    sag_lint_args=(--build-dir "$build_dir")
+    if [ "$require_libclang" -eq 1 ]; then
+        sag_lint_args+=(--require-libclang)
+    fi
+    if python3 tools/sag_lint "${sag_lint_args[@]}"; then
+        sag_lint_ran=1
+    else
+        status=$?
+        if [ "$status" -eq 2 ]; then
+            err "sag_lint could not run (environment/configuration error above)"
+        else
+            err "sag_lint reported findings (listed above)"
+            sag_lint_ran=1
+        fi
+    fi
+elif [ "$strict" -eq 1 ]; then
+    err "python3 not available under CI/--strict; sag_lint (the param," \
+        "raw-escape, and layering rules) would silently degrade to grep"
+else
+    echo "check_static: python3 not installed; falling back to the grep" \
+         "param lints (no raw-escape/layering checks this run)" >&2
 fi
 
-# --- 3. raw size_t entity-index parameters in solver headers ---------------
-# Matches a scalar size_t/std::size_t function parameter whose name is an
-# entity index (ss, rs, bs, sub, cand, zone -- alone or as an underscore-
-# delimited token, e.g. `rs_idx`, `serving_rs`). Those must be SsId/RsId/
-# BsId/CandId/ZoneId from sag::ids so `snr.move_rs(ss)` cannot compile.
-# Count-like names (rs_count, sub_budget, zone_rounds) denote a quantity,
-# not a position in an entity array, and are filtered back out. Justified
-# exceptions go in tools/check_static_allowlist.txt (fixed-string match
-# against the file:line:content hit).
-id_pattern='[(,][[:space:]]*(const[[:space:]]+)?(std::)?size_t[[:space:]]+([a-zA-Z0-9_]*_)?(ss|rs|bs|sub|cand|zone)(_[a-zA-Z0-9_]*)?[[:space:]]*[,)=]'
-count_pattern='(std::)?size_t[[:space:]]+[a-zA-Z0-9_]*(count|size|num|total|budget|round|iter|capacity|limit|max|min)'
-allowlist=tools/check_static_allowlist.txt
-id_hits=$(grep -rnE "$id_pattern" src/core/include --include='*.h' 2>/dev/null |
-          grep -vE "$count_pattern") || true
-id_hits=$(apply_allowlist "$id_hits" "$allowlist")
-if [ -n "$id_hits" ]; then
-    err "raw size_t entity-index parameter(s); use sag::ids strong IDs" \
-        "(or add a justified entry to $allowlist):"
-    echo "$id_hits" >&2
+if [ "$sag_lint_ran" -eq 0 ]; then
+    # Grep fallback for the three param rules, python3-less toolchains
+    # only. Weaker than sag_lint by construction: single-line matches,
+    # no alias resolution, no comment/string immunity beyond the shape
+    # of the patterns.
+
+    # units-param: a scalar `double` function parameter whose name says
+    # it carries power, noise, SNR, watts, or dB -- the exact mixups
+    # sag::units exists to prevent. Bulk vector/span parameters carry a
+    # template type, not scalar double, and do not match.
+    pattern='[(,][[:space:]]*(const[[:space:]]+)?double[[:space:]]+[a-zA-Z_]*(power|snr|noise|watt|_db|_dbm)[a-zA-Z_]*[[:space:]]*[,)=]'
+    hits=$(grep -rnE "$pattern" src tools examples \
+               --include='*.h' --include='*.cpp' 2>/dev/null |
+           grep -v '^src/units/') || true
+    hits=$(apply_allowlist "$hits" tools/check_static_allowlist.txt units-param)
+    if [ -n "$hits" ]; then
+        err "bare-double power/SNR parameter(s); use sag::units types" \
+            "(or add a justified units-param entry to" \
+            "tools/check_static_allowlist.txt):"
+        echo "$hits" >&2
+    fi
+
+    # ids-param: a scalar size_t/std::size_t function parameter whose
+    # name is an entity index (ss, rs, bs, sub, cand, zone -- alone or
+    # as an underscore-delimited token, e.g. `rs_idx`, `serving_rs`).
+    # Those must be SsId/RsId/BsId/CandId/ZoneId from sag::ids so
+    # `snr.move_rs(ss)` cannot compile. Count-like names (rs_count,
+    # sub_budget, zone_rounds) denote a quantity, not a position in an
+    # entity array, and are filtered back out.
+    id_pattern='[(,][[:space:]]*(const[[:space:]]+)?(std::)?size_t[[:space:]]+([a-zA-Z0-9_]*_)?(ss|rs|bs|sub|cand|zone)(_[a-zA-Z0-9_]*)?[[:space:]]*[,)=]'
+    count_pattern='(std::)?size_t[[:space:]]+[a-zA-Z0-9_]*(count|size|num|total|budget|round|iter|capacity|limit|max|min)'
+    id_hits=$(grep -rnE "$id_pattern" src/core/include --include='*.h' 2>/dev/null |
+              grep -vE "$count_pattern") || true
+    id_hits=$(apply_allowlist "$id_hits" tools/check_static_allowlist.txt ids-param)
+    if [ -n "$id_hits" ]; then
+        err "raw size_t entity-index parameter(s); use sag::ids strong IDs" \
+            "(or add a justified ids-param entry to" \
+            "tools/check_static_allowlist.txt):"
+        echo "$id_hits" >&2
+    fi
+
+    # gain-param: a scalar `double` function parameter carrying a channel
+    # gain, attenuation, or path loss. Channel physics must flow through
+    # sag::wireless::PropagationModel / GainKernel (the single gain
+    # authority of the scenario) -- a function elsewhere accepting a bare
+    # gain double is a second channel model waiting to drift from the
+    # first. The kernel structs themselves live in src/wireless (exempt).
+    gain_pattern='[(,][[:space:]]*(const[[:space:]]+)?double[[:space:]]+[a-zA-Z_]*(gain|atten|path_loss)[a-zA-Z_]*[[:space:]]*[,)=]'
+    gain_hits=$(grep -rnE "$gain_pattern" src tools examples \
+                    --include='*.h' --include='*.cpp' 2>/dev/null |
+                grep -v '^src/wireless/') || true
+    gain_hits=$(apply_allowlist "$gain_hits" tools/check_static_allowlist.txt gain-param)
+    if [ -n "$gain_hits" ]; then
+        err "bare-double path-gain parameter(s); route the channel through" \
+            "sag::wireless::GainKernel / PropagationModel instead:"
+        echo "$gain_hits" >&2
+    fi
+
+    # sag_lint validates this allowlist when it runs; in fallback mode
+    # the shell does (same rules, same dead-entry policy).
+    validate_allowlist tools/check_static_allowlist.txt \
+        units-param ids-param gain-param
 fi
 
-# --- 4. raw-double path-gain parameters outside src/wireless ---------------
-# Matches a scalar `double` function parameter carrying a channel gain,
-# attenuation, or path loss. Channel physics must flow through
-# sag::wireless::PropagationModel / GainKernel (the single gain authority
-# of the scenario) -- a function elsewhere accepting a bare gain double is
-# a second channel model waiting to drift from the first. Bulk matrices
-# (std::vector<double>) do not match; the kernel structs themselves live
-# in src/wireless, which is exempt.
-gain_pattern='[(,][[:space:]]*(const[[:space:]]+)?double[[:space:]]+[a-zA-Z_]*(gain|atten|path_loss)[a-zA-Z_]*[[:space:]]*[,)=]'
-gain_hits=$(grep -rnE "$gain_pattern" src tools examples \
-                --include='*.h' --include='*.cpp' 2>/dev/null |
-            grep -v '^src/wireless/') || true
-gain_hits=$(apply_allowlist "$gain_hits" tools/check_static_allowlist.txt)
-if [ -n "$gain_hits" ]; then
-    err "bare-double path-gain parameter(s); route the channel through" \
-        "sag::wireless::GainKernel / PropagationModel instead:"
-    echo "$gain_hits" >&2
-fi
-
-# --- 5. determinism lint ----------------------------------------------------
+# --- 3. determinism lint ----------------------------------------------------
 # The reproducibility contract (docs/PERFORMANCE.md): solver output is a
 # pure function of (scenario, options, seed) — threads=N, the serial
 # path, and yesterday's binary all agree bit-for-bit. Two sub-lints:
 #
-# 5a. No ambient-entropy source anywhere in src/: std::random_device,
-#     C rand()/srand(), wall-clock seeding via time(nullptr)/time(NULL),
-#     or a default-constructed (unseeded) std::mt19937/mt19937_64.
-#     Seeded engines (std::mt19937_64 rng(seed)) are the one sanctioned
-#     randomness and do not match.
+# det-entropy: no ambient-entropy source anywhere in src/ --
+#     std::random_device, C rand()/srand(), wall-clock seeding via
+#     time(nullptr)/time(NULL), or a default-constructed (unseeded)
+#     std::mt19937/mt19937_64. Seeded engines (std::mt19937_64 rng(seed))
+#     are the one sanctioned randomness and do not match.
 det_entropy_pattern='std::random_device|[^a-zA-Z0-9_](rand|srand)[[:space:]]*\(|[^a-zA-Z0-9_]time[[:space:]]*\([[:space:]]*(nullptr|NULL)[[:space:]]*\)|mt19937(_64)?[[:space:]]+[a-zA-Z_][a-zA-Z0-9_]*[[:space:]]*(;|\{[[:space:]]*\}|=[[:space:]]*\{[[:space:]]*\})'
 det_hits=$(grep -rnE "$det_entropy_pattern" src \
                --include='*.h' --include='*.cpp' 2>/dev/null) || true
-det_hits=$(apply_allowlist "$det_hits" tools/check_determinism_allowlist.txt)
+det_hits=$(apply_allowlist "$det_hits" tools/check_determinism_allowlist.txt det-entropy)
 if [ -n "$det_hits" ]; then
     err "nondeterminism source(s) in src/; seed a std::mt19937_64 explicitly" \
-        "(or add a justified entry to tools/check_determinism_allowlist.txt):"
+        "(or add a justified det-entropy entry to" \
+        "tools/check_determinism_allowlist.txt):"
     echo "$det_hits" >&2
 fi
 
-# 5b. No unordered_map/unordered_set in the solver result-construction
-#     layers (src/core, src/opt): their iteration order is
-#     implementation-defined, so any loop over one while assembling a
-#     plan/cover/assignment makes results compiler- or run-dependent.
-#     Ordered containers (std::map/set) or index-sorted vectors convey
-#     the same lookups deterministically. Spatial hashing in sag::geometry
-#     is out of scope — it never iterates its buckets into results.
+# det-unordered: no unordered_map/unordered_set in the solver
+#     result-construction layers (src/core, src/opt): their iteration
+#     order is implementation-defined, so any loop over one while
+#     assembling a plan/cover/assignment makes results compiler- or
+#     run-dependent. Ordered containers (std::map/set) or index-sorted
+#     vectors convey the same lookups deterministically. Spatial hashing
+#     in sag::geometry is out of scope — it never iterates its buckets
+#     into results.
 det_unord_hits=$(grep -rnE 'unordered_(map|set)' src/core src/opt \
                      --include='*.h' --include='*.cpp' 2>/dev/null) || true
-det_unord_hits=$(apply_allowlist "$det_unord_hits" tools/check_determinism_allowlist.txt)
+det_unord_hits=$(apply_allowlist "$det_unord_hits" tools/check_determinism_allowlist.txt det-unordered)
 if [ -n "$det_unord_hits" ]; then
     err "unordered container(s) in solver result-construction paths" \
         "(src/core, src/opt); use an ordered container or sorted vector" \
-        "(or add a justified entry to tools/check_determinism_allowlist.txt):"
+        "(or add a justified det-unordered entry to" \
+        "tools/check_determinism_allowlist.txt):"
     echo "$det_unord_hits" >&2
 fi
 
-# --- 6. concurrency-confinement lint ----------------------------------------
-# All parallelism flows through sag::exec — the one ThreadPool plus the
-# exec::Mutex/MutexLock/CondVar wrappers that carry Clang Thread Safety
-# Analysis annotations and sit inside the TSan CI job's test scope. A raw
-# std::thread/std::mutex/std::condition_variable (or lock helper, or its
-# header) elsewhere in src/ is unanalyzed, unannotated concurrency: it
-# compiles on GCC with no thread-safety checking at all. std::atomic
-# stays allowed (lock-free leaf discipline, e.g. sag::obs cells).
+validate_allowlist tools/check_determinism_allowlist.txt \
+    det-entropy det-unordered
+
+# --- 4. concurrency-confinement lint ----------------------------------------
+# conc-raw: all parallelism flows through sag::exec — the one ThreadPool
+# plus the exec::Mutex/MutexLock/CondVar wrappers that carry Clang
+# Thread Safety Analysis annotations and sit inside the TSan CI job's
+# test scope. A raw std::thread/std::mutex/std::condition_variable (or
+# lock helper, or its header) elsewhere in src/ is unanalyzed,
+# unannotated concurrency: it compiles on GCC with no thread-safety
+# checking at all. std::atomic stays allowed (lock-free leaf discipline,
+# e.g. sag::obs cells).
 conc_pattern='std::(thread|jthread|mutex|timed_mutex|recursive_mutex|shared_mutex|shared_timed_mutex|condition_variable|condition_variable_any|lock_guard|unique_lock|scoped_lock|shared_lock|call_once|once_flag)[^a-zA-Z0-9_]|#[[:space:]]*include[[:space:]]*<(thread|mutex|shared_mutex|condition_variable)>'
 conc_hits=$(grep -rnE "$conc_pattern" src \
                 --include='*.h' --include='*.cpp' 2>/dev/null |
             grep -v '^src/exec/') || true
-conc_hits=$(apply_allowlist "$conc_hits" tools/check_concurrency_allowlist.txt)
+conc_hits=$(apply_allowlist "$conc_hits" tools/check_concurrency_allowlist.txt conc-raw)
 if [ -n "$conc_hits" ]; then
     err "raw threading primitive(s) outside src/exec/; route through" \
         "exec::ThreadPool / exec::Mutex (sag/exec/mutex.h) so the locking" \
         "is thread-safety-annotated and TSan-covered (or add a justified" \
-        "entry to tools/check_concurrency_allowlist.txt):"
+        "conc-raw entry to tools/check_concurrency_allowlist.txt):"
     echo "$conc_hits" >&2
 fi
+
+validate_allowlist tools/check_concurrency_allowlist.txt conc-raw
 
 if [ "$fail" -ne 0 ]; then
     echo "check_static: FAILED" >&2

@@ -1,0 +1,6 @@
+# sag_lint: AST/token-grounded static analysis for the SAG repository.
+#
+# The package is run as `python3 tools/sag_lint` from the repository root
+# (tools/check_static.sh does this for you). See docs/STATIC_ANALYSIS.md
+# for the rule catalog, suppression syntax, and the layering manifest
+# schema (tools/layering.json).

@@ -1,0 +1,219 @@
+"""libclang engine: canonical-type-exact re-derivation of the AST rules.
+
+Layered on top of the builtin token engine when two prerequisites hold:
+
+  * the clang python bindings import (CI installs python3-clang-18;
+    the dev container has no libclang and runs builtin-only), and
+  * the build directory holds a compile_commands.json (the project
+    always exports one).
+
+It parses every project translation unit in the compilation database
+and re-derives the three parameter rules from each parameter's
+*canonical* type — so a `using PowerScalar = double;` chain, an
+aliased std::size_t, or any formatting the token engine cannot follow
+resolves exactly — and narrows the raw-escape audit to member calls
+whose receiver class really lives in sag::ids / sag::units.  Findings
+carry the same messages as the builtin engine and are deduplicated
+against it.
+
+Everything is wrapped defensively: an unparsable TU degrades to a
+warning list the caller reports, never a crash of the gate.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import re
+import shlex
+
+import param_rules
+import raw_escape
+from core import (
+    Finding,
+    RULE_GAIN_PARAM,
+    RULE_IDS_PARAM,
+    RULE_RAW_ESCAPE,
+    RULE_UNITS_PARAM,
+)
+
+_POWER_RE = re.compile(r"\A" + param_rules.POWER_NAME_RE + r"\Z")
+_GAIN_RE = re.compile(r"\A" + param_rules.GAIN_NAME_RE + r"\Z")
+_ENTITY_RE = re.compile(r"\A" + param_rules.ENTITY_NAME_RE + r"\Z")
+
+# Canonical spellings of the guarded scalar types.  size_t canonicalizes
+# per-platform; cover the LP64/LLP64 spellings.
+_DOUBLE_CANON = {"double", "const double"}
+_SIZE_CANON = {"unsigned long", "const unsigned long",
+               "unsigned long long", "const unsigned long long"}
+
+_LIBCLANG_GLOBS = (
+    "/usr/lib/llvm-*/lib/libclang.so*",
+    "/usr/lib/llvm-*/lib/libclang-*.so*",
+    "/usr/lib/x86_64-linux-gnu/libclang-*.so*",
+    "/usr/lib/*/libclang.so*",
+)
+
+
+def load() -> tuple:
+    """Returns (cindex, None) when usable, else (None, reason)."""
+    try:
+        from clang import cindex
+    except ImportError as e:
+        return None, f"clang python bindings not importable ({e})"
+    override = os.environ.get("SAG_LIBCLANG")
+    candidates = [override] if override else [None]
+    if not override:
+        for pattern in _LIBCLANG_GLOBS:
+            candidates += sorted(glob.glob(pattern), reverse=True)
+    last_err = "no libclang shared library found"
+    for cand in candidates:
+        try:
+            if cand is not None:
+                cindex.Config.library_file = cand
+            cindex.Index.create()
+            return cindex, None
+        except Exception as e:  # cindex raises LibclangError and friends
+            last_err = str(e)
+            # A Config already bound to a bad library cannot be rebound
+            # in-process once loaded; only unloaded configs retry.
+            if getattr(cindex.conf, "loaded", False):
+                break
+    return None, f"libclang not loadable ({last_err})"
+
+
+def version_string(cindex) -> str:
+    try:
+        fn = cindex.conf.lib.clang_getClangVersion
+        fn.restype = cindex._CXString
+        return cindex.conf.lib.clang_getCString(fn()).decode()
+    except Exception:
+        return "libclang (version unknown)"
+
+
+def _tu_args(entry: dict) -> list:
+    if "arguments" in entry:
+        argv = list(entry["arguments"])
+    else:
+        argv = shlex.split(entry.get("command", ""))
+    args, skip = [], False
+    for a in argv[1:]:
+        if skip:
+            skip = False
+            continue
+        if a in ("-o", "-c"):
+            skip = a == "-o"
+            continue
+        # Keep only flags clang's frontend understands everywhere; a
+        # GCC-only flag would fail the parse outright.
+        if a.startswith(("-I", "-D", "-U", "-std=", "-isystem", "-include")):
+            args.append(a)
+    return args
+
+
+def _qualified_name(cursor) -> str:
+    parts = []
+    c = cursor
+    while c is not None and c.kind != c.kind.TRANSLATION_UNIT:
+        if c.spelling:
+            parts.append(c.spelling)
+        c = c.semantic_parent
+    return "::".join(reversed(parts))
+
+
+def run(cindex, root: str, build_dir: str, sources_by_path: dict) -> tuple:
+    """Returns (findings, warnings). sources_by_path maps repo-relative
+    path -> SourceFile (the audit scope; anything else is ignored)."""
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    with open(db_path, encoding="utf-8") as f:
+        entries = json.load(f)
+
+    findings, warnings = [], []
+    index = cindex.Index.create()
+    seen_tus = set()
+    for entry in entries:
+        src = os.path.normpath(os.path.join(entry.get("directory", root),
+                                            entry["file"]))
+        rel = os.path.relpath(src, root).replace(os.sep, "/")
+        if rel.startswith("..") or rel in seen_tus:
+            continue
+        if not rel.startswith(("src/", "tools/", "examples/")):
+            continue
+        seen_tus.add(rel)
+        try:
+            tu = index.parse(src, args=_tu_args(entry))
+        except Exception as e:
+            warnings.append(f"libclang failed to parse {rel}: {e}")
+            continue
+        fatal = [d for d in tu.diagnostics if d.severity >= 4]
+        if fatal:
+            warnings.append(f"libclang diagnostics in {rel}: {fatal[0]}")
+        try:
+            _visit(cindex, tu.cursor, root, sources_by_path, findings)
+        except Exception as e:
+            warnings.append(f"libclang visit failed in {rel}: {e}")
+    return findings, warnings
+
+
+def _visit(cindex, cursor, root, sources_by_path, findings):
+    K = cindex.CursorKind
+    for c in cursor.walk_preorder():
+        try:
+            loc_file = c.location.file
+        except Exception:
+            continue
+        if loc_file is None:
+            continue
+        rel = os.path.relpath(str(loc_file), root).replace(os.sep, "/")
+        src = sources_by_path.get(rel)
+        if src is None:
+            continue
+        if c.kind == K.PARM_DECL:
+            _check_param(c, rel, src, findings)
+        elif c.kind == K.MEMBER_REF_EXPR and c.spelling in ("raw", "value"):
+            _check_member_ref(c, rel, src, findings)
+
+
+def _check_param(c, rel, src, findings):
+    name = c.spelling
+    if not name:
+        return
+    canon = c.type.get_canonical().spelling
+    line = c.location.line
+    if canon in _DOUBLE_CANON and not rel.startswith("src/units/"):
+        if _POWER_RE.match(name):
+            findings.append(Finding(
+                rule=RULE_UNITS_PARAM, path=rel, line=line,
+                message=param_rules.units_param_message(name),
+                content=src.line_text(line)))
+        if _GAIN_RE.match(name) and not rel.startswith("src/wireless/"):
+            findings.append(Finding(
+                rule=RULE_GAIN_PARAM, path=rel, line=line,
+                message=param_rules.gain_param_message(name),
+                content=src.line_text(line)))
+    elif canon in _SIZE_CANON and rel.startswith("src/core/include/"):
+        if (_ENTITY_RE.match(name)
+                and not param_rules.COUNT_NAME_RE.search(name)):
+            findings.append(Finding(
+                rule=RULE_IDS_PARAM, path=rel, line=line,
+                message=param_rules.ids_param_message(name),
+                content=src.line_text(line)))
+
+
+def _check_member_ref(c, rel, src, findings):
+    if rel.startswith(raw_escape.EXEMPT_PREFIXES):
+        return
+    ref = c.referenced
+    if ref is None:
+        return
+    owner = _qualified_name(ref.semantic_parent) if ref.semantic_parent else ""
+    if not (owner.startswith("sag::ids") or owner.startswith("sag::units")):
+        return
+    line = c.location.line
+    if raw_escape.justified(src, line):
+        return
+    findings.append(Finding(
+        rule=RULE_RAW_ESCAPE, path=rel, line=line,
+        message=raw_escape.message(c.spelling),
+        content=src.line_text(line)))

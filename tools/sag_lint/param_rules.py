@@ -1,0 +1,137 @@
+"""Token-engine port of the §2/§3/§4 domain lints, grounded in types.
+
+The grep lints matched the literal token `double` / `size_t` next to a
+suspicious parameter name, so a `using PowerScalar = double;` alias (or
+a parameter list quoted in a comment) silently escaped or fooled them.
+This engine fixes both failure modes without needing libclang:
+
+  * it scans the *stripped* source (comments and strings blanked), so
+    prose can never match;
+  * it first builds a project-wide type-alias table (`using X = ...;`
+    and `typedef ... X;` chains, resolved transitively) and matches a
+    parameter's *resolved* type — a typedef'd bare double is caught,
+    and an alias to a strong type is not a false positive.
+
+When the libclang engine is also available (CI), it re-derives the same
+rules from canonical AST parameter types; findings are deduplicated, so
+the two engines agree or the stricter one wins.
+"""
+
+from __future__ import annotations
+
+import re
+
+from core import (
+    Finding,
+    RULE_GAIN_PARAM,
+    RULE_IDS_PARAM,
+    RULE_UNITS_PARAM,
+)
+
+# Parameter-name shapes, kept identical to the grep lints so existing
+# allowlist fragments keep their meaning.
+POWER_NAME_RE = r"[A-Za-z_]*(?:power|snr|noise|watt|_db|_dbm)[A-Za-z0-9_]*"
+GAIN_NAME_RE = r"[A-Za-z_]*(?:gain|atten|path_loss)[A-Za-z0-9_]*"
+ENTITY_NAME_RE = r"(?:[A-Za-z0-9_]*_)?(?:ss|rs|bs|sub|cand|zone)(?:_[A-Za-z0-9_]*)?"
+COUNT_NAME_RE = re.compile(
+    r"(?:count|size|num|total|budget|round|iter|capacity|limit|max|min)")
+
+DOUBLE_BASES = frozenset({"double"})
+SIZE_BASES = frozenset({"size_t", "std::size_t"})
+
+_USING_RE = re.compile(r"\busing\s+([A-Za-z_]\w*)\s*=\s*([^;{}]+?)\s*;")
+_TYPEDEF_RE = re.compile(r"\btypedef\s+([^;{}()]+?)\s+([A-Za-z_]\w*)\s*;")
+
+
+def _normalize_type(spelling: str) -> str:
+    s = re.sub(r"\bconst\b", " ", spelling)
+    s = re.sub(r"\s+", " ", s).strip()
+    return s
+
+
+def collect_aliases(sources) -> dict:
+    """Project-wide alias table name -> normalized target spelling."""
+    table = {}
+    for src in sources:
+        for m in _USING_RE.finditer(src.stripped):
+            table.setdefault(m.group(1), _normalize_type(m.group(2)))
+        for m in _TYPEDEF_RE.finditer(src.stripped):
+            table.setdefault(m.group(2), _normalize_type(m.group(1)))
+    return table
+
+
+def resolve_alias_set(table: dict, bases: frozenset) -> frozenset:
+    """All names that resolve (transitively) to one of `bases`."""
+    resolved = set(bases)
+    changed = True
+    while changed:
+        changed = False
+        for name, target in table.items():
+            if name not in resolved and target in resolved:
+                # Aliases whose target carries template arguments were
+                # normalized with their full spelling and never land in
+                # `resolved`, so vector<double> et al. stay exempt.
+                resolved.add(name)
+                changed = True
+    return frozenset(resolved)
+
+
+def units_param_message(name: str) -> str:
+    return (f"bare-double power/SNR parameter `{name}`; scalar power-like "
+            "quantities cross API boundaries as sag::units strong types")
+
+
+def ids_param_message(name: str) -> str:
+    return (f"raw size_t entity-index parameter `{name}`; entity indices "
+            "cross solver API boundaries as sag::ids strong IDs")
+
+
+def gain_param_message(name: str) -> str:
+    return (f"bare-double path-gain parameter `{name}`; route the channel "
+            "through sag::wireless::GainKernel / PropagationModel")
+
+
+def _param_pattern(type_names, name_re: str) -> re.Pattern:
+    alts = "|".join(sorted(re.escape(t) for t in type_names))
+    return re.compile(
+        r"[(,]\s*(?:const\s+)?(?<![\w:])(?:" + alts + r")(?![\w:<])"
+        r"\s+(" + name_re + r")\s*(?=[,)=])")
+
+
+def _scan(src, pattern: re.Pattern, rule: str, message_fn, name_filter=None):
+    findings = []
+    for m in pattern.finditer(src.stripped):
+        name = m.group(1)
+        if name_filter and not name_filter(name):
+            continue
+        line = src.stripped.count("\n", 0, m.start(1)) + 1
+        findings.append(Finding(
+            rule=rule, path=src.path, line=line,
+            message=message_fn(name), content=src.line_text(line)))
+    return findings
+
+
+def run(sources, aliases) -> list:
+    """Run the three parameter rules over the scanned sources."""
+    double_types = resolve_alias_set(aliases, DOUBLE_BASES)
+    size_types = resolve_alias_set(aliases, SIZE_BASES)
+    units_pat = _param_pattern(double_types, POWER_NAME_RE)
+    gain_pat = _param_pattern(double_types, GAIN_NAME_RE)
+    ids_pat = _param_pattern(size_types, ENTITY_NAME_RE)
+
+    findings = []
+    for src in sources:
+        in_units = src.path.startswith("src/units/")
+        in_wireless = src.path.startswith("src/wireless/")
+        solver_header = src.path.startswith("src/core/include/")
+        if not in_units:
+            findings += _scan(src, units_pat, RULE_UNITS_PARAM,
+                              units_param_message)
+        if not in_wireless:
+            findings += _scan(src, gain_pat, RULE_GAIN_PARAM,
+                              gain_param_message)
+        if solver_header:
+            findings += _scan(
+                src, ids_pat, RULE_IDS_PARAM, ids_param_message,
+                name_filter=lambda n: not COUNT_NAME_RE.search(n))
+    return findings

@@ -1,0 +1,62 @@
+"""Escape-hatch audit: `.raw()` / `.value()` outside sag::ids / sag::units.
+
+The strong types deliberately keep one named exit each — `IdVec::raw()`
+/ `IdSpan::raw()` / `Id::value()` and the unit types' `.value()` — for
+serialization and bulk math.  The contract (docs/STATIC_ANALYSIS.md) is
+that every such call *outside the defining modules* carries a written
+justification at the call site:
+
+    total += powers[i].value();  // SAG_RAW_OK: summing a bulk column
+
+The marker may sit on the call's line or the line directly above it.
+Unjustified calls are findings; there is intentionally no allowlist
+route for this rule — the justification lives next to the call, where
+review sees it.
+
+The token engine flags any `.raw()` / `->value()` call spelling in the
+audited tree; the libclang engine narrows that to calls whose receiver
+really is a sag::ids / sag::units type.  The tree currently has no
+other `.raw()`/`.value()` members in audited scope, so both engines
+agree; if a future type introduces one (e.g. std::optional::value), the
+precise engine exempts it and the token engine asks for a SAG_RAW_OK —
+a conservative, loudly-visible disagreement, never a silent pass.
+"""
+
+from __future__ import annotations
+
+import re
+
+from core import Finding, RULE_RAW_ESCAPE
+
+CALL_RE = re.compile(r"(?:\.|->)\s*(raw|value)\s*\(\s*\)")
+MARKER = "SAG_RAW_OK:"
+
+# The defining modules own their escape hatches; tests/ exercise the raw
+# views on purpose (they test the escape hatch itself).
+EXEMPT_PREFIXES = ("src/ids/", "src/units/")
+
+
+def justified(src, line: int) -> bool:
+    if MARKER in src.line_text(line):
+        return True
+    return line > 1 and MARKER in src.line_text(line - 1)
+
+
+def message(member: str) -> str:
+    return (f"unjustified strong-type escape hatch `.{member}()`; add a "
+            "`// SAG_RAW_OK: <why>` comment on this line or the one above")
+
+
+def run(sources) -> list:
+    findings = []
+    for src in sources:
+        if src.path.startswith(EXEMPT_PREFIXES):
+            continue
+        for m in CALL_RE.finditer(src.stripped):
+            line = src.stripped.count("\n", 0, m.start()) + 1
+            if justified(src, line):
+                continue
+            findings.append(Finding(
+                rule=RULE_RAW_ESCAPE, path=src.path, line=line,
+                message=message(m.group(1)), content=src.line_text(line)))
+    return findings
