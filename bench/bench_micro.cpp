@@ -13,6 +13,9 @@
 #include "sag/ids/ids.h"
 #include "sag/obs/obs.h"
 #include "sag/opt/hitting_set.h"
+#include "sag/serve/event.h"
+#include "sag/serve/fault.h"
+#include "sag/serve/session.h"
 #include "sag/sim/scenario_gen.h"
 
 namespace {
@@ -164,6 +167,57 @@ void BM_SnrFieldDeltaWithRecorder(benchmark::State& state) {
             : 0);
 }
 BENCHMARK(BM_SnrFieldDeltaWithRecorder)->Arg(500)->Arg(1000)->Arg(2000);
+
+// --- serve event path: per-event cost of the online churn engine. Both
+// variants disable the background re-solve by injecting a guaranteed
+// solver timeout (FaultPlan, deterministic) so the measurement is the
+// pure event path — mutate, ladder, verify — not an occasional full
+// pipeline run.
+
+serve::ServeOptions serve_bench_options() {
+    serve::ServeOptions opts;
+    serve::FaultOptions faults;
+    faults.resolve_timeout_probability = 1.0;
+    opts.faults = serve::FaultPlan(faults);
+    return opts;
+}
+
+/// Steady state: a subscriber oscillates between two positions. Every
+/// event runs the mutation delta, the candidate scan, the power stage
+/// and the coverage/topology verifiers; no repair work is needed.
+void BM_ServeEventMove(benchmark::State& state) {
+    const auto s = make_scenario(static_cast<std::size_t>(state.range(0)));
+    serve::Session session(s, serve_bench_options());
+    const geom::Vec2 home = s.subscribers[0].pos;
+    serve::Event move;
+    move.kind = serve::EventKind::SsMove;
+    move.key = 0;
+    bool flip = false;
+    for (auto _ : state) {
+        move.pos = flip ? home + geom::Vec2{1.0, -1.0} : home;
+        flip = !flip;
+        benchmark::DoNotOptimize(session.apply(move));
+    }
+}
+BENCHMARK(BM_ServeEventMove)->Arg(20)->Arg(40)->Arg(80);
+
+/// Repair state: one RS slot fails and recovers alternately, so every
+/// other event re-homes that relay's subscribers and every event pays
+/// the Yates re-escalation plus a backhaul rebuild over the shifted
+/// active set.
+void BM_ServeEventFailRecover(benchmark::State& state) {
+    const auto s = make_scenario(static_cast<std::size_t>(state.range(0)));
+    serve::Session session(s, serve_bench_options());
+    serve::Event event;
+    event.rs = ids::RsId{0};
+    bool fail = true;
+    for (auto _ : state) {
+        event.kind = fail ? serve::EventKind::RsFail : serve::EventKind::RsRecover;
+        fail = !fail;
+        benchmark::DoNotOptimize(session.apply(event));
+    }
+}
+BENCHMARK(BM_ServeEventFailRecover)->Arg(20)->Arg(40)->Arg(80);
 
 }  // namespace
 

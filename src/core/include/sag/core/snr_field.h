@@ -101,6 +101,22 @@ public:
     /// Erase RS i; RSs after i shift down by one ID.
     void remove_rs(ids::RsId i);
 
+    // --- Subscriber-set deltas: O(rs_count) each (one rx_total rebuild of
+    // the touched slot). NOT journaled — the Transaction journal records
+    // RS deltas only, so these assert that no transaction is open. The
+    // serve::Session churn path (SS join/leave/move/rate change) is the
+    // intended caller.
+
+    /// Track scenario-global subscriber `global` in a new slot; returns
+    /// its tracked-local ID (== old tracked_count()).
+    ids::SsId add_subscriber(ids::SsId global);
+    /// Stop tracking slot k; slots after k shift down by one ID.
+    void remove_subscriber(ids::SsId k);
+    /// Re-read slot k's position and distance request from the scenario
+    /// (the subscriber moved or changed its request) and rebuild its
+    /// total from scratch.
+    void update_subscriber(ids::SsId k);
+
     // --- Reads: O(1) after the cached totals.
 
     /// Total received power at tracked subscriber k from the whole RS set.

@@ -134,6 +134,45 @@ void SnrField::insert_rs(ids::RsId i, const geom::Vec2& pos, units::Watt power) 
     after_mutation();
 }
 
+ids::SsId SnrField::add_subscriber(ids::SsId global) {
+    assert(tx_depth_ == 0 && "subscriber deltas are not journaled");
+    assert(global.index() < scenario_->subscriber_count());
+    const ids::SsId k = sub_ids_.push_back(global);
+    sub_x_.push_back(scenario_->subscriber(global).pos.x);
+    sub_y_.push_back(scenario_->subscriber(global).pos.y);
+    sub_reach_.push_back(scenario_->subscriber(global).distance_request);
+    total_.push_back(0.0);
+    comp_.push_back(0.0);
+    recompute_subscriber(k);
+    after_mutation();
+    return k;
+}
+
+void SnrField::remove_subscriber(ids::SsId k) {
+    assert(tx_depth_ == 0 && "subscriber deltas are not journaled");
+    assert(k.index() < sub_ids_.size());
+    const auto at = static_cast<std::ptrdiff_t>(k.index());
+    // SAG_RAW_OK: erasing the tracked-local slot from the id column.
+    sub_ids_.raw().erase(sub_ids_.raw().begin() + at);
+    sub_x_.erase(sub_x_.begin() + at);
+    sub_y_.erase(sub_y_.begin() + at);
+    sub_reach_.erase(sub_reach_.begin() + at);
+    total_.erase(total_.begin() + at);
+    comp_.erase(comp_.begin() + at);
+    after_mutation();
+}
+
+void SnrField::update_subscriber(ids::SsId k) {
+    assert(tx_depth_ == 0 && "subscriber deltas are not journaled");
+    assert(k.index() < sub_ids_.size());
+    const ids::SsId global = sub_ids_[k];
+    sub_x_[k.index()] = scenario_->subscriber(global).pos.x;
+    sub_y_[k.index()] = scenario_->subscriber(global).pos.y;
+    sub_reach_[k.index()] = scenario_->subscriber(global).distance_request;
+    recompute_subscriber(k);
+    after_mutation();
+}
+
 double SnrField::snr_of(ids::SsId k, ids::RsId serving) const {
     assert(k.index() < sub_x_.size() && serving.index() < rs_pos_.size());
     const geom::Vec2 sub = sub_pos(k.index());

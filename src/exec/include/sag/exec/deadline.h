@@ -1,0 +1,80 @@
+#pragma once
+
+// exec::Deadline — the repo's single "out of wall-clock budget" concept.
+//
+// Every time-budgeted search in the tree (opt::solve_milp,
+// opt::solve_set_cover_bnb, the ILPQC wrappers, the serve::Session event
+// stages) used to hand-roll the same three lines of steady_clock
+// arithmetic; auditing "what happens when the budget expires" meant
+// reading each copy. A Deadline is that concept once: armed from a
+// seconds budget (<= 0 keeps the repo-wide "0 disables" convention and
+// yields an unlimited deadline), polled with expired(), and — for the
+// serve layer's fault-injection harness — expirable *deterministically*
+// via expired_now(), which never reads the clock and therefore replays
+// byte-identically across runs and thread counts.
+//
+// Copying a Deadline copies the absolute expiry instant, so one deadline
+// threaded through nested stages gives every stage the same cutoff (the
+// degradation-ladder contract of docs/SERVING.md).
+
+#include <chrono>
+#include <limits>
+
+namespace sag::exec {
+
+class Deadline {
+public:
+    using Clock = std::chrono::steady_clock;
+
+    /// Unlimited: expired() is always false.
+    Deadline() = default;
+
+    /// Expires `seconds` from now; <= 0 (and NaN) means unlimited,
+    /// mirroring the `time_budget_seconds = 0 disables` convention of
+    /// the solver option structs.
+    static Deadline after_seconds(double seconds) {
+        Deadline d;
+        if (seconds > 0.0) {
+            d.armed_ = true;
+            d.at_ = Clock::now() +
+                    std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(seconds));
+        }
+        return d;
+    }
+
+    /// Already expired, without ever touching the clock: the
+    /// deterministic "injected solver timeout" used to drive degradation
+    /// paths in tests and the churn soak harness.
+    static Deadline expired_now() {
+        Deadline d;
+        d.armed_ = true;
+        d.forced_ = true;
+        return d;
+    }
+
+    bool unlimited() const { return !armed_; }
+
+    /// One clock read per call (none when unlimited or force-expired).
+    bool expired() const {
+        if (!armed_) return false;
+        return forced_ || Clock::now() > at_;
+    }
+
+    /// Seconds until expiry: +inf when unlimited, 0 when already past.
+    double remaining_seconds() const {
+        if (!armed_) return std::numeric_limits<double>::infinity();
+        if (forced_) return 0.0;
+        const auto left = at_ - Clock::now();
+        return left > Clock::duration::zero()
+                   ? std::chrono::duration<double>(left).count()
+                   : 0.0;
+    }
+
+private:
+    Clock::time_point at_{};
+    bool armed_ = false;
+    bool forced_ = false;
+};
+
+}  // namespace sag::exec

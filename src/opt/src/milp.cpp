@@ -1,11 +1,12 @@
 #include "sag/opt/milp.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <limits>
 #include <optional>
 #include <stdexcept>
+
+#include "sag/exec/deadline.h"
 
 namespace sag::opt {
 
@@ -50,21 +51,15 @@ MilpResult solve_milp(const MilpProblem& problem, const MilpOptions& options) {
     double incumbent = std::numeric_limits<double>::infinity();
     std::vector<double> incumbent_x;
 
-    // Wall-clock deadline, mirroring set_cover's handling. Each node
-    // pays a full LP solve, so the clock is polled every node rather
-    // than every 1024th.
-    std::chrono::steady_clock::time_point deadline{};
-    const bool has_deadline = options.time_budget_seconds > 0.0;
-    if (has_deadline) {
-        deadline = std::chrono::steady_clock::now() +
-                   std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                       std::chrono::duration<double>(options.time_budget_seconds));
-    }
+    // Wall-clock deadline (exec::Deadline), mirroring set_cover's
+    // handling. Each node pays a full LP solve, so the clock is polled
+    // every node rather than every 1024th.
+    const exec::Deadline deadline =
+        exec::Deadline::after_seconds(options.time_budget_seconds);
 
     std::vector<Node> stack{Node{}};
     while (!stack.empty()) {
-        if (++result.nodes > options.node_limit ||
-            (has_deadline && std::chrono::steady_clock::now() > deadline)) {
+        if (++result.nodes > options.node_limit || deadline.expired()) {
             result.status = MilpResult::Status::NodeLimit;
             result.budget_exhausted = true;
             result.objective = incumbent;

@@ -1,11 +1,11 @@
 #include "sag/opt/set_cover.h"
 
 #include <algorithm>
-#include <chrono>
 #include <limits>
 #include <stdexcept>
 #include <utility>
 
+#include "sag/exec/deadline.h"
 #include "sag/exec/thread_pool.h"
 #include "sag/obs/obs.h"
 
@@ -131,8 +131,9 @@ struct Search {
     std::size_t target_size = 0;
     std::size_t nodes = 0;
     bool budget_exhausted = false;
-    std::chrono::steady_clock::time_point deadline{};
-    bool has_deadline = false;
+    /// Shared wall-clock budget (exec::Deadline): unlimited when the
+    /// options carry no time budget; polled every 1024 nodes.
+    exec::Deadline deadline;
 
     std::vector<std::size_t> chosen;
     std::vector<bool> in_chosen;
@@ -146,8 +147,7 @@ struct Search {
             budget_exhausted = true;
             return false;
         }
-        if (has_deadline && nodes % 1024 == 0 &&
-            std::chrono::steady_clock::now() > deadline) {
+        if (nodes % 1024 == 0 && deadline.expired()) {
             budget_exhausted = true;
             return false;
         }
@@ -273,19 +273,12 @@ SetCoverBnBResult solve_set_cover_bnb(const SetCoverInstance& inst,
                   /*target_size=*/0,
                   /*nodes=*/0,
                   /*budget_exhausted=*/false,
-                  /*deadline=*/{},
-                  /*has_deadline=*/false,
+                  exec::Deadline::after_seconds(options.time_budget_seconds),
                   /*chosen=*/{},
                   std::vector<bool>(inst.sets.size(), false),
                   std::vector<int>(inst.element_count, 0),
                   /*uncovered=*/inst.element_count,
                   /*found=*/{}};
-    if (options.time_budget_seconds > 0.0) {
-        search.has_deadline = true;
-        search.deadline = std::chrono::steady_clock::now() +
-                          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                              std::chrono::duration<double>(options.time_budget_seconds));
-    }
 
     for (std::size_t k = lb; k <= ub; ++k) {
         if (fallback && fallback->size() <= k) {
@@ -390,13 +383,11 @@ SetCoverBnBResult solve_set_cover_bnb_parallel(
     const std::vector<std::size_t> branches = root_branches(inst, covering);
     if (branches.empty()) return result;  // defensive; coverable() rules it out
 
-    std::chrono::steady_clock::time_point deadline{};
-    const bool has_deadline = options.time_budget_seconds > 0.0;
-    if (has_deadline) {
-        deadline = std::chrono::steady_clock::now() +
-                   std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                       std::chrono::duration<double>(options.time_budget_seconds));
-    }
+    // One absolute expiry instant shared by every branch of every level
+    // (copying a Deadline copies the instant), so the parallel search's
+    // cutoff semantics match the serial solver's.
+    const exec::Deadline deadline =
+        exec::Deadline::after_seconds(options.time_budget_seconds);
 
     exec::ThreadPool pool(exec::resolve_thread_count(options.threads));
     bool exhausted_any = false;  // across finished levels: taints optimality
@@ -428,7 +419,6 @@ SetCoverBnBResult solve_set_cover_bnb_parallel(
                           /*nodes=*/0,
                           /*budget_exhausted=*/false,
                           deadline,
-                          has_deadline,
                           /*chosen=*/{},
                           std::vector<bool>(inst.sets.size(), false),
                           std::vector<int>(inst.element_count, 0),

@@ -1,0 +1,97 @@
+#pragma once
+
+// sag::serve event model — the typed churn stream a serve::Session
+// ingests. One Event is one world change: a subscriber joins, leaves,
+// moves or re-negotiates its rate, or a deployed relay fails, degrades
+// or recovers (the RS kinds reuse resilience::FailureSet semantics: a
+// dead RS keeps its pool slot at zero power, so RsId addressing stays
+// stable across failures).
+//
+// Subscribers are addressed by a session-stable `key`, not by SsId: the
+// dense SsId space compacts on every leave, so an external stream needs
+// an identity that survives churn. Keys are assigned by the stream
+// producer (initial subscribers are keyed 0..n-1; joins carry fresh
+// keys), and the Session validates them — an unknown or duplicate key
+// is a Rejected outcome, never a crash.
+//
+// The JSONL wire format (one event per line) lives in io/event_io.h;
+// the schema is documented in docs/SERVING.md.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "sag/geometry/vec2.h"
+#include "sag/ids/ids.h"
+
+namespace sag::serve {
+
+enum class EventKind {
+    SsJoin,     ///< new subscriber: key, pos, distance_request
+    SsLeave,    ///< subscriber departs: key
+    SsMove,     ///< subscriber relocates: key, pos
+    SsRate,     ///< rate re-negotiation: key, distance_request
+    RsFail,     ///< coverage RS dies: rs (pool slot)
+    RsDegrade,  ///< RS power cap drops to factor * P_max: rs, factor
+    RsRecover,  ///< dead RS returns at full cap: rs
+};
+
+/// One churn event. Only the fields of the event's kind are meaningful;
+/// the rest keep their defaults (and serialize/parse as absent).
+struct Event {
+    EventKind kind = EventKind::SsJoin;
+    std::uint64_t key = 0;        ///< subscriber session key (Ss* kinds)
+    geom::Vec2 pos{};             ///< SsJoin / SsMove
+    double distance_request = 0.0;  ///< d_i in meters (SsJoin / SsRate)
+    ids::RsId rs = ids::RsId::invalid();  ///< pool slot (Rs* kinds)
+    double factor = 1.0;          ///< RsDegrade cap fraction, in (0, 1]
+
+    friend bool operator==(const Event&, const Event&) = default;
+};
+
+/// Repair stages of one event, in ladder order. Each stage is checked
+/// against the event's StageGate before it runs; an expired gate drops
+/// the handler to the next rung of the degradation ladder instead of
+/// blocking or crashing (docs/SERVING.md, "Degradation ladder").
+enum class RepairStage : unsigned {
+    Rehome = 0,   ///< re-home violated SSs onto surviving RSs
+    Patch = 1,    ///< draw new relays from the IAC candidate pool
+    Power = 2,    ///< Yates fixed-point power re-escalation + verify
+    Backhaul = 3, ///< MBMC re-steinerize + UCPO upper-tier powers
+};
+
+/// Where on the degradation ladder the event handler landed.
+enum class RepairLevel {
+    Full,        ///< every stage ran within its gate
+    RehomeOnly,  ///< patch and/or power re-escalation were gated off
+    Degraded,    ///< even re-homing was gated off: violated SSs shed
+    Rejected,    ///< event failed validation; state unchanged
+};
+
+const char* to_string(RepairLevel level);
+
+/// Per-event answer: what the ladder did and what the plan looks like
+/// now. `verified` is the independent verifiers' verdict over the
+/// served view; `degraded` is the explicit "this plan is not fully
+/// healthy" flag (unserved SSs flagged, failed verification, or a stale
+/// backhaul) — the never-silently-wrong contract is exactly
+/// `verified || degraded` after every event.
+struct EventOutcome {
+    std::size_t event_index = 0;
+    RepairLevel level = RepairLevel::Full;
+    bool verified = false;
+    bool degraded = false;
+    std::size_t unserved = 0;     ///< SSs currently flagged unserved
+    std::size_t rs_count = 0;     ///< active (alive, loaded) coverage RSs
+    double total_power = 0.0;     ///< P_L + P_H of the current plan, watts
+    std::size_t rehomed = 0;      ///< SSs re-homed by this event
+    std::size_t patched = 0;      ///< relays patched in by this event
+    std::size_t shed = 0;         ///< SSs shed to unserved by this event
+    bool resolve_triggered = false;  ///< drift budget fired this event
+    bool resolve_adopted = false;    ///< a background full solve swapped in
+    std::string reject_reason;    ///< non-empty iff level == Rejected
+
+    friend bool operator==(const EventOutcome&, const EventOutcome&) = default;
+};
+
+}  // namespace sag::serve

@@ -1,0 +1,89 @@
+#include "sag/serve/fault.h"
+
+#include <cmath>
+#include <limits>
+#include <random>
+
+namespace sag::serve {
+
+namespace {
+
+/// One uniform draw in [0, 1) that depends only on (seed, stream, i):
+/// a freshly seeded engine per decision, so decisions are independent
+/// of evaluation order (the property that keeps threads=N replays
+/// byte-identical to threads=1).
+double unit_draw(std::uint64_t seed, std::uint64_t stream, std::uint64_t i) {
+    std::mt19937_64 rng(seed ^ ((stream + 1) * 0x9e3779b97f4a7c15ULL) ^
+                        ((i + 1) * 0xbf58476d1ce4e5b9ULL));
+    return std::uniform_real_distribution<double>(0.0, 1.0)(rng);
+}
+
+constexpr std::uint64_t kStreamStage = 0;     // + stage index (4 streams)
+constexpr std::uint64_t kStreamResolve = 8;
+constexpr std::uint64_t kStreamCorrupt = 9;
+constexpr std::uint64_t kStreamCorruptMode = 10;
+
+}  // namespace
+
+const char* to_string(RepairLevel level) {
+    switch (level) {
+        case RepairLevel::Full: return "full";
+        case RepairLevel::RehomeOnly: return "rehome_only";
+        case RepairLevel::Degraded: return "degraded";
+        case RepairLevel::Rejected: return "rejected";
+    }
+    return "unknown";
+}
+
+unsigned FaultPlan::stage_timeout_mask(std::size_t event_index) const {
+    if (options_.stage_timeout_probability <= 0.0) return 0;
+    unsigned mask = 0;
+    for (unsigned stage = 0; stage < 4; ++stage) {
+        if (unit_draw(options_.seed, kStreamStage + stage, event_index) <
+            options_.stage_timeout_probability) {
+            mask |= 1u << stage;
+        }
+    }
+    return mask;
+}
+
+bool FaultPlan::resolve_times_out(std::size_t trigger_event) const {
+    return options_.resolve_timeout_probability > 0.0 &&
+           unit_draw(options_.seed, kStreamResolve, trigger_event) <
+               options_.resolve_timeout_probability;
+}
+
+bool FaultPlan::corrupts(std::size_t event_index) const {
+    return options_.corrupt_probability > 0.0 &&
+           unit_draw(options_.seed, kStreamCorrupt, event_index) <
+               options_.corrupt_probability;
+}
+
+std::vector<Event> FaultPlan::corrupt(std::vector<Event> events) const {
+    if (options_.corrupt_probability <= 0.0) return events;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        if (!corrupts(i)) continue;
+        Event& e = events[i];
+        const double mode = unit_draw(options_.seed, kStreamCorruptMode, i);
+        if (mode < 0.25) {
+            // Unknown subscriber key (out of any plausible range).
+            e.kind = EventKind::SsLeave;
+            e.key = std::numeric_limits<std::uint64_t>::max() - i;
+        } else if (mode < 0.5) {
+            // Out-of-range RS slot.
+            e.kind = EventKind::RsFail;
+            e.rs = ids::RsId{1u << 20};
+        } else if (mode < 0.75) {
+            // Non-finite coordinates.
+            e.kind = EventKind::SsMove;
+            e.pos = {std::numeric_limits<double>::quiet_NaN(), 0.0};
+        } else {
+            // Nonsensical rate re-negotiation.
+            e.kind = EventKind::SsRate;
+            e.distance_request = -1.0;
+        }
+    }
+    return events;
+}
+
+}  // namespace sag::serve

@@ -1,0 +1,762 @@
+#include "sag/serve/session.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <utility>
+
+#include "sag/core/candidates.h"
+#include "sag/core/feasibility.h"
+#include "sag/core/power.h"
+#include "sag/core/ucra.h"
+#include "sag/geometry/vec2.h"
+#include "sag/obs/obs.h"
+#include "sag/opt/power_control.h"
+
+namespace sag::serve {
+
+namespace {
+
+/// Per-link path gains plan-RS x covered-SS for the fixed-point stage
+/// (kernel resolved once), mirroring resilience::repair's matrix.
+std::vector<std::vector<double>> gain_matrix(const core::Scenario& covered,
+                                             const std::vector<geom::Vec2>& rs_pos) {
+    const wireless::GainKernel kernel = covered.gain_kernel();
+    std::vector<std::vector<double>> g(
+        rs_pos.size(), std::vector<double>(covered.subscriber_count()));
+    for (std::size_t i = 0; i < rs_pos.size(); ++i) {
+        for (std::size_t k = 0; k < covered.subscriber_count(); ++k) {
+            const geom::Vec2& ss = covered.subscribers[k].pos;
+            g[i][k] = kernel.gain(rs_pos[i], ss, geom::distance(rs_pos[i], ss));
+        }
+    }
+    return g;
+}
+
+}  // namespace
+
+Session::Session(core::Scenario scenario, const core::SagResult& deployment,
+                 const ServeOptions& options)
+    : scenario_(std::move(scenario)),
+      options_(options),
+      field_(scenario_, std::span<const geom::Vec2>{},
+             std::span<const double>{}) {
+    init_from_deployment(deployment);
+}
+
+Session::Session(core::Scenario scenario, const ServeOptions& options)
+    : Session(scenario, core::solve_sag(scenario, options.solve), options) {}
+
+Session::~Session() {
+    // A background re-solve captures `this`; drain it before teardown.
+    if (pool_) pool_->wait_idle();
+}
+
+void Session::init_from_deployment(const core::SagResult& deployment) {
+    const double p_max = scenario_.rs_max_power().watts();
+    rs_pos_ = deployment.coverage.rs_positions;
+    rs_cap_.assign(rs_pos_.size(), p_max);
+    rs_dead_.assign(rs_pos_.size(), false);
+    failures_ = {};
+    field_ = core::SnrField(scenario_, rs_pos_, rs_cap_);
+
+    server_.assign(scenario_.subscriber_count(), kUnserved);
+    slot_key_.resize(scenario_.subscriber_count());
+    for (std::size_t k = 0; k < slot_key_.size(); ++k) slot_key_[k] = k;
+    next_key_ = slot_key_.size();
+    for (ids::SsId j : scenario_.ss_ids()) {
+        const ids::RsId rs = deployment.coverage.assignment[j];
+        if (rs != ids::RsId::invalid() && rs.index() < rs_pos_.size()) {
+            server_[j.index()] = rs.index();
+        }
+    }
+    assigned_this_event_.assign(server_.size(), false);
+
+    alloc_.assign(rs_pos_.size(), 0.0);
+    const std::size_t n =
+        std::min(alloc_.size(), deployment.lower_power.powers.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        alloc_[i] = deployment.lower_power.powers[i];
+    }
+    conn_ = deployment.connectivity;
+    // The deployment's backhaul was built over its full coverage plan.
+    conn_active_.resize(rs_pos_.size());
+    std::iota(conn_active_.begin(), conn_active_.end(), std::size_t{0});
+    backhaul_dirty_ = false;
+    // Trust the pipeline's own verification verdict for the seed plan;
+    // every subsequent event re-verifies independently.
+    verified_ = deployment.feasible;
+
+    baseline_rs_ = active_rs_count();
+    baseline_power_ = total_power();
+    resolve_backoff_ = std::max<std::size_t>(1, options_.resolve_backoff_start);
+    next_resolve_allowed_ = 0;
+    if (options_.threads >= 2) pool_ = std::make_unique<exec::ThreadPool>(1);
+}
+
+std::size_t Session::find_slot(std::uint64_t key) const {
+    for (std::size_t k = 0; k < slot_key_.size(); ++k) {
+        if (slot_key_[k] == key) return k;
+    }
+    return kUnserved;
+}
+
+std::string Session::validate(const Event& e) const {
+    const auto finite_pos = [&] {
+        return std::isfinite(e.pos.x) && std::isfinite(e.pos.y);
+    };
+    const auto valid_rate = [&] {
+        return std::isfinite(e.distance_request) && e.distance_request > 0.0;
+    };
+    switch (e.kind) {
+        case EventKind::SsJoin:
+            if (!finite_pos()) return "non-finite position";
+            if (!valid_rate()) return "non-positive distance request";
+            if (find_slot(e.key) != kUnserved) return "duplicate subscriber key";
+            return {};
+        case EventKind::SsLeave:
+            if (find_slot(e.key) == kUnserved) return "unknown subscriber key";
+            return {};
+        case EventKind::SsMove:
+            if (find_slot(e.key) == kUnserved) return "unknown subscriber key";
+            if (!finite_pos()) return "non-finite position";
+            return {};
+        case EventKind::SsRate:
+            if (find_slot(e.key) == kUnserved) return "unknown subscriber key";
+            if (!valid_rate()) return "non-positive distance request";
+            return {};
+        case EventKind::RsFail:
+        case EventKind::RsDegrade:
+        case EventKind::RsRecover: {
+            if (e.rs == ids::RsId::invalid() || e.rs.index() >= rs_pos_.size()) {
+                return "RS slot out of range";
+            }
+            const bool dead = rs_dead_[e.rs.index()];
+            if (e.kind == EventKind::RsFail && dead) return "RS already failed";
+            if (e.kind == EventKind::RsRecover && !dead) return "RS is not failed";
+            if (e.kind == EventKind::RsDegrade) {
+                if (dead) return "cannot degrade a failed RS";
+                if (!(std::isfinite(e.factor) && e.factor > 0.0 &&
+                      e.factor <= 1.0)) {
+                    return "degradation factor outside (0, 1]";
+                }
+            }
+            return {};
+        }
+    }
+    return "unknown event kind";
+}
+
+void Session::apply_mutation(const Event& e) {
+    const double p_max = scenario_.rs_max_power().watts();
+    switch (e.kind) {
+        case EventKind::SsJoin: {
+            scenario_.subscribers.emplace_back(e.pos, e.distance_request);
+            server_.push_back(kUnserved);
+            slot_key_.push_back(e.key);
+            next_key_ = std::max(next_key_, e.key + 1);
+            field_.add_subscriber(ids::SsId{scenario_.subscriber_count() - 1});
+            backhaul_dirty_ = true;
+            break;
+        }
+        case EventKind::SsLeave: {
+            // Swap-remove keeps the slot <-> SsId <-> field-slot identity
+            // dense: the last subscriber moves into the vacated slot.
+            const std::size_t k = find_slot(e.key);
+            const std::size_t last = slot_key_.size() - 1;
+            if (k != last) {
+                scenario_.subscribers[k] = scenario_.subscribers[last];
+                server_[k] = server_[last];
+                slot_key_[k] = slot_key_[last];
+            }
+            scenario_.subscribers.pop_back();
+            server_.pop_back();
+            slot_key_.pop_back();
+            field_.remove_subscriber(ids::SsId{last});
+            if (k != last) field_.update_subscriber(ids::SsId{k});
+            backhaul_dirty_ = true;
+            break;
+        }
+        case EventKind::SsMove: {
+            const std::size_t k = find_slot(e.key);
+            scenario_.subscribers[k].pos = e.pos;
+            field_.update_subscriber(ids::SsId{k});
+            break;
+        }
+        case EventKind::SsRate: {
+            const std::size_t k = find_slot(e.key);
+            scenario_.subscribers[k].distance_request = e.distance_request;
+            field_.update_subscriber(ids::SsId{k});
+            backhaul_dirty_ = true;  // hop bounds derive from rate requests
+            break;
+        }
+        case EventKind::RsFail: {
+            const std::size_t i = e.rs.index();
+            rs_dead_[i] = true;
+            rs_cap_[i] = 0.0;
+            alloc_[i] = 0.0;
+            field_.set_power(ids::RsId{i}, units::Watt{0.0});
+            failures_.coverage_down.push_back(ids::RsId{i});
+            std::sort(failures_.coverage_down.begin(),
+                      failures_.coverage_down.end());
+            break;
+        }
+        case EventKind::RsDegrade: {
+            const std::size_t i = e.rs.index();
+            rs_cap_[i] = std::min(rs_cap_[i], e.factor * p_max);
+            alloc_[i] = std::min(alloc_[i], rs_cap_[i]);
+            field_.set_power(ids::RsId{i}, units::Watt{rs_cap_[i]});
+            bool found = false;
+            for (resilience::Degradation& d : failures_.degraded) {
+                if (d.rs == e.rs) {
+                    d.factor = std::min(d.factor, e.factor);
+                    found = true;
+                }
+            }
+            if (!found) {
+                failures_.degraded.push_back({e.rs, e.factor});
+                std::sort(failures_.degraded.begin(), failures_.degraded.end(),
+                          [](const resilience::Degradation& a,
+                             const resilience::Degradation& b) {
+                              return a.rs < b.rs;
+                          });
+            }
+            break;
+        }
+        case EventKind::RsRecover: {
+            // Recovery means replaced hardware: full cap, degradation
+            // history cleared.
+            const std::size_t i = e.rs.index();
+            rs_dead_[i] = false;
+            rs_cap_[i] = p_max;
+            field_.set_power(ids::RsId{i}, units::Watt{p_max});
+            std::erase(failures_.coverage_down, e.rs);
+            std::erase_if(failures_.degraded,
+                          [&](const resilience::Degradation& d) {
+                              return d.rs == e.rs;
+                          });
+            break;
+        }
+    }
+}
+
+bool Session::can_serve(std::size_t rs, std::size_t slot) const {
+    // The three verify_coverage checks at placement-phase optimism
+    // (everyone at their cap), against the probe field's cached totals —
+    // the same contract as resilience::repair's can_serve.
+    if (rs_dead_[rs]) return false;
+    const core::Subscriber& s = scenario_.subscribers[slot];
+    const double dist = geom::distance(rs_pos_[rs], s.pos);
+    if (dist > s.distance_request + 1e-6) return false;
+    const ids::SsId j{slot};
+    const units::Watt rx =
+        scenario_.received_power(units::Watt{rs_cap_[rs]}, rs_pos_[rs], s.pos);
+    if (rx < scenario_.min_rx_power(j) * (1.0 - 1e-9)) return false;
+    return field_.snr_of(j, ids::RsId{rs}) >=
+           scenario_.snr_threshold_linear() * (1.0 - 1e-9);
+}
+
+Session::ActiveView Session::build_view() const {
+    ActiveView v;
+    std::vector<std::size_t> load(rs_pos_.size(), 0);
+    for (std::size_t k = 0; k < server_.size(); ++k) {
+        if (server_[k] != kUnserved) ++load[server_[k]];
+    }
+    std::vector<std::size_t> pool_to_plan(rs_pos_.size(), kUnserved);
+    for (std::size_t r = 0; r < rs_pos_.size(); ++r) {
+        assert(!(rs_dead_[r] && load[r] > 0) &&
+               "dead RS with load: the candidate scan must clear it");
+        if (rs_dead_[r] || load[r] == 0) continue;
+        pool_to_plan[r] = v.plan.rs_positions.size();
+        v.active.push_back(r);
+        v.plan.rs_positions.push_back(rs_pos_[r]);
+        v.caps.push_back(rs_cap_[r]);
+    }
+    v.covered_scenario = scenario_;
+    v.covered_scenario.subscribers.clear();
+    for (std::size_t k = 0; k < server_.size(); ++k) {
+        if (server_[k] == kUnserved) continue;
+        v.covered_slots.push_back(k);
+        v.covered_scenario.subscribers.push_back(scenario_.subscribers[k]);
+    }
+    v.plan.assignment.resize(v.covered_slots.size());
+    for (std::size_t c = 0; c < v.covered_slots.size(); ++c) {
+        v.plan.assignment[ids::SsId{c}] =
+            ids::RsId{pool_to_plan[server_[v.covered_slots[c]]]};
+    }
+    v.plan.feasible = true;
+    return v;
+}
+
+void Session::rehome(const std::vector<std::size_t>& candidates,
+                     EventOutcome& out) {
+    if (candidates.empty()) return;
+    SAG_OBS_SPAN("serve.rehome");
+    std::vector<std::size_t> order(rs_pos_.size());
+    for (const std::size_t k : candidates) {
+        const geom::Vec2& sp = scenario_.subscribers[k].pos;
+        std::iota(order.begin(), order.end(), std::size_t{0});
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      const double da = geom::distance_sq(rs_pos_[a], sp);
+                      const double db = geom::distance_sq(rs_pos_[b], sp);
+                      return da != db ? da < db : a < b;
+                  });
+        for (const std::size_t rs : order) {
+            if (!can_serve(rs, k)) continue;
+            server_[k] = rs;
+            assigned_this_event_[k] = true;
+            ++out.rehomed;
+            break;
+        }
+    }
+    SAG_OBS_COUNT_ADD("serve.rehomed_ss", out.rehomed);
+}
+
+void Session::patch(EventOutcome& out) {
+    SAG_OBS_SPAN("serve.patch");
+    std::vector<std::size_t> unreached;
+    for (std::size_t k = 0; k < server_.size(); ++k) {
+        if (server_[k] == kUnserved) unreached.push_back(k);
+    }
+    if (unreached.empty()) return;
+
+    core::Scenario orphan_view = scenario_;
+    orphan_view.subscribers.clear();
+    for (const std::size_t k : unreached) {
+        orphan_view.subscribers.push_back(scenario_.subscribers[k]);
+    }
+    std::vector<geom::Vec2> cands = core::prune_useless_candidates(
+        orphan_view, core::iac_candidates(orphan_view));
+    // A candidate can coincide with an alive pool RS (the plan drew from
+    // the same IAC pool); co-located transmitters are degenerate, drop
+    // them. Dead slots are vacated sites and stay available.
+    std::erase_if(cands, [&](const geom::Vec2& c) {
+        for (std::size_t r = 0; r < rs_pos_.size(); ++r) {
+            if (!rs_dead_[r] && rs_pos_[r] == c) return true;
+        }
+        return false;
+    });
+
+    const double p_max = scenario_.rs_max_power().watts();
+    const auto trial_can_serve = [&](const geom::Vec2& site, ids::RsId trial,
+                                     std::size_t slot) {
+        const core::Subscriber& s = scenario_.subscribers[slot];
+        if (geom::distance(site, s.pos) > s.distance_request + 1e-6) return false;
+        const ids::SsId j{slot};
+        const units::Watt rx =
+            scenario_.received_power(units::Watt{p_max}, site, s.pos);
+        if (rx < scenario_.min_rx_power(j) * (1.0 - 1e-9)) return false;
+        return field_.snr_of(j, trial) >=
+               scenario_.snr_threshold_linear() * (1.0 - 1e-9);
+    };
+
+    while (!unreached.empty() &&
+           out.patched < options_.max_new_relays_per_event && !cands.empty()) {
+        // Greedy max coverage: the candidate whose P_max relay would
+        // serve the most still-unreached SSs, probed via a rolled-back
+        // add_rs delta so the field never sees uncommitted interference.
+        std::size_t best_cand = cands.size();
+        std::size_t best_count = 0;
+        for (std::size_t c = 0; c < cands.size(); ++c) {
+            core::SnrField::Transaction probe(field_);
+            const ids::RsId trial = field_.add_rs(cands[c], units::Watt{p_max});
+            std::size_t count = 0;
+            for (const std::size_t k : unreached) {
+                if (trial_can_serve(cands[c], trial, k)) ++count;
+            }
+            if (count > best_count) {
+                best_count = count;
+                best_cand = c;
+            }
+        }
+        if (best_count == 0) break;  // nobody reachable: stop patching
+
+        const geom::Vec2 site = cands[best_cand];
+        cands.erase(cands.begin() + static_cast<std::ptrdiff_t>(best_cand));
+        field_.add_rs(site, units::Watt{p_max});
+        rs_pos_.push_back(site);
+        rs_cap_.push_back(p_max);
+        rs_dead_.push_back(false);
+        alloc_.push_back(0.0);
+        const std::size_t added = rs_pos_.size() - 1;
+        ++out.patched;
+        std::vector<std::size_t> still;
+        for (const std::size_t k : unreached) {
+            if (can_serve(added, k)) {
+                server_[k] = added;
+                assigned_this_event_[k] = true;
+            } else {
+                still.push_back(k);
+            }
+        }
+        unreached = std::move(still);
+    }
+    SAG_OBS_COUNT_ADD("serve.patched_relays", out.patched);
+}
+
+void Session::reallocate_power(EventOutcome& out) {
+    SAG_OBS_SPAN("serve.power");
+    const int max_rounds = std::max(1, options_.max_power_rounds);
+    for (int round = 0; round < max_rounds; ++round) {
+        const ActiveView v = build_view();
+        std::fill(alloc_.begin(), alloc_.end(), 0.0);
+        if (v.plan.rs_count() == 0) return;
+
+        std::vector<double> floors(v.plan.rs_count(), 0.0);
+        for (ids::RsId i : v.plan.rs_ids()) {
+            floors[i.index()] = std::min(
+                core::coverage_power_floor(v.covered_scenario, v.plan, i)
+                    .watts(),
+                v.caps[i.index()]);
+        }
+        const auto g = gain_matrix(v.covered_scenario, v.plan.rs_positions);
+        const units::SnrRatio beta = v.covered_scenario.snr_threshold();
+        const auto result = opt::fixed_point_power_control(
+            floors, v.caps,
+            [&](std::size_t i, std::span<const double> powers) {
+                units::Watt need{0.0};
+                const std::size_t subs = v.covered_scenario.subscriber_count();
+                for (std::size_t k = 0; k < subs; ++k) {
+                    if (v.plan.assignment[ids::SsId{k}] != ids::RsId{i}) continue;
+                    units::Watt interference =
+                        v.covered_scenario.radio.snr_ambient_noise;
+                    for (std::size_t m = 0; m < v.plan.rs_count(); ++m) {
+                        if (m != i) {
+                            interference += units::Watt{powers[m] * g[m][k]};
+                        }
+                    }
+                    need = std::max(need, beta * interference / g[i][k]);
+                }
+                return need.watts();
+            });
+        for (std::size_t r = 0; r < v.active.size(); ++r) {
+            alloc_[v.active[r]] = result.powers[r];
+        }
+
+        const core::CoverageReport report = core::verify_coverage(
+            v.covered_scenario, v.plan, result.powers);
+        if (report.feasible) return;
+
+        // Shed the failing SSs assigned this event; if only stable SSs
+        // fail (a new assignment's interference squeezed them), shed
+        // every this-event assignment instead — yesterday's verified
+        // plan is the feasible fallback.
+        std::vector<std::size_t> shed;
+        for (std::size_t c = 0; c < v.covered_slots.size(); ++c) {
+            const auto& check = report.subscribers[ids::SsId{c}];
+            const std::size_t slot = v.covered_slots[c];
+            if ((!check.distance_ok || !check.rate_ok || !check.snr_ok) &&
+                assigned_this_event_[slot]) {
+                shed.push_back(slot);
+            }
+        }
+        if (shed.empty()) {
+            for (std::size_t k = 0; k < server_.size(); ++k) {
+                if (assigned_this_event_[k] && server_[k] != kUnserved) {
+                    shed.push_back(k);
+                }
+            }
+        }
+        if (shed.empty()) return;  // stable SSs only: flagged via verify
+        for (const std::size_t k : shed) server_[k] = kUnserved;
+        out.shed += shed.size();
+        SAG_OBS_COUNT_ADD("serve.shed_ss", shed.size());
+    }
+}
+
+void Session::rebuild_backhaul() {
+    SAG_OBS_SPAN("serve.backhaul");
+    const ActiveView v = build_view();
+    if (v.plan.rs_count() == 0) {
+        conn_ = core::ConnectivityPlan{};
+        conn_.feasible = true;
+    } else {
+        conn_ = core::solve_mbmc(v.covered_scenario, v.plan);
+        core::allocate_power_ucpo(v.covered_scenario, v.plan, conn_);
+    }
+    conn_active_ = v.active;
+    backhaul_dirty_ = false;
+}
+
+void Session::run_verify() {
+    const ActiveView v = build_view();
+    if (v.plan.rs_count() == 0) {
+        verified_ = v.covered_slots.empty();
+        return;
+    }
+    std::vector<double> powers(v.active.size());
+    for (std::size_t r = 0; r < v.active.size(); ++r) {
+        powers[r] = alloc_[v.active[r]];
+    }
+    const bool cov_ok =
+        core::verify_coverage(v.covered_scenario, v.plan, powers).feasible;
+    bool topo_ok = false;
+    if (!backhaul_dirty_ && conn_active_ == v.active) {
+        topo_ok =
+            core::verify_topology(v.covered_scenario, v.plan, conn_).feasible;
+    }
+    verified_ = cov_ok && topo_ok;
+}
+
+void Session::adopt_or_fail_resolve(EventOutcome& out) {
+    std::unique_ptr<core::SagResult> solved;
+    if (pool_) pool_->wait_idle();
+    {
+        exec::MutexLock lock(mutex_);
+        solved = std::move(pending_);
+    }
+    resolve_pending_ = false;
+    const bool ok = !resolve_injected_fail_ && solved && solved->feasible;
+    resolve_injected_fail_ = false;
+    if (!ok) {
+        // Retry with doubling event-count backoff: the next trigger can
+        // fire once the backoff window has passed.
+        SAG_OBS_COUNT("serve.resolves.failed");
+        next_resolve_allowed_ = event_index_ + resolve_backoff_;
+        resolve_backoff_ =
+            std::min(resolve_backoff_ * 2,
+                     std::max<std::size_t>(1, options_.resolve_backoff_max));
+        return;
+    }
+    adopt_plan(*solved, out);
+    out.resolve_adopted = true;
+    SAG_OBS_COUNT("serve.resolves.adopted");
+    resolve_backoff_ = std::max<std::size_t>(1, options_.resolve_backoff_start);
+}
+
+void Session::adopt_plan(const core::SagResult& solved, EventOutcome& out) {
+    SAG_OBS_SPAN("serve.adopt");
+    const double p_max = scenario_.rs_max_power().watts();
+    // Atomic swap to the re-solved deployment. Outstanding failures
+    // refer to decommissioned hardware and are cleared (a full re-solve
+    // is a re-deployment of the lower tier).
+    rs_pos_ = solved.coverage.rs_positions;
+    rs_cap_.assign(rs_pos_.size(), p_max);
+    rs_dead_.assign(rs_pos_.size(), false);
+    failures_ = {};
+    alloc_.assign(rs_pos_.size(), 0.0);
+    field_ = core::SnrField(scenario_, rs_pos_, rs_cap_);
+
+    // The solved assignment maps the trigger-time snapshot's SsIds; the
+    // SS set may have churned since, so every current SS is re-homed
+    // onto the new pool and the powers re-escalated from scratch.
+    server_.assign(server_.size(), kUnserved);
+    assigned_this_event_.assign(server_.size(), true);
+    std::vector<std::size_t> all(server_.size());
+    std::iota(all.begin(), all.end(), std::size_t{0});
+    rehome(all, out);
+    reallocate_power(out);
+    rebuild_backhaul();
+    run_verify();
+    baseline_rs_ = active_rs_count();
+    baseline_power_ = total_power();
+}
+
+void Session::maybe_trigger_resolve(EventOutcome& out) {
+    if (resolve_pending_ || event_index_ < next_resolve_allowed_) return;
+    const std::size_t active = active_rs_count();
+    const double power = total_power();
+    const bool drift_rs = active > baseline_rs_ + options_.drift_excess_rs;
+    const bool drift_power =
+        baseline_power_ > 0.0 &&
+        power > baseline_power_ * options_.drift_power_ratio;
+    const bool flagged = unserved_count() > 0;
+    if (!(drift_rs || drift_power || flagged)) return;
+
+    SAG_OBS_COUNT("serve.resolves.triggered");
+    out.resolve_triggered = true;
+    resolve_pending_ = true;
+    adopt_at_ = event_index_ + std::max<std::size_t>(1, options_.resolve_horizon);
+    resolve_injected_fail_ = options_.faults.resolve_times_out(event_index_);
+    if (resolve_injected_fail_) {
+        SAG_OBS_COUNT("serve.resolves.injected_timeout");
+        return;  // the "solver timed out" path: nothing to compute
+    }
+    if (pool_) {
+        // The snapshot rides a shared_ptr because ThreadPool::submit
+        // requires a copyable closure.
+        auto snap = std::make_shared<core::Scenario>(scenario_);
+        pool_->submit([this, snap] {
+            auto result = std::make_unique<core::SagResult>(
+                core::solve_sag(*snap, options_.solve));
+            exec::MutexLock lock(mutex_);
+            pending_ = std::move(result);
+        });
+    } else {
+        // Inline mode: solve now, adopt at the same horizon — identical
+        // outcome stream, just paid for on the event thread.
+        auto result = std::make_unique<core::SagResult>(
+            core::solve_sag(scenario_, options_.solve));
+        exec::MutexLock lock(mutex_);
+        pending_ = std::move(result);
+    }
+}
+
+EventOutcome Session::apply(const Event& event) {
+    SAG_OBS_SPAN("serve.event");
+    SAG_OBS_COUNT("serve.events");
+    EventOutcome out;
+    out.event_index = event_index_;
+
+    // A pending re-solve lands at its horizon before the event is
+    // processed, whatever the event turns out to be.
+    if (resolve_pending_ && event_index_ >= adopt_at_) {
+        adopt_or_fail_resolve(out);
+    }
+
+    const std::string reason = validate(event);
+    if (!reason.empty()) {
+        out.level = RepairLevel::Rejected;
+        out.reject_reason = reason;
+        SAG_OBS_COUNT("serve.rejected");
+        out.verified = verified_;
+        out.unserved = unserved_count();
+        out.degraded = out.unserved > 0 || !verified_;
+        out.rs_count = active_rs_count();
+        out.total_power = total_power();
+        ++event_index_;
+        return out;
+    }
+
+    apply_mutation(event);
+    assigned_this_event_.assign(server_.size(), false);
+
+    StageGate gate{exec::Deadline::after_seconds(options_.event_budget_seconds),
+                   options_.faults.stage_timeout_mask(out.event_index)};
+    if (gate.forced_mask != 0) SAG_OBS_COUNT("serve.injected_timeouts");
+
+    // Repair candidates: every flagged SS plus every served SS whose
+    // server can no longer possibly serve it (dead, out of reach, or
+    // below rate/SNR even at the caps).
+    std::vector<std::size_t> candidates;
+    for (std::size_t k = 0; k < server_.size(); ++k) {
+        if (server_[k] == kUnserved) {
+            candidates.push_back(k);
+            continue;
+        }
+        if (rs_dead_[server_[k]] || !can_serve(server_[k], k)) {
+            server_[k] = kUnserved;
+            candidates.push_back(k);
+        }
+    }
+
+    // The degradation ladder. Each rung is strictly cheaper than the
+    // one above; the bottom rung (shed to flagged-unserved) is O(1) per
+    // SS and can always run.
+    out.level = RepairLevel::Full;
+    if (gate.expired(RepairStage::Rehome)) {
+        out.shed += candidates.size();
+        out.level = RepairLevel::Degraded;
+    } else {
+        rehome(candidates, out);
+        if (unserved_count() > 0 && options_.max_new_relays_per_event > 0) {
+            if (gate.expired(RepairStage::Patch)) {
+                out.level = RepairLevel::RehomeOnly;
+            } else {
+                patch(out);
+            }
+        }
+        if (out.level == RepairLevel::Full) {
+            if (gate.expired(RepairStage::Power)) {
+                out.level = RepairLevel::RehomeOnly;
+            } else {
+                reallocate_power(out);
+            }
+        }
+    }
+    switch (out.level) {
+        case RepairLevel::Full:
+            SAG_OBS_COUNT("serve.level.full");
+            break;
+        case RepairLevel::RehomeOnly:
+            SAG_OBS_COUNT("serve.level.rehome_only");
+            break;
+        case RepairLevel::Degraded:
+            SAG_OBS_COUNT("serve.level.degraded");
+            break;
+        case RepairLevel::Rejected:
+            break;
+    }
+
+    // Backhaul: rebuild when the active RS set or the rate structure
+    // changed; a gated-off rebuild leaves the plan explicitly degraded
+    // (stale backhaul), never silently wrong.
+    if (backhaul_dirty_ || build_view().active != conn_active_) {
+        if (gate.expired(RepairStage::Backhaul)) {
+            backhaul_dirty_ = true;
+        } else {
+            rebuild_backhaul();
+        }
+    }
+
+    run_verify();
+    out.verified = verified_;
+    out.unserved = unserved_count();
+    out.degraded = out.unserved > 0 || !verified_;
+    out.rs_count = active_rs_count();
+    out.total_power = total_power();
+    SAG_OBS_GAUGE("serve.unserved", out.unserved);
+
+    maybe_trigger_resolve(out);
+    ++event_index_;
+    return out;
+}
+
+std::size_t Session::unserved_count() const {
+    std::size_t n = 0;
+    for (const std::size_t s : server_) n += s == kUnserved ? 1 : 0;
+    return n;
+}
+
+std::size_t Session::active_rs_count() const {
+    std::vector<bool> loaded(rs_pos_.size(), false);
+    for (const std::size_t s : server_) {
+        if (s != kUnserved) loaded[s] = true;
+    }
+    std::size_t n = 0;
+    for (std::size_t r = 0; r < rs_pos_.size(); ++r) {
+        n += (loaded[r] && !rs_dead_[r]) ? 1 : 0;
+    }
+    return n;
+}
+
+double Session::total_power() const {
+    // Dead and unloaded slots hold alloc 0, so the sum is P_L exactly.
+    double lower = 0.0;
+    for (const double w : alloc_) lower += w;
+    return lower + conn_.upper_tier_power();
+}
+
+std::vector<std::uint64_t> Session::unserved_keys() const {
+    std::vector<std::uint64_t> keys;
+    for (std::size_t k = 0; k < server_.size(); ++k) {
+        if (server_[k] == kUnserved) keys.push_back(slot_key_[k]);
+    }
+    std::sort(keys.begin(), keys.end());
+    return keys;
+}
+
+Session::Snapshot Session::snapshot() const {
+    ActiveView v = build_view();
+    Snapshot snap;
+    snap.covered_scenario = std::move(v.covered_scenario);
+    snap.covered_keys.reserve(v.covered_slots.size());
+    for (const std::size_t k : v.covered_slots) {
+        snap.covered_keys.push_back(slot_key_[k]);
+    }
+    snap.plan = std::move(v.plan);
+    snap.powers.resize(v.active.size());
+    for (std::size_t r = 0; r < v.active.size(); ++r) {
+        snap.powers[r] = alloc_[v.active[r]];
+    }
+    snap.connectivity = conn_;
+    snap.verified = verified_;
+    snap.degraded = unserved_count() > 0 || !verified_;
+    return snap;
+}
+
+}  // namespace sag::serve

@@ -1,0 +1,193 @@
+// Fault-injected churn soak: thousands of events — joins, leaves,
+// moves, rate changes, RS failures/degradations/recoveries, corrupted
+// inputs, injected stage and solver timeouts — through one live
+// Session. The soak asserts the serving contract on every single
+// event: never a crash, never a silently wrong plan (`verified ||
+// degraded`), rejected events leave the state untouched, and the whole
+// run replays byte-identically (including at a different thread count).
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sag/core/feasibility.h"
+#include "sag/core/sag.h"
+#include "sag/io/event_io.h"
+#include "sag/serve/event.h"
+#include "sag/serve/fault.h"
+#include "sag/serve/session.h"
+#include "sag/sim/scenario_gen.h"
+
+namespace sag::serve {
+namespace {
+
+core::Scenario make_scenario(int seed, std::size_t subscribers) {
+    sim::GeneratorConfig cfg;
+    cfg.field_side = 500.0;
+    cfg.subscriber_count = subscribers;
+    cfg.base_station_count = 4;
+    return sim::generate_scenario(cfg, seed);
+}
+
+/// Seeded churn stream mixing every event kind, including deliberately
+/// stale keys/slots the session must reject.
+std::vector<Event> churn_stream(int seed, std::size_t initial_subscribers,
+                                std::size_t rs_slots, std::size_t count) {
+    std::mt19937_64 rng(static_cast<std::uint64_t>(seed));
+    std::uniform_real_distribution<double> coord(0.0, 500.0);
+    std::uniform_real_distribution<double> rate(28.0, 42.0);
+    std::uniform_real_distribution<double> factor(0.4, 1.0);
+    std::vector<std::uint64_t> live(initial_subscribers);
+    for (std::size_t k = 0; k < initial_subscribers; ++k) live[k] = k;
+    std::uint64_t next_key = initial_subscribers;
+
+    std::vector<Event> events;
+    events.reserve(count);
+    const std::size_t target = initial_subscribers;
+    while (events.size() < count) {
+        const int kind = static_cast<int>(rng() % 10);
+        Event e;
+        if (kind < 4) {
+            // Regulated toward the initial population: an unregulated
+            // join/leave mix drifts linearly and makes the soak quadratic.
+            if (live.size() < target ||
+                (live.size() == target && rng() % 2 == 0)) {
+                e.kind = EventKind::SsJoin;
+                e.key = next_key++;
+                e.pos = {coord(rng), coord(rng)};
+                e.distance_request = rate(rng);
+                live.push_back(e.key);
+            } else {
+                e.kind = EventKind::SsLeave;
+                const std::size_t at = rng() % live.size();
+                e.key = live[at];
+                live.erase(live.begin() + static_cast<std::ptrdiff_t>(at));
+            }
+        } else if (kind < 7 && !live.empty()) {
+            e.kind = EventKind::SsMove;
+            e.key = live[rng() % live.size()];
+            e.pos = {coord(rng), coord(rng)};
+        } else if (kind < 8 && !live.empty()) {
+            e.kind = EventKind::SsRate;
+            e.key = live[rng() % live.size()];
+            e.distance_request = rate(rng);
+        } else if (kind < 9) {
+            e.kind = EventKind::RsFail;
+            e.rs = ids::RsId{rng() % rs_slots};
+        } else if (rng() % 2 == 0) {
+            e.kind = EventKind::RsRecover;
+            e.rs = ids::RsId{rng() % rs_slots};
+        } else {
+            e.kind = EventKind::RsDegrade;
+            e.rs = ids::RsId{rng() % rs_slots};
+            e.factor = factor(rng);
+        }
+        events.push_back(e);
+    }
+    return events;
+}
+
+struct SoakStats {
+    std::size_t rejected = 0;
+    std::size_t degraded_events = 0;
+    std::size_t resolves_adopted = 0;
+    std::string fingerprint;
+};
+
+SoakStats soak(Session& session, const std::vector<Event>& events) {
+    SoakStats stats;
+    for (const Event& e : events) {
+        const EventOutcome out = session.apply(e);
+        // The contract, event by event: verified or explicitly flagged.
+        EXPECT_TRUE(out.verified || out.degraded)
+            << "event " << out.event_index << " (" << to_string(out.level)
+            << ")";
+        if (out.level == RepairLevel::Rejected) {
+            EXPECT_FALSE(out.reject_reason.empty());
+            ++stats.rejected;
+        }
+        stats.degraded_events += out.degraded ? 1 : 0;
+        stats.resolves_adopted += out.resolve_adopted ? 1 : 0;
+        EXPECT_EQ(out.unserved, session.unserved_keys().size());
+        stats.fingerprint += io::event_outcome_to_json(out).dump();
+        stats.fingerprint.push_back('\n');
+    }
+    return stats;
+}
+
+TEST(ServeSoakTest, FaultInjectedChurnNeverBreaksTheContract) {
+    const core::Scenario scenario = make_scenario(101, 24);
+    const core::SagResult deployment = core::solve_sag(scenario);
+    ASSERT_TRUE(deployment.feasible);
+
+    ServeOptions opts;
+    opts.resolve_horizon = 8;
+    opts.resolve_backoff_start = 8;
+    FaultOptions fopts;
+    fopts.stage_timeout_probability = 0.05;
+    fopts.resolve_timeout_probability = 0.25;
+    fopts.corrupt_probability = 0.05;
+    fopts.seed = 103;
+    opts.faults = FaultPlan(fopts);
+
+    // 1200 events keeps the soak inside its declared ctest budget even
+    // under TSan's ~10x slowdown; bench_churn is the 10^5-event tier.
+    const FaultPlan corrupter(fopts);
+    const std::vector<Event> events = corrupter.corrupt(
+        churn_stream(101, 24, deployment.coverage.rs_count(), 1200));
+
+    Session session(scenario, deployment, opts);
+    const SoakStats stats = soak(session, events);
+
+    // Corruption guarantees rejected events; churn guarantees repairs;
+    // the drift budget guarantees adopted re-solves over 2000 events.
+    EXPECT_GT(stats.rejected, 0u);
+    EXPECT_GT(stats.resolves_adopted, 0u);
+    EXPECT_EQ(session.event_count(), events.size());
+
+    // The session must end the soak still functional: a final verified
+    // state is reachable via its own snapshot.
+    const Session::Snapshot snap = session.snapshot();
+    if (snap.verified) {
+        EXPECT_TRUE(core::verify_coverage(snap.covered_scenario, snap.plan,
+                                          snap.powers)
+                        .feasible);
+    } else {
+        EXPECT_TRUE(snap.degraded);
+    }
+}
+
+TEST(ServeSoakTest, SoakReplayIsByteIdenticalAcrossRunsAndThreads) {
+    const core::Scenario scenario = make_scenario(107, 20);
+    const core::SagResult deployment = core::solve_sag(scenario);
+    ASSERT_TRUE(deployment.feasible);
+
+    ServeOptions opts;
+    opts.drift_excess_rs = 2;
+    opts.resolve_horizon = 8;
+    FaultOptions fopts;
+    fopts.stage_timeout_probability = 0.05;
+    fopts.resolve_timeout_probability = 0.25;
+    fopts.corrupt_probability = 0.05;
+    fopts.seed = 109;
+    opts.faults = FaultPlan(fopts);
+    const std::vector<Event> events = FaultPlan(fopts).corrupt(
+        churn_stream(107, 20, deployment.coverage.rs_count(), 600));
+
+    opts.threads = 1;
+    Session serial_a(scenario, deployment, opts);
+    Session serial_b(scenario, deployment, opts);
+    const SoakStats a = soak(serial_a, events);
+    const SoakStats b = soak(serial_b, events);
+    EXPECT_EQ(a.fingerprint, b.fingerprint);  // run-to-run determinism
+
+    opts.threads = 4;
+    Session threaded(scenario, deployment, opts);
+    const SoakStats c = soak(threaded, events);
+    EXPECT_EQ(a.fingerprint, c.fingerprint);  // thread-count determinism
+}
+
+}  // namespace
+}  // namespace sag::serve

@@ -28,7 +28,8 @@ import os
 import sys
 
 # Gated families: the SnrField incremental-delta kernel (the SIMD/SoA
-# hot path) and the solver micro-benchmarks. The scratch and recorder
+# hot path), the solver micro-benchmarks, and the serve per-event path
+# (the online engine's latency contract). The scratch and recorder
 # variants are diagnostics, not gates.
 GATED_PREFIXES = (
     "BM_SnrFieldDeltaIncremental",
@@ -38,6 +39,8 @@ GATED_PREFIXES = (
     "BM_ProPowerReduction",
     "BM_OptimalPowerFixedPoint",
     "BM_Mbmc",
+    "BM_ServeEventMove",
+    "BM_ServeEventFailRecover",
 )
 
 

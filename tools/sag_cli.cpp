@@ -24,6 +24,15 @@
 //       Solve the scenario, inject seeded RS failures, assess the damage,
 //       run the staged self-healing repair, and report coverage survival
 //       and power overhead (survivability JSON schema in docs/RESILIENCE.md).
+//
+//   sag_cli serve --scenario scenario.json --events stream.jsonl
+//                 [--out report.jsonl] [--threads N] [--budget SECONDS]
+//                 [--fault-stage P] [--fault-resolve P] [--fault-seed K]
+//       Solve the scenario, then feed the JSONL churn stream through a
+//       serve::Session and report one outcome line per event (byte-
+//       deterministic replay fingerprint; schema in docs/SERVING.md).
+//       Exits non-zero if any event breaks the verified-or-degraded
+//       serving contract.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -35,10 +44,12 @@
 #include "sag/core/feasibility.h"
 #include "sag/core/ilpqc.h"
 #include "sag/core/sag.h"
+#include "sag/io/event_io.h"
 #include "sag/io/report_io.h"
 #include "sag/io/resilience_io.h"
 #include "sag/io/scenario_io.h"
 #include "sag/obs/obs.h"
+#include "sag/serve/session.h"
 #include "sag/resilience/damage.h"
 #include "sag/resilience/failure.h"
 #include "sag/resilience/repair.h"
@@ -92,7 +103,10 @@ int usage() {
                  "  sag_cli verify --scenario FILE --result FILE\n"
                  "  sag_cli resilience --scenario FILE"
                  " [--model independent|disc|degrade] [--fraction F]"
-                 " [--radius R] [--factor F] [--seed K] [--out FILE]\n");
+                 " [--radius R] [--factor F] [--seed K] [--out FILE]\n"
+                 "  sag_cli serve --scenario FILE --events FILE [--out FILE]"
+                 " [--threads N] [--budget SECONDS] [--fault-stage P]"
+                 " [--fault-resolve P] [--fault-seed K]\n");
     return 2;
 }
 
@@ -289,6 +303,72 @@ int cmd_resilience(const Args& args) {
     return outcome.repaired.feasible ? 0 : 1;
 }
 
+int cmd_serve(const Args& args) {
+    const auto scenario_path = args.get("scenario");
+    const auto events_path = args.get("events");
+    if (!scenario_path || !events_path) return usage();
+    const core::Scenario scenario = io::load_scenario(*scenario_path);
+
+    std::vector<serve::Event> events;
+    try {
+        events = io::events_from_jsonl(io::read_text_file(*events_path));
+    } catch (const io::EventFormatError& e) {
+        std::fprintf(stderr, "%s: %s\n", events_path->c_str(), e.what());
+        return 1;
+    }
+
+    const core::SagResult deployment = core::solve_sag(scenario);
+    if (!deployment.feasible) {
+        std::fprintf(stderr,
+                     "scenario is infeasible for the intact pipeline; "
+                     "nothing to serve\n");
+        return 1;
+    }
+
+    serve::ServeOptions opts;
+    opts.threads = static_cast<std::size_t>(args.num_or("threads", 1));
+    opts.event_budget_seconds = args.num_or("budget", 0.0);
+    serve::FaultOptions faults;
+    faults.stage_timeout_probability = args.num_or("fault-stage", 0.0);
+    faults.resolve_timeout_probability = args.num_or("fault-resolve", 0.0);
+    faults.seed = static_cast<std::uint64_t>(args.num_or("fault-seed", 1));
+    opts.faults = serve::FaultPlan(faults);
+
+    serve::Session session(scenario, deployment, opts);
+    std::string report;
+    std::size_t rejected = 0, degraded = 0, adopted = 0, contract_broken = 0;
+    for (const serve::Event& event : events) {
+        const serve::EventOutcome out = session.apply(event);
+        rejected += out.level == serve::RepairLevel::Rejected ? 1 : 0;
+        degraded += out.degraded ? 1 : 0;
+        adopted += out.resolve_adopted ? 1 : 0;
+        contract_broken += (out.verified || out.degraded) ? 0 : 1;
+        report += io::event_outcome_to_json(out).dump();
+        report.push_back('\n');
+    }
+
+    std::printf("events          : %zu (%zu rejected)\n", events.size(),
+                rejected);
+    std::printf("degraded events : %zu\n", degraded);
+    std::printf("re-solves       : %zu adopted\n", adopted);
+    std::printf("final           : %zu subscribers, %zu unserved, "
+                "%zu active RSs, P_total %.2f\n",
+                session.live_subscriber_count(), session.unserved_count(),
+                session.active_rs_count(), session.total_power());
+    if (const auto out = args.get("out")) {
+        io::write_text_file(*out, report);
+        std::printf("wrote %s\n", out->c_str());
+    }
+    if (contract_broken > 0) {
+        std::fprintf(stderr,
+                     "serving contract broken on %zu events "
+                     "(neither verified nor degraded)\n",
+                     contract_broken);
+        return 1;
+    }
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -300,6 +380,7 @@ int main(int argc, char** argv) {
         if (cmd == "solve") return cmd_solve(args);
         if (cmd == "verify") return cmd_verify(args);
         if (cmd == "resilience") return cmd_resilience(args);
+        if (cmd == "serve") return cmd_serve(args);
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
